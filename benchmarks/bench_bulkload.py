@@ -1,0 +1,52 @@
+"""Bulkload throughput and the streaming-equals-batch guarantee.
+
+Not a paper table, but the operational quantity Sec. 4 is about: how fast
+the main-memory-friendly strategies consume a parse-event stream, and
+what the spill threshold costs.
+"""
+
+import pytest
+
+from repro.bulkload import BulkLoader, STREAMING_STRATEGIES
+from repro.datasets.xmark import xmark_document
+from repro.partition import get_algorithm
+from repro.xmlio import tree_to_xml
+
+LIMIT = 256
+
+
+@pytest.fixture(scope="module")
+def xml_text():
+    return tree_to_xml(xmark_document(scale=0.01, seed=2006))
+
+
+@pytest.mark.parametrize("algorithm", STREAMING_STRATEGIES)
+def bench_streaming_import(benchmark, xml_text, algorithm):
+    loader = BulkLoader(algorithm=algorithm, limit=LIMIT)
+    result = benchmark(loader.load, xml_text)
+    benchmark.extra_info["nodes"] = len(result.tree)
+    benchmark.extra_info["partitions"] = result.partitioning.cardinality
+    benchmark.extra_info["events_per_node"] = round(result.events / len(result.tree), 2)
+
+
+@pytest.mark.parametrize("threshold", [None, 4096, 1024])
+def bench_spill_overhead(benchmark, xml_text, threshold):
+    loader = BulkLoader(algorithm="ekm", limit=LIMIT, spill_threshold=threshold)
+    result = benchmark.pedantic(loader.load, args=(xml_text,), rounds=2, iterations=1)
+    benchmark.extra_info["partitions"] = result.partitioning.cardinality
+    benchmark.extra_info["peak_fraction"] = round(result.peak_resident_fraction, 4)
+
+
+def bench_streaming_equals_batch(benchmark, xml_text):
+    """The correctness contract, timed: one streaming pass equals the
+    parse-then-batch pipeline's output exactly."""
+
+    def run():
+        loader = BulkLoader(algorithm="ekm", limit=LIMIT)
+        result = loader.load(xml_text)
+        batch = get_algorithm("ekm").partition(result.tree, LIMIT)
+        assert result.partitioning == batch
+        return result.partitioning.cardinality
+
+    cardinality = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["partitions"] = cardinality

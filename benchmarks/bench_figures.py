@@ -1,0 +1,49 @@
+"""Figures 6 and 9 — the paper's counterexample trees, asserted exactly.
+
+These are micro-benchmarks only in the trivial sense (the trees have six
+nodes); their value is pinning the documented algorithm behaviours in
+the benchmark report alongside the tables.
+"""
+
+from repro.bench.figures import FIG3_SPEC, FIG6_SPEC, FIG9_SPEC
+from repro.partition import get_algorithm
+from repro.tree.builders import tree_from_spec
+
+LIMIT = 5
+
+
+def bench_fig6_greedy_failure(benchmark):
+    tree = tree_from_spec(FIG6_SPEC)
+
+    def run():
+        return (
+            get_algorithm("ghdw").partition(tree, LIMIT).cardinality,
+            get_algorithm("dhw").partition(tree, LIMIT).cardinality,
+        )
+
+    ghdw, dhw = benchmark(run)
+    assert (ghdw, dhw) == (4, 3)  # the paper's Fig. 6 numbers
+    benchmark.extra_info.update({"ghdw": ghdw, "dhw": dhw})
+
+
+def bench_fig9_ekm_failure(benchmark):
+    tree = tree_from_spec(FIG9_SPEC)
+
+    def run():
+        return (
+            get_algorithm("ekm").partition(tree, LIMIT).cardinality,
+            get_algorithm("dhw").partition(tree, LIMIT).cardinality,
+        )
+
+    ekm, dhw = benchmark(run)
+    assert (ekm, dhw) == (3, 2)  # the paper's Fig. 9 numbers
+    benchmark.extra_info.update({"ekm": ekm, "dhw": dhw})
+
+
+def bench_fig3_running_example(benchmark):
+    tree = tree_from_spec(FIG3_SPEC)
+
+    def run():
+        return get_algorithm("dhw").partition(tree, LIMIT).cardinality
+
+    assert benchmark(run) == 3

@@ -1,0 +1,69 @@
+"""Table 1 — number of generated partitions per document × algorithm.
+
+Each benchmark times one algorithm on one corpus document and records
+the partition count (the actual Table 1 payload) in ``extra_info``,
+together with the paper's reference value for the full-size document.
+Table 1's qualitative claims are asserted outright.
+"""
+
+import pytest
+
+from repro.datasets.registry import PAPER_DOCUMENTS
+from repro.partition import evaluate_partitioning, get_algorithm
+from repro.partition.binpack import capacity_lower_bound
+
+LIMIT = 256
+HEURISTICS = ("ghdw", "ekm", "rs", "dfs", "km", "bfs")
+DOCUMENTS = [spec.name for spec in PAPER_DOCUMENTS]
+_SPEC = {spec.name: spec for spec in PAPER_DOCUMENTS}
+
+
+@pytest.mark.parametrize("document", DOCUMENTS)
+@pytest.mark.parametrize("algorithm", HEURISTICS)
+def bench_partition_count(benchmark, bench_corpus, document, algorithm):
+    tree = bench_corpus[document]
+    partitioner = get_algorithm(algorithm)
+    partitioning = benchmark(partitioner.partition, tree, LIMIT)
+    report = evaluate_partitioning(tree, partitioning, LIMIT)
+    assert report.feasible
+    benchmark.extra_info["partitions"] = report.cardinality
+    benchmark.extra_info["weight_over_k"] = capacity_lower_bound(tree, LIMIT)
+    benchmark.extra_info["paper_partitions"] = _SPEC[document].paper_partitions[
+        algorithm
+    ]
+
+
+@pytest.mark.parametrize("document", DOCUMENTS)
+def bench_partition_count_dhw(benchmark, dhw_corpus, document):
+    """The optimal algorithm, on the reduced corpus (O(n·K³) in Python)."""
+    tree = dhw_corpus[document]
+    partitioner = get_algorithm("dhw")
+    partitioning = benchmark.pedantic(
+        partitioner.partition, args=(tree, LIMIT), rounds=1, iterations=1
+    )
+    report = evaluate_partitioning(tree, partitioning, LIMIT)
+    assert report.feasible
+    benchmark.extra_info["partitions"] = report.cardinality
+    benchmark.extra_info["paper_partitions"] = _SPEC[document].paper_partitions["dhw"]
+
+
+@pytest.mark.parametrize("document", DOCUMENTS)
+def bench_table1_shape(benchmark, dhw_corpus, document):
+    """Assert the paper's Table 1 orderings on every document:
+    DHW <= GHDW, sibling algorithms << KM, and KM/BFS trail the field."""
+
+    tree = dhw_corpus[document]
+
+    def run():
+        return {
+            name: get_algorithm(name).partition(tree, LIMIT).cardinality
+            for name in ("dhw", "ghdw", "ekm", "rs", "km", "bfs")
+        }
+
+    counts = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert counts["dhw"] <= counts["ghdw"]
+    assert counts["dhw"] <= min(counts["ekm"], counts["rs"])
+    for sibling in ("dhw", "ghdw", "ekm", "rs"):
+        assert counts[sibling] < counts["km"]
+        assert counts[sibling] < counts["bfs"]
+    benchmark.extra_info.update(counts)

@@ -1,0 +1,64 @@
+"""Table 2 — partitioning CPU time per document × algorithm.
+
+pytest-benchmark's timing report *is* Table 2 here. The paper's headline
+runtime orderings (DHW slowest by orders of magnitude, GHDW next, the
+simple heuristics effectively free, KM linear but K-independent) are
+asserted explicitly in ``bench_table2_shape``.
+"""
+
+import time
+
+import pytest
+
+from repro.datasets.registry import PAPER_DOCUMENTS
+from repro.partition import get_algorithm
+
+LIMIT = 256
+DOCUMENTS = [spec.name for spec in PAPER_DOCUMENTS]
+FAST = ("ekm", "rs", "dfs", "km", "bfs")
+
+
+@pytest.mark.parametrize("document", DOCUMENTS)
+@pytest.mark.parametrize("algorithm", FAST)
+def bench_runtime_fast(benchmark, bench_corpus, document, algorithm):
+    tree = bench_corpus[document]
+    partitioner = get_algorithm(algorithm)
+    benchmark(partitioner.partition, tree, LIMIT)
+
+
+@pytest.mark.parametrize("document", DOCUMENTS)
+def bench_runtime_ghdw(benchmark, bench_corpus, document):
+    tree = bench_corpus[document]
+    partitioner = get_algorithm("ghdw")
+    benchmark.pedantic(
+        partitioner.partition, args=(tree, LIMIT), rounds=2, iterations=1
+    )
+
+
+@pytest.mark.parametrize("document", DOCUMENTS[:2])
+def bench_runtime_dhw(benchmark, dhw_corpus, document):
+    tree = dhw_corpus[document]
+    partitioner = get_algorithm("dhw")
+    benchmark.pedantic(
+        partitioner.partition, args=(tree, LIMIT), rounds=1, iterations=1
+    )
+
+
+def bench_table2_shape(benchmark, dhw_corpus):
+    """Assert the Table 2 runtime ordering on one document:
+    DHW >> GHDW >> EKM (the paper reports ~100x and ~100x+)."""
+
+    tree = dhw_corpus["SigmodRecord.xml"]
+
+    def measure():
+        out = {}
+        for name in ("dhw", "ghdw", "ekm", "km"):
+            start = time.perf_counter()
+            get_algorithm(name).partition(tree, LIMIT)
+            out[name] = time.perf_counter() - start
+        return out
+
+    times = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert times["dhw"] > times["ghdw"] * 3
+    assert times["ghdw"] > times["ekm"] * 3
+    benchmark.extra_info.update({k: round(v, 4) for k, v in times.items()})

@@ -1,0 +1,66 @@
+"""Table 3 — XPathMark query performance on KM vs EKM layouts.
+
+One benchmark per (query, layout) pair times the navigational evaluation
+against the warmed store; ``extra_info`` carries the simulated cost and
+the paper's measured seconds. ``bench_table3_shape`` asserts the paper's
+two headline observations.
+"""
+
+import pytest
+
+from repro.datasets.xmark import xmark_document
+from repro.partition import get_algorithm
+from repro.query import XPATHMARK_QUERIES, run_query
+from repro.storage import DocumentStore
+
+LIMIT = 256
+SCALE = 0.01
+
+
+@pytest.fixture(scope="module")
+def stores():
+    tree = xmark_document(scale=SCALE, seed=2006)
+    out = {}
+    for name in ("km", "ekm"):
+        partitioning = get_algorithm(name).partition(tree, LIMIT)
+        store = DocumentStore.build(tree, partitioning)
+        store.warm_up()
+        out[name] = store
+    return out
+
+
+@pytest.mark.parametrize("query", XPATHMARK_QUERIES, ids=lambda q: q.qid)
+@pytest.mark.parametrize("layout", ["km", "ekm"])
+def bench_query(benchmark, stores, query, layout):
+    store = stores[layout]
+    run = benchmark(run_query, store, query.xpath)
+    benchmark.extra_info["cost_units"] = run.cost
+    benchmark.extra_info["cross_steps"] = run.cross_steps
+    benchmark.extra_info["results"] = run.result_count
+    benchmark.extra_info["paper_seconds"] = (
+        query.paper_km_seconds if layout == "km" else query.paper_ekm_seconds
+    )
+
+
+def bench_table3_shape(benchmark, stores):
+    """EKM beats KM on every query; KM occupies no more disk space."""
+
+    def run():
+        return {
+            q.qid: (
+                run_query(stores["km"], q.xpath).cost,
+                run_query(stores["ekm"], q.xpath).cost,
+            )
+            for q in XPATHMARK_QUERIES
+        }
+
+    costs = benchmark.pedantic(run, rounds=1, iterations=1)
+    for qid, (km_cost, ekm_cost) in costs.items():
+        assert ekm_cost < km_cost, qid
+    assert (
+        stores["km"].space_report().page_bytes
+        <= stores["ekm"].space_report().page_bytes
+    )
+    benchmark.extra_info["speedups"] = {
+        qid: round(km / ekm, 2) for qid, (km, ekm) in costs.items()
+    }

@@ -1,0 +1,41 @@
+"""Shared fixtures for the benchmark suite.
+
+The benchmarks regenerate the paper's tables with pytest-benchmark
+timing. Scales are chosen so the whole suite (including the slow optimal
+DHW algorithm) finishes in minutes of pure Python; pass a larger corpus
+through ``python -m repro.bench`` for full-scale runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.registry import PAPER_DOCUMENTS
+
+#: scale for the timed corpus (fraction of the library defaults, which
+#: are themselves ~1/10 of the paper's documents)
+BENCH_SCALE = 0.3
+#: even smaller corpus for the O(n·K³) optimal algorithm
+DHW_SCALE = 0.1
+
+LIMIT = 256
+
+
+@pytest.fixture(scope="session")
+def bench_corpus():
+    return {
+        spec.name: spec.generate(scale=BENCH_SCALE, seed=2006)
+        for spec in PAPER_DOCUMENTS
+    }
+
+
+@pytest.fixture(scope="session")
+def dhw_corpus():
+    return {
+        spec.name: spec.generate(scale=DHW_SCALE, seed=2006)
+        for spec in PAPER_DOCUMENTS
+    }
+
+
+def document_ids():
+    return [spec.name for spec in PAPER_DOCUMENTS]

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Compare all partitioning algorithms across the paper corpus.
+
+A miniature of the paper's Tables 1+2: for each synthetic corpus
+document, run every heuristic (and optionally DHW, the optimal but slow
+algorithm), and report partition counts, gap to the capacity lower bound,
+and runtime.
+
+Run: python examples/algorithm_comparison.py [--with-dhw]
+"""
+
+import sys
+import time
+
+from repro.datasets import PAPER_DOCUMENTS
+from repro.partition import evaluate_partitioning, get_algorithm
+from repro.partition.binpack import capacity_lower_bound
+
+LIMIT = 256
+
+
+def main() -> None:
+    with_dhw = "--with-dhw" in sys.argv
+    algorithms = ["ghdw", "ekm", "rs", "dfs", "km", "bfs"]
+    if with_dhw:
+        algorithms.insert(0, "dhw")
+
+    for spec in PAPER_DOCUMENTS:
+        tree = spec.generate(scale=0.5)
+        bound = capacity_lower_bound(tree, LIMIT)
+        print(f"\n{spec.name} — {len(tree)} nodes, Weight/K = {bound}")
+        print(f"  {'algorithm':9s} {'parts':>6s} {'vs bound':>9s} {'seconds':>9s}")
+        for name in algorithms:
+            start = time.perf_counter()
+            partitioning = get_algorithm(name).partition(tree, LIMIT)
+            elapsed = time.perf_counter() - start
+            report = evaluate_partitioning(tree, partitioning, LIMIT)
+            assert report.feasible
+            print(
+                f"  {name:9s} {report.cardinality:6d} "
+                f"{report.cardinality / bound:8.2f}x {elapsed:9.3f}"
+            )
+
+
+if __name__ == "__main__":
+    main()

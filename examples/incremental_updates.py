@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Node-at-a-time maintenance: inserting into an already-loaded store.
+
+The bulkload algorithms of the paper decide the initial layout; Natix'
+node-at-a-time algorithm (paper ref [9]) keeps it clustered as the
+document evolves. This example loads a document, then appends new
+auction items one at a time, showing how the updater prefers the
+parent's record, falls back to adjacent siblings' records, and splits
+full records while the partitioning stays feasible throughout.
+
+Run: python examples/incremental_updates.py
+"""
+
+from repro.datasets import xmark_document
+from repro.partition import evaluate_partitioning, get_algorithm
+from repro.storage import DocumentStore, StoreUpdater
+from repro.tree.node import NodeKind
+
+LIMIT = 256
+
+
+def main() -> None:
+    tree = xmark_document(scale=0.003)
+    partitioning = get_algorithm("ekm").partition(tree, LIMIT)
+    store = DocumentStore.build(tree, partitioning)
+    updater = StoreUpdater(store)
+    print(
+        f"loaded {len(tree)} nodes into {partitioning.cardinality} records "
+        f"(K={LIMIT})\n"
+    )
+
+    # Append 200 new items under namerica, each a small subtree.
+    namerica = next(n for n in tree if n.label == "namerica")
+    for i in range(200):
+        item = updater.insert_node(namerica.node_id, "item")
+        updater.insert_node(item, "name", kind=NodeKind.TEXT, content=f"late item {i}")
+        updater.insert_node(
+            item, "description", kind=NodeKind.TEXT, content="inserted after bulkload " * 3
+        )
+    updater.flush()
+
+    current = updater.current_partitioning()
+    report = evaluate_partitioning(store.tree, current, LIMIT)
+    assert report.feasible, "updates must preserve feasibility"
+    stats = updater.stats
+    print(f"after {stats.inserts} inserts:")
+    print(f"  partitions: {partitioning.cardinality} -> {report.cardinality}")
+    print(
+        f"  placements: {stats.placed_with_parent} with parent, "
+        f"{stats.placed_with_sibling} with sibling, "
+        f"{stats.new_records} new records, {stats.record_splits} splits"
+    )
+    space = store.space_report()
+    print(f"  disk: {space.records} records on {space.pages} pages ({space.kib:.0f} KiB)")
+
+    # Queries see the new content immediately, in document order.
+    from repro.query import evaluate
+
+    items = evaluate(store, "/site/regions/namerica/item")
+    print(f"  /site/regions/namerica/item now returns {len(items)} items")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Main-memory friendliness: importing with a hard memory budget.
+
+The paper's Sec. 4.3 worst case is a root with an enormous fan-out (the
+relational ``partsupp``/``orders`` dumps): bottom-up algorithms normally
+hold the whole document until the root closes. The spill threshold fixes
+this — at a partitioning-quality price this example quantifies.
+
+Run: python examples/memory_bounded_import.py
+"""
+
+from repro.bulkload import BulkLoader
+from repro.datasets import partsupp_document
+from repro.partition import evaluate_partitioning
+from repro.xmlio import tree_to_xml
+
+LIMIT = 256
+
+
+def main() -> None:
+    tree = partsupp_document(rows=1000)
+    xml = tree_to_xml(tree)
+    print(
+        f"partsupp document: {len(tree)} nodes, weight {tree.total_weight()} "
+        f"slots — all tuples under one root\n"
+    )
+    print(f"{'threshold':>10s} {'partitions':>10s} {'peak resident':>14s} {'spills':>7s}")
+    for threshold in (None, 65536, 16384, 4096, 1024):
+        loader = BulkLoader(algorithm="ekm", limit=LIMIT, spill_threshold=threshold)
+        result = loader.load(xml)
+        report = evaluate_partitioning(result.tree, result.partitioning, LIMIT)
+        assert report.feasible
+        label = "unbounded" if threshold is None else str(threshold)
+        print(
+            f"{label:>10s} {report.cardinality:10d} "
+            f"{result.peak_resident_fraction * 100:13.1f}% {result.spills:7d}"
+        )
+    print(
+        "\nWithout a threshold the importer holds 100% of the document"
+        "\n(the root never closes); with one, memory is capped and the"
+        "\npartition count degrades gracefully."
+    )
+
+
+if __name__ == "__main__":
+    main()

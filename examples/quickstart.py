@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Quickstart: partition a small weighted tree with every algorithm.
+
+Uses the running example from the paper (Fig. 3) with weight limit K=5
+and shows how the algorithms differ in partition count and root weight.
+
+Run: python examples/quickstart.py
+"""
+
+from repro import available_algorithms, evaluate_partitioning, partition_tree, tree_from_spec
+
+# The paper's Fig. 3 example: node "a" (weight 3) with children b,c,f,g,h;
+# c has children d,e. Sibling order is the list order.
+TREE_SPEC = (
+    "a", 3, [
+        ("b", 2),
+        ("c", 1, [("d", 2), ("e", 2)]),
+        ("f", 1),
+        ("g", 1),
+        ("h", 2),
+    ],
+)
+
+LIMIT = 5
+
+
+def main() -> None:
+    tree = tree_from_spec(TREE_SPEC)
+    print(f"tree: {len(tree)} nodes, total weight {tree.total_weight()}, K={LIMIT}\n")
+    print(f"{'algorithm':10s} {'partitions':>10s} {'root weight':>12s}  intervals")
+    for name in available_algorithms():
+        if name == "fdw":
+            continue  # FDW only accepts flat trees; see tests/partition/test_fdw.py
+        partitioning = partition_tree(tree, LIMIT, algorithm=name)
+        report = evaluate_partitioning(tree, partitioning, LIMIT)
+        assert report.feasible
+        pretty = " ".join(
+            f"({tree.node(iv.left).label}..{tree.node(iv.right).label})"
+            for iv in partitioning.sorted_intervals()
+        )
+        print(f"{name:10s} {report.cardinality:10d} {report.root_weight:12d}  {pretty}")
+
+    print(
+        "\nDHW is provably optimal (minimal partition count, then minimal root"
+        "\nweight); EKM gets the same count here at a fraction of the cost —"
+        "\nwhich is exactly the paper's conclusion."
+    )
+
+    from repro.partition.render import render_partitioning
+
+    print("\nThe optimal (DHW) layout:")
+    print(render_partitioning(tree, partition_tree(tree, LIMIT, "dhw"), LIMIT))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Recovery: rebuilding a document from record bytes alone.
+
+The record format stores everything needed to reassemble the document —
+intra-record parent slots, sibling positions, and proxy parent ids for
+fragment roots. This example partitions a document, throws away every
+in-memory structure except the raw record blobs and the label dictionary,
+rebuilds the tree, and verifies it is identical.
+
+Run: python examples/record_recovery.py
+"""
+
+from repro.datasets import xmark_document
+from repro.partition import get_algorithm
+from repro.storage import DocumentStore
+from repro.storage.navigator import RecordNavigator
+from repro.storage.reconstruct import reconstruct_tree
+from repro.xmlio import tree_to_xml
+
+LIMIT = 256
+
+
+def main() -> None:
+    tree = xmark_document(scale=0.003)
+    partitioning = get_algorithm("ekm").partition(tree, LIMIT)
+    store = DocumentStore.build(tree, partitioning)
+    print(
+        f"stored {len(tree)} nodes as {store.record_count} records on "
+        f"{store.space_report().pages} pages"
+    )
+
+    # Simulate recovery: only the decoded records + label dictionary.
+    records = [store.fetch_record(rid) for rid in range(store.record_count)]
+    blob_bytes = sum(len(store.codec.encode(r)) for r in records)
+    print(f"recovering from {blob_bytes} record payload bytes …")
+
+    rebuilt = reconstruct_tree(records, store.labels)
+    rebuilt.validate()
+    assert len(rebuilt) == len(tree)
+    assert tree_to_xml(rebuilt) == tree_to_xml(tree)
+    print(f"rebuilt {len(rebuilt)} nodes — serialized XML is byte-identical")
+
+    # Navigation also works straight off the records (proxy index):
+    navigator = RecordNavigator(store)
+    scan = sum(1 for _ in navigator.root().descendants_or_self())
+    print(
+        f"record-level scan visited {scan} nodes with "
+        f"{navigator.stats.cross_steps} record crossings"
+    )
+
+
+if __name__ == "__main__":
+    main()

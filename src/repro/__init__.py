@@ -1,0 +1,84 @@
+"""repro — optimal tree sibling partitioning and the Natix storage stack.
+
+A faithful, self-contained reproduction of Kanne & Moerkotte, *"A Linear
+Time Algorithm for Optimal Tree Sibling Partitioning and Approximation
+Algorithms in Natix"* (VLDB 2006): the DHW optimal algorithm, the GHDW /
+EKM near-optimal heuristics, the existing KM / RS / DFS / BFS baselines,
+plus everything needed to evaluate them — XML parsing with the paper's
+slot weight model, dataset generators, a Natix-style record/page storage
+engine, an XPath subset query engine, and the benchmark harness that
+regenerates the paper's Tables 1–3.
+
+Quickstart::
+
+    from repro import tree_from_spec, partition_tree, evaluate_partitioning
+
+    tree = tree_from_spec(("a", 3, [("b", 2), ("c", 1, [("d", 2), ("e", 2)]),
+                                    ("f", 1), ("g", 1), ("h", 2)]))
+    partitioning = partition_tree(tree, limit=5, algorithm="dhw")
+    report = evaluate_partitioning(tree, partitioning, limit=5)
+    print(report.cardinality, report.root_weight)
+"""
+
+from repro.errors import (
+    InfeasiblePartitioningError,
+    InvalidPartitioningError,
+    QuerySyntaxError,
+    ReproError,
+    StorageError,
+    TreeError,
+    XmlFormatError,
+)
+from repro.tree import (
+    NodeKind,
+    Tree,
+    TreeNode,
+    build_tree,
+    flat_tree,
+    tree_from_spec,
+    tree_stats,
+)
+from repro.partition import (
+    ALGORITHMS,
+    Partitioner,
+    Partitioning,
+    SiblingInterval,
+    available_algorithms,
+    evaluate_partitioning,
+    get_algorithm,
+    is_feasible,
+    partition_tree,
+    partition_weights,
+    validate_partitioning,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "TreeError",
+    "InfeasiblePartitioningError",
+    "InvalidPartitioningError",
+    "XmlFormatError",
+    "StorageError",
+    "QuerySyntaxError",
+    "Tree",
+    "TreeNode",
+    "NodeKind",
+    "build_tree",
+    "flat_tree",
+    "tree_from_spec",
+    "tree_stats",
+    "Partitioning",
+    "SiblingInterval",
+    "Partitioner",
+    "ALGORITHMS",
+    "available_algorithms",
+    "get_algorithm",
+    "partition_tree",
+    "evaluate_partitioning",
+    "partition_weights",
+    "validate_partitioning",
+    "is_feasible",
+    "__version__",
+]

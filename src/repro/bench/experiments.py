@@ -1,0 +1,121 @@
+"""Tables 1 and 2: partition counts and partitioning CPU time.
+
+One pass over the corpus runs every requested algorithm on every
+document, validating feasibility through the shared evaluator and timing
+the pure partitioning call (document generation and validation excluded,
+matching the paper's "pure main-memory implementation" protocol).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.bench.report import render_table
+from repro.datasets.registry import PAPER_DOCUMENTS, DocumentSpec
+from repro.partition import evaluate_partitioning, get_algorithm
+from repro.partition.binpack import capacity_lower_bound
+from repro.xmlio.weights import PAPER_LIMIT
+
+#: Table 1/2 column order in the paper.
+TABLE_ALGORITHMS = ("dhw", "ghdw", "ekm", "rs", "dfs", "km", "bfs")
+
+
+@dataclass
+class PartitioningCell:
+    algorithm: str
+    partitions: int
+    seconds: float
+    root_weight: int
+    paper_partitions: Optional[int] = None
+    paper_seconds: Optional[float] = None
+
+
+@dataclass
+class PartitioningRow:
+    document: str
+    nodes: int
+    total_weight: int
+    weight_over_k: int
+    cells: dict[str, PartitioningCell] = field(default_factory=dict)
+
+
+def run_partitioning_experiment(
+    algorithms: Sequence[str] = TABLE_ALGORITHMS,
+    limit: int = PAPER_LIMIT,
+    scale: float = 1.0,
+    documents: Sequence[DocumentSpec] = PAPER_DOCUMENTS,
+    seed: int = 2006,
+) -> list[PartitioningRow]:
+    """Run the Table 1/2 experiment; returns one row per document."""
+    rows: list[PartitioningRow] = []
+    for spec in documents:
+        tree = spec.generate(scale=scale, seed=seed)
+        row = PartitioningRow(
+            document=spec.name,
+            nodes=len(tree),
+            total_weight=tree.total_weight(),
+            weight_over_k=capacity_lower_bound(tree, limit),
+        )
+        for name in algorithms:
+            partitioner = get_algorithm(name)
+            start = time.perf_counter()
+            partitioning = partitioner.partition(tree, limit)
+            seconds = time.perf_counter() - start
+            report = evaluate_partitioning(tree, partitioning, limit)
+            if not report.feasible:
+                raise AssertionError(f"{name} produced infeasible result on {spec.name}")
+            row.cells[name] = PartitioningCell(
+                algorithm=name,
+                partitions=report.cardinality,
+                seconds=seconds,
+                root_weight=report.root_weight,
+                paper_partitions=spec.paper_partitions.get(name),
+                paper_seconds=spec.paper_runtime.get(name),
+            )
+        rows.append(row)
+    return rows
+
+
+def format_table1(rows: list[PartitioningRow], show_paper: bool = True) -> str:
+    """Render the partition-count table (paper Table 1)."""
+    algorithms = list(rows[0].cells) if rows else []
+    headers = ["Document", "Nodes", "Weight/K"] + [a.upper() for a in algorithms]
+    body = []
+    for row in rows:
+        body.append(
+            [row.document, row.nodes, row.weight_over_k]
+            + [row.cells[a].partitions for a in algorithms]
+        )
+    out = render_table(headers, body, title="Table 1: number of generated partitions")
+    if show_paper:
+        paper_rows = []
+        for row in rows:
+            paper_rows.append(
+                [row.document, "", ""]
+                + [row.cells[a].paper_partitions or "-" for a in algorithms]
+            )
+        out += "\n\n" + render_table(
+            headers, paper_rows, title="Paper reference (full-size documents)"
+        )
+    return out
+
+
+def format_table2(rows: list[PartitioningRow], show_paper: bool = True) -> str:
+    """Render the CPU-time table (paper Table 2)."""
+    algorithms = list(rows[0].cells) if rows else []
+    headers = ["Document"] + [a.upper() for a in algorithms]
+    body = [
+        [row.document] + [row.cells[a].seconds for a in algorithms] for row in rows
+    ]
+    out = render_table(headers, body, title="Table 2: CPU time (seconds)")
+    if show_paper:
+        paper_rows = [
+            [row.document] + [row.cells[a].paper_seconds or "-" for a in algorithms]
+            for row in rows
+        ]
+        out += "\n\n" + render_table(
+            headers, paper_rows, title="Paper reference (C++, full-size documents)"
+        )
+    return out

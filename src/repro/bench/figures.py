@@ -1,0 +1,53 @@
+"""Worked-example reproductions of the paper's illustrative figures.
+
+Figures 6 and 9 are the paper's two counterexamples — GHDW's greedy
+failure and EKM's heuristic failure. This module re-runs them (and the
+Fig. 3 running example) and renders the outcomes, so a reader can see the
+documented behaviours on the exact trees from the paper.
+"""
+
+from __future__ import annotations
+
+from repro.bench.report import render_table
+from repro.partition import evaluate_partitioning, get_algorithm
+from repro.tree.builders import tree_from_spec
+
+#: Fig. 3 running example (weights in the ovals); K = 5.
+FIG3_SPEC = (
+    "a",
+    3,
+    [("b", 2), ("c", 1, [("d", 2), ("e", 2)]), ("f", 1), ("g", 1), ("h", 2)],
+)
+
+#: Fig. 6: the greedy (GHDW) strategy needs 4 partitions, optimum is 3; K = 5.
+FIG6_SPEC = ("a", 5, [("b", 1), ("c", 1, [("d", 2), ("e", 2)]), ("f", 1)])
+
+#: Fig. 9: EKM produces 3 clusters, optimum is 2; K = 5.
+FIG9_SPEC = ("a", 2, [("b", 4), ("c", 1, [("d", 1), ("e", 1)])])
+
+
+def run_figure(spec, limit: int, algorithms=("dhw", "ghdw", "ekm", "km", "rs")) -> list:
+    tree = tree_from_spec(spec)
+    rows = []
+    for name in algorithms:
+        partitioning = get_algorithm(name).partition(tree, limit)
+        report = evaluate_partitioning(tree, partitioning, limit)
+        labels = []
+        for iv in partitioning.sorted_intervals():
+            left, right = tree.node(iv.left).label, tree.node(iv.right).label
+            labels.append(f"({left},{right})" if iv.left != iv.right else f"({left})")
+        rows.append([name.upper(), report.cardinality, report.root_weight, " ".join(labels)])
+    return rows
+
+
+def format_figures() -> str:
+    headers = ["Algorithm", "Partitions", "Root weight", "Intervals"]
+    sections = []
+    for title, spec, expect in (
+        ("Fig. 3 running example (K=5): optimum is 3 partitions", FIG3_SPEC, 3),
+        ("Fig. 6 greedy failure (K=5): GHDW=4, optimum=3", FIG6_SPEC, 3),
+        ("Fig. 9 EKM failure (K=5): EKM=3, optimum=2", FIG9_SPEC, 2),
+    ):
+        rows = run_figure(spec, 5)
+        sections.append(render_table(headers, rows, title=title))
+    return "\n\n".join(sections)

@@ -1,0 +1,35 @@
+"""Plain-text table rendering for benchmark reports."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Align columns; right-align everything but the first column."""
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    for r, row in enumerate(cells):
+        padded = [
+            row[i].ljust(widths[i]) if i == 0 else row[i].rjust(widths[i])
+            for i in range(len(row))
+        ]
+        lines.append("  ".join(padded).rstrip())
+        if r == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) < 0.01:
+            return "<0.01"
+        return f"{value:.2f}"
+    return str(value)

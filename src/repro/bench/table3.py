@@ -1,0 +1,165 @@
+"""Table 3: query performance on KM vs EKM layouts.
+
+Protocol mirrors the paper: load an XMark document under both layouts
+(same limit ``K``), warm the buffer pool, then run XPathMark Q1–Q7 and
+report the simulated navigation cost per layout plus total occupied disk
+space. Absolute numbers are cost units (our substrate is a simulator, not
+the authors' Natix/C++ testbed); the shape to verify is *EKM wins every
+query* and *KM occupies slightly less disk space*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.bench.report import render_table
+from repro.datasets.xmark import xmark_document
+from repro.partition import get_algorithm
+from repro.query import XPATHMARK_QUERIES, XPathMarkQuery, run_query
+from repro.query.engine import QueryRun
+from repro.storage import DocumentStore, StorageConfig
+from repro.storage.constants import DEFAULT_CONFIG
+from repro.xmlio.weights import PAPER_LIMIT
+
+
+@dataclass
+class QueryExperimentResult:
+    """All measurements of one Table 3 run."""
+
+    nodes: int
+    limit: int
+    algorithms: tuple[str, ...]
+    partitions: dict[str, int] = field(default_factory=dict)
+    space_kib: dict[str, float] = field(default_factory=dict)
+    runs: dict[str, dict[str, QueryRun]] = field(default_factory=dict)  # qid -> algo -> run
+
+    def speedup(self, qid: str, baseline: str = "km", contender: str = "ekm") -> float:
+        base = self.runs[qid][baseline].cost
+        cont = self.runs[qid][contender].cost
+        return base / cont if cont else float("inf")
+
+
+def run_query_experiment(
+    scale: float = 0.02,
+    limit: int = PAPER_LIMIT,
+    algorithms: Sequence[str] = ("km", "ekm"),
+    queries: Sequence[XPathMarkQuery] = XPATHMARK_QUERIES,
+    config: StorageConfig = DEFAULT_CONFIG,
+    seed: int = 2006,
+) -> QueryExperimentResult:
+    """Build both layouts and measure all queries."""
+    tree = xmark_document(scale=scale, seed=seed)
+    result = QueryExperimentResult(
+        nodes=len(tree), limit=limit, algorithms=tuple(algorithms)
+    )
+    stores: dict[str, DocumentStore] = {}
+    for name in algorithms:
+        partitioning = get_algorithm(name).partition(tree, limit)
+        store = DocumentStore.build(tree, partitioning, config)
+        store.warm_up()
+        stores[name] = store
+        result.partitions[name] = partitioning.cardinality
+        result.space_kib[name] = store.space_report().kib
+    for query in queries:
+        result.runs[query.qid] = {}
+        counts = set()
+        for name in algorithms:
+            run = run_query(stores[name], query.xpath)
+            result.runs[query.qid][name] = run
+            counts.add(run.result_count)
+        if len(counts) != 1:
+            raise AssertionError(
+                f"layouts disagree on {query.qid} result count: {counts}"
+            )
+    return result
+
+
+def run_extended_queries(
+    scale: float = 0.02,
+    limit: int = PAPER_LIMIT,
+    config: StorageConfig = DEFAULT_CONFIG,
+    seed: int = 2006,
+) -> str:
+    """Run the extended (post-Table-3) query set on KM vs EKM layouts and
+    render the comparison — attributes, positions and comparisons that
+    the paper's Natix evaluator also supported but did not measure."""
+    from repro.query.xpathmark import EXTENDED_QUERIES
+
+    tree = xmark_document(scale=scale, seed=seed)
+    stores: dict[str, DocumentStore] = {}
+    for name in ("km", "ekm"):
+        partitioning = get_algorithm(name).partition(tree, limit)
+        store = DocumentStore.build(tree, partitioning, config)
+        store.warm_up()
+        stores[name] = store
+    rows: list[list[object]] = []
+    for qid, xpath in EXTENDED_QUERIES:
+        km = run_query(stores["km"], xpath)
+        ekm = run_query(stores["ekm"], xpath)
+        rows.append(
+            [
+                f"{qid} {xpath[:50]}",
+                km.result_count,
+                f"{km.cost:.0f}",
+                f"{ekm.cost:.0f}",
+                f"{km.cost / ekm.cost:.2f}x" if ekm.cost else "-",
+            ]
+        )
+    return render_table(
+        ["Query", "Results", "KM cost", "EKM cost", "Speedup"],
+        rows,
+        title=f"Extended queries ({len(tree)} nodes, K={limit})",
+    )
+
+
+def format_table3(
+    result: QueryExperimentResult,
+    queries: Sequence[XPathMarkQuery] = XPATHMARK_QUERIES,
+) -> str:
+    headers = [
+        "Query",
+        "Results",
+        "KM cost",
+        "EKM cost",
+        "Speedup",
+        "Paper KM s",
+        "Paper EKM s",
+        "Paper speedup",
+    ]
+    rows: list[list[object]] = [
+        [
+            "Occupied disk space (KiB)",
+            "",
+            f"{result.space_kib['km']:.0f}",
+            f"{result.space_kib['ekm']:.0f}",
+            "",
+            "8192",
+            "8232",
+            "",
+        ]
+    ]
+    for query in queries:
+        km = result.runs[query.qid]["km"]
+        ekm = result.runs[query.qid]["ekm"]
+        rows.append(
+            [
+                f"{query.qid} {query.xpath[:46]}",
+                km.result_count,
+                f"{km.cost:.0f}",
+                f"{ekm.cost:.0f}",
+                f"{result.speedup(query.qid):.2f}x",
+                query.paper_km_seconds,
+                query.paper_ekm_seconds,
+                f"{query.paper_speedup:.2f}x",
+            ]
+        )
+    return render_table(
+        headers,
+        rows,
+        title=(
+            f"Table 3: query cost on KM vs EKM layouts "
+            f"({result.nodes} nodes, K={result.limit}; "
+            f"KM={result.partitions['km']} / EKM={result.partitions['ekm']} partitions)"
+        ),
+    )

@@ -1,0 +1,267 @@
+"""The streaming bulkloader: events in, partitions out.
+
+:class:`BulkLoader` consumes a parse-event stream exactly like the
+:func:`~repro.xmlio.parser.tree_from_events` builder (same node-id
+assignment, same whitespace handling — tests pin this equivalence), but
+pushes every closing subtree through a streaming cut strategy
+(:mod:`repro.bulkload.strategies`). Partitions are *emitted* the moment
+they are decided; the loader tracks the resident weight a real importer
+would hold — everything parsed but not yet emitted — and reports its
+peak.
+
+The spill threshold implements Sec. 4.3's memory bound: whenever the
+resident weight exceeds it, the loader forces partitions out of the open
+frames (largest accumulation first) until it fits again. Spilling
+degrades partition quality but caps memory at roughly
+``threshold + K × document_height``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.errors import InfeasiblePartitioningError, ReproError, XmlFormatError
+from repro.bulkload.strategies import (
+    ChildSummary,
+    Frame,
+    STRATEGY_CLASSES,
+    StreamStrategy,
+)
+from repro.partition.interval import Partitioning, SiblingInterval
+from repro.tree.node import NodeKind, Tree
+from repro.xmlio.events import (
+    Characters,
+    EndDocument,
+    EndElement,
+    ParseEvent,
+    StartDocument,
+    StartElement,
+)
+from repro.xmlio.parser import Source, iter_events
+from repro.xmlio.weights import SlotWeightModel
+
+#: streaming algorithms available to the loader
+STREAMING_STRATEGIES = tuple(STRATEGY_CLASSES)
+
+
+@dataclass
+class ImportResult:
+    """Everything the bulkloader learned while importing."""
+
+    partitioning: Partitioning
+    tree: Tree
+    peak_resident_weight: int
+    final_resident_weight: int
+    total_weight: int
+    emitted_partitions: int
+    spills: int
+    events: int
+
+    @property
+    def peak_resident_fraction(self) -> float:
+        """Peak resident weight relative to the whole document."""
+        return self.peak_resident_weight / self.total_weight if self.total_weight else 0.0
+
+
+class BulkLoader:
+    """Streaming document import with a pluggable cut strategy.
+
+    Parameters
+    ----------
+    algorithm:
+        ``"km"``, ``"rs"`` or ``"ekm"`` (the main-memory-friendly
+        heuristics; EKM is the paper's recommendation).
+    limit:
+        Partition weight limit ``K``.
+    spill_threshold:
+        Optional resident-weight bound; ``None`` disables spilling, in
+        which case the result is identical to the batch algorithm.
+    """
+
+    def __init__(
+        self,
+        algorithm: str = "ekm",
+        limit: int = 256,
+        spill_threshold: Optional[int] = None,
+        weight_model: Optional[SlotWeightModel] = None,
+        strip_whitespace: bool = True,
+    ):
+        if algorithm not in STRATEGY_CLASSES:
+            raise ReproError(
+                f"unknown streaming algorithm {algorithm!r}; "
+                f"available: {', '.join(STRATEGY_CLASSES)}"
+            )
+        if spill_threshold is not None and spill_threshold < limit:
+            raise ReproError("spill threshold must be at least the weight limit K")
+        self.algorithm = algorithm
+        self.limit = limit
+        self.spill_threshold = spill_threshold
+        self.wm = weight_model or SlotWeightModel()
+        self.strip_whitespace = strip_whitespace
+
+    def load(self, source: Source) -> ImportResult:
+        """Import from any XML source (path, text, bytes, stream)."""
+        return self.load_events(iter_events(source))
+
+    def load_events(self, events: Iterable[ParseEvent]) -> ImportResult:
+        state = _LoadState(self)
+        for event in events:
+            state.handle(event)
+        return state.finish()
+
+
+def bulk_import(
+    source: Source,
+    algorithm: str = "ekm",
+    limit: int = 256,
+    spill_threshold: Optional[int] = None,
+) -> ImportResult:
+    """One-call streaming import."""
+    return BulkLoader(algorithm, limit, spill_threshold).load(source)
+
+
+class _LoadState:
+    """Mutable per-import state (tree under construction, frames, stats)."""
+
+    def __init__(self, loader: BulkLoader):
+        self.loader = loader
+        self.intervals: list[SiblingInterval] = []
+        self.resident = 0
+        self.peak_resident = 0
+        self.total_weight = 0
+        self.spills = 0
+        self.events = 0
+        self.tree: Optional[Tree] = None
+        self.frames: list[Frame] = []
+        self.pending_text: list[str] = []
+        self.strategy: StreamStrategy = STRATEGY_CLASSES[loader.algorithm](
+            loader.limit, self._emit
+        )
+        self.root_summary: Optional[ChildSummary] = None
+
+    # -- emission & memory accounting -------------------------------------
+
+    def _emit(self, interval: SiblingInterval, freed_weight: int) -> None:
+        self.intervals.append(interval)
+        self.resident -= freed_weight
+
+    def _grow(self, weight: int) -> None:
+        if weight > self.loader.limit:
+            raise InfeasiblePartitioningError(
+                f"a node of weight {weight} exceeds K={self.loader.limit}"
+            )
+        self.resident += weight
+        self.total_weight += weight
+        if self.resident > self.peak_resident:
+            self.peak_resident = self.resident
+
+    def _maybe_spill(self) -> None:
+        threshold = self.loader.spill_threshold
+        if threshold is None:
+            return
+        while self.resident > threshold:
+            frame = max(
+                self.frames,
+                key=self.strategy.spillable_weight,
+                default=None,
+            )
+            if frame is None or self.strategy.spillable_weight(frame) == 0:
+                return  # nothing spillable; open nodes dominate
+            freed = self.strategy.spill(frame)
+            if freed <= 0:
+                return
+            self.spills += 1
+
+    # -- event handling ----------------------------------------------------
+
+    def handle(self, event: ParseEvent) -> None:
+        self.events += 1
+        if isinstance(event, StartElement):
+            self._flush_text()
+            self._start_element(event)
+        elif isinstance(event, EndElement):
+            self._flush_text()
+            self._end_element()
+        elif isinstance(event, Characters):
+            self.pending_text.append(event.text)
+        elif isinstance(event, (StartDocument, EndDocument)):
+            pass
+
+    def _start_element(self, event: StartElement) -> None:
+        wm = self.loader.wm
+        weight = wm.element_weight()
+        if self.tree is None:
+            self.tree = Tree(event.name, weight, NodeKind.ELEMENT)
+            node = self.tree.root
+        else:
+            if not self.frames:
+                raise XmlFormatError("multiple document elements")
+            parent = self.tree.node(self.frames[-1].node_id)
+            node = self.tree.add_child(parent, event.name, weight, NodeKind.ELEMENT)
+        self._grow(weight)
+        frame = Frame(node_id=node.node_id, weight=weight)
+        self.frames.append(frame)
+        for name, value in event.attributes:
+            aw = wm.attribute_weight(value)
+            attr = self.tree.add_child(node, name, aw, NodeKind.ATTRIBUTE, value)
+            self._grow(aw)
+            frame.children.append(self.strategy.leaf_summary(attr.node_id, aw))
+        self._maybe_spill()
+
+    def _flush_text(self) -> None:
+        if not self.pending_text:
+            return
+        text = "".join(self.pending_text)
+        self.pending_text.clear()
+        if self.loader.strip_whitespace and not text.strip():
+            return
+        if self.tree is None or not self.frames:
+            raise XmlFormatError("character data outside the document element")
+        weight = self.loader.wm.text_weight(text)
+        parent = self.tree.node(self.frames[-1].node_id)
+        node = self.tree.add_child(parent, "#text", weight, NodeKind.TEXT, text)
+        self._grow(weight)
+        self.frames[-1].children.append(self.strategy.leaf_summary(node.node_id, weight))
+        self._maybe_spill()
+
+    def _end_element(self) -> None:
+        if not self.frames:
+            raise XmlFormatError("unbalanced closing tag")
+        frame = self.frames.pop()
+        summary = self.strategy.close(frame)
+        if self.frames:
+            self.frames[-1].children.append(summary)
+        else:
+            self.root_summary = summary
+        self._maybe_spill()
+
+    # -- completion ---------------------------------------------------------
+
+    def finish(self) -> ImportResult:
+        if self.tree is None:
+            raise XmlFormatError("document contains no elements")
+        if self.frames:
+            raise XmlFormatError("document ended with unclosed elements")
+        summary = self.root_summary
+        assert summary is not None
+        # EKM: the root's own binary residual check happens here, because
+        # the root has no parent-close to do it (see strategies module).
+        if summary.own_weight + summary.res_first > self.loader.limit and summary.res_first:
+            self._emit(
+                SiblingInterval(summary.first_child, summary.first_chain_end),
+                summary.res_first,
+            )
+        root_iv = SiblingInterval(self.tree.root.node_id, self.tree.root.node_id)
+        self.intervals.append(root_iv)
+        self.resident = max(0, self.resident)
+        return ImportResult(
+            partitioning=Partitioning(self.intervals),
+            tree=self.tree,
+            peak_resident_weight=self.peak_resident,
+            final_resident_weight=self.resident,
+            total_weight=self.total_weight,
+            emitted_partitions=len(self.intervals),
+            spills=self.spills,
+            events=self.events,
+        )

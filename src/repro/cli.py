@@ -1,0 +1,177 @@
+"""User-facing command line: partition, import and query XML documents.
+
+Installed as ``repro`` (see pyproject)::
+
+    repro partition doc.xml --algorithm ekm --limit 256 [--render]
+    repro import doc.xml --algorithm ekm --spill-threshold 2048
+    repro query doc.xml "//keyword" --algorithm ekm
+    repro compare doc.xml --limit 256
+
+``repro compare`` runs every registered heuristic on the document and
+prints a Table-1-style summary; ``repro-bench`` (the separate entry
+point) regenerates the paper's experiments on the synthetic corpus.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional, Sequence
+
+from repro.bulkload import BulkLoader
+from repro.errors import ReproError
+from repro.partition import available_algorithms, evaluate_partitioning, get_algorithm
+from repro.partition.analysis import analyze_partitioning
+from repro.partition.render import render_partitioning
+from repro.query import run_query
+from repro.storage import DocumentStore
+from repro.xmlio import parse_tree
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("document", help="path to an XML file")
+    parser.add_argument("--algorithm", default="ekm", help="partitioning algorithm (default: ekm)")
+    parser.add_argument("--limit", type=int, default=256, help="weight limit K in slots (default: 256)")
+
+
+def cmd_partition(args: argparse.Namespace) -> int:
+    tree = parse_tree(args.document)
+    start = time.perf_counter()
+    partitioning = get_algorithm(args.algorithm).partition(tree, args.limit)
+    elapsed = time.perf_counter() - start
+    report = evaluate_partitioning(tree, partitioning, args.limit)
+    analysis = analyze_partitioning(tree, partitioning, args.limit)
+    print(f"document: {args.document} ({len(tree)} nodes, weight {report.total_weight})")
+    print(
+        f"{args.algorithm}: {report.cardinality} partitions in {elapsed:.3f}s "
+        f"(lower bound {report.lower_bound}, fill {report.fill_factor * 100:.0f}%)"
+    )
+    print(
+        f"root weight {report.root_weight}, max partition {report.max_partition_weight}, "
+        f"navigation crossings {analysis.navigation_crossings}"
+    )
+    if args.render:
+        print()
+        print(render_partitioning(tree, partitioning, args.limit, max_nodes=args.render_nodes))
+    return 0
+
+
+def cmd_import(args: argparse.Namespace) -> int:
+    loader = BulkLoader(
+        algorithm=args.algorithm,
+        limit=args.limit,
+        spill_threshold=args.spill_threshold,
+    )
+    start = time.perf_counter()
+    result = loader.load(args.document)
+    elapsed = time.perf_counter() - start
+    store = DocumentStore.build(result.tree, result.partitioning)
+    space = store.space_report()
+    print(
+        f"imported {len(result.tree)} nodes in {elapsed:.3f}s using "
+        f"{args.algorithm} (K={args.limit})"
+    )
+    print(
+        f"partitions: {result.partitioning.cardinality}; peak resident "
+        f"{result.peak_resident_weight} slots "
+        f"({result.peak_resident_fraction * 100:.1f}% of document), "
+        f"{result.spills} spills"
+    )
+    print(
+        f"storage: {space.records} records on {space.pages} pages, "
+        f"{space.kib:.0f} KiB ({space.utilization * 100:.0f}% utilized)"
+    )
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    tree = parse_tree(args.document)
+    partitioning = get_algorithm(args.algorithm).partition(tree, args.limit)
+    store = DocumentStore.build(tree, partitioning)
+    store.warm_up()
+    run = run_query(store, args.xpath)
+    print(f"{run.result_count} results")
+    print(
+        f"navigation: {run.intra_steps} intra-record + {run.cross_steps} "
+        f"cross-record steps ({run.cross_ratio * 100:.1f}% crossings), "
+        f"cost {run.cost:.0f} units"
+    )
+    if args.show:
+        from repro.query import evaluate
+        from repro.query.engine import string_value
+
+        for node in evaluate(store, args.xpath)[: args.show]:
+            value = string_value(node)
+            print(f"  <{node.label}> {value[:60]!r}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    tree = parse_tree(args.document)
+    skip = {"brute", "fdw"}
+    if not args.with_dhw:
+        skip.add("dhw")
+    print(f"document: {args.document} ({len(tree)} nodes), K={args.limit}")
+    print(f"{'algorithm':10s} {'partitions':>10s} {'crossings':>10s} {'seconds':>9s}")
+    for name in available_algorithms():
+        if name in skip:
+            continue
+        start = time.perf_counter()
+        partitioning = get_algorithm(name).partition(tree, args.limit)
+        elapsed = time.perf_counter() - start
+        analysis = analyze_partitioning(tree, partitioning, args.limit)
+        print(
+            f"{name:10s} {partitioning.cardinality:10d} "
+            f"{analysis.navigation_crossings:10d} {elapsed:9.3f}"
+        )
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Tree sibling partitioning toolkit (Kanne & Moerkotte, VLDB 2006)."
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("partition", help="partition a document and report statistics")
+    _add_common(p)
+    p.add_argument("--render", action="store_true", help="print the partitioned tree")
+    p.add_argument("--render-nodes", type=int, default=60, help="render at most N nodes")
+    p.set_defaults(func=cmd_partition)
+
+    p = sub.add_parser("import", help="stream-import a document (bulkload)")
+    _add_common(p)
+    p.add_argument(
+        "--spill-threshold",
+        type=int,
+        default=None,
+        help="bound resident memory (slots); enables Sec. 4.3 spilling",
+    )
+    p.set_defaults(func=cmd_import)
+
+    p = sub.add_parser("query", help="run an XPath query against a partitioned store")
+    _add_common(p)
+    p.add_argument("xpath", help="XPath expression (supported subset)")
+    p.add_argument("--show", type=int, default=0, help="print the first N results")
+    p.set_defaults(func=cmd_query)
+
+    p = sub.add_parser("compare", help="run all heuristics on a document")
+    _add_common(p)
+    p.add_argument("--with-dhw", action="store_true", help="include the slow optimal algorithm")
+    p.set_defaults(func=cmd_compare)
+
+    args = parser.parse_args(argv)
+    # `query` puts xpath after document; reorder handled by argparse
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

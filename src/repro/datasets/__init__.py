@@ -1,0 +1,48 @@
+"""Synthetic documents reproducing the paper's corpus (Sec. 6.1).
+
+The paper evaluates on five documents from the University of Washington
+XML repository (SigmodRecord, mondial-3.0, partsupp, uwm, orders) and an
+XMark document at scale 0.1. Those exact files are not redistributable /
+available offline, so each generator here reproduces the corresponding
+document's *structural signature* — fan-out profile, nesting depth,
+element/attribute/text mix and text-length distribution — at a
+configurable scale. The partitioning algorithms only see the weighted
+tree, so this preserves everything the experiments measure.
+
+All generators are deterministic for a given ``(scale, seed)``.
+"""
+
+from repro.datasets.registry import (
+    DocumentSpec,
+    PAPER_DOCUMENTS,
+    generate_document,
+    paper_corpus,
+)
+from repro.datasets.xmark import xmark_document
+from repro.datasets.relational import partsupp_document, orders_document
+from repro.datasets.sigmod import sigmod_record_document
+from repro.datasets.mondial import mondial_document
+from repro.datasets.uwm import uwm_document
+from repro.datasets.random_trees import (
+    random_tree,
+    random_flat_tree,
+    comb_tree,
+    star_tree,
+)
+
+__all__ = [
+    "DocumentSpec",
+    "PAPER_DOCUMENTS",
+    "generate_document",
+    "paper_corpus",
+    "xmark_document",
+    "partsupp_document",
+    "orders_document",
+    "sigmod_record_document",
+    "mondial_document",
+    "uwm_document",
+    "random_tree",
+    "random_flat_tree",
+    "comb_tree",
+    "star_tree",
+]

@@ -1,0 +1,41 @@
+"""Small helper for writing document generators against the slot model."""
+
+from __future__ import annotations
+
+from repro.tree.node import NodeKind, Tree, TreeNode
+from repro.xmlio.weights import SlotWeightModel
+
+
+class DocBuilder:
+    """Builds a weighted document tree with DOM-style convenience calls.
+
+    Weights follow the :class:`SlotWeightModel`, so generated trees are
+    indistinguishable (for the algorithms) from parsed real documents.
+    """
+
+    def __init__(self, root_label: str, weight_model: SlotWeightModel | None = None):
+        self.wm = weight_model or SlotWeightModel()
+        self.tree = Tree(root_label, self.wm.element_weight(), NodeKind.ELEMENT)
+
+    @property
+    def root(self) -> TreeNode:
+        return self.tree.root
+
+    def element(self, parent: TreeNode, label: str) -> TreeNode:
+        return self.tree.add_child(parent, label, self.wm.element_weight(), NodeKind.ELEMENT)
+
+    def attr(self, parent: TreeNode, name: str, value: str) -> TreeNode:
+        return self.tree.add_child(
+            parent, name, self.wm.attribute_weight(value), NodeKind.ATTRIBUTE, value
+        )
+
+    def text(self, parent: TreeNode, content: str) -> TreeNode:
+        return self.tree.add_child(
+            parent, "#text", self.wm.text_weight(content), NodeKind.TEXT, content
+        )
+
+    def leaf(self, parent: TreeNode, label: str, content: str) -> TreeNode:
+        """An element with a single text child (``<label>content</label>``)."""
+        el = self.element(parent, label)
+        self.text(el, content)
+        return el

@@ -1,0 +1,103 @@
+"""Random and pathological trees for property-based testing.
+
+These generators are the fuzzing backbone of the test suite: DHW is
+checked against the brute-force oracle on thousands of small random
+trees, and the heuristics are checked for feasibility/validity on larger
+ones. The pathological shapes (stars, combs, heavy children) reproduce
+the "peculiar partitioning decisions" the paper observed with the legacy
+RS heuristic.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.tree.node import Tree
+
+
+def random_tree(
+    n: int,
+    max_weight: int = 5,
+    seed: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+    attach_bias: float = 0.5,
+) -> Tree:
+    """A random ordered tree with ``n`` nodes.
+
+    Each new node attaches as the rightmost child of a random existing
+    node; ``attach_bias`` interpolates between preferring recent nodes
+    (deep trees, bias→1) and uniform choice (bushy trees, bias→0).
+    """
+    rng = rng or random.Random(seed)
+    tree = Tree("n0", rng.randint(1, max_weight))
+    for i in range(1, n):
+        if rng.random() < attach_bias:
+            parent = tree.nodes[rng.randint(max(0, i - 5), i - 1)]
+        else:
+            parent = tree.nodes[rng.randrange(i)]
+        tree.add_child(parent, f"n{i}", rng.randint(1, max_weight))
+    return tree
+
+
+def random_flat_tree(
+    n_children: int,
+    max_weight: int = 5,
+    seed: Optional[int] = None,
+    rng: Optional[random.Random] = None,
+) -> Tree:
+    """A flat tree (root + leaves) with random weights."""
+    rng = rng or random.Random(seed)
+    tree = Tree("t", rng.randint(1, max_weight))
+    for i in range(n_children):
+        tree.add_child(tree.root, f"c{i + 1}", rng.randint(1, max_weight))
+    return tree
+
+
+def star_tree(children: int, child_weight: int = 1, root_weight: int = 1) -> Tree:
+    """Maximal fan-out: the worst case for main-memory friendliness."""
+    tree = Tree("hub", root_weight)
+    for i in range(children):
+        tree.add_child(tree.root, f"s{i}", child_weight)
+    return tree
+
+
+def comb_tree(teeth: int, tooth_weight: int = 1, spine_weight: int = 1) -> Tree:
+    """A spine where every spine node has one leaf tooth — deep and thin."""
+    tree = Tree("spine0", spine_weight)
+    cur = tree.root
+    for i in range(teeth):
+        tree.add_child(cur, f"tooth{i}", tooth_weight)
+        cur = tree.add_child(cur, f"spine{i + 1}", spine_weight)
+    return tree
+
+
+def heavy_child_tree(light_children: int, heavy_weight: int, light_weight: int = 1) -> Tree:
+    """One heavy child among many light ones: trips greedy right-to-left
+    packing (the RS failure mode)."""
+    tree = Tree("r", 1)
+    mid = light_children // 2
+    for i in range(light_children + 1):
+        if i == mid:
+            tree.add_child(tree.root, "heavy", heavy_weight)
+        else:
+            tree.add_child(tree.root, f"l{i}", light_weight)
+    return tree
+
+
+def layered_trap_tree(levels: int, limit: int) -> Tree:
+    """A generalization of the paper's Fig. 6: at every level, the locally
+    optimal choice wastes exactly the slack the level above needs, so
+    GHDW pays one extra partition per level while DHW stays optimal."""
+    assert limit >= 5
+    tree = Tree("a", limit)
+    parent = tree.root
+    for level in range(levels):
+        tree.add_child(parent, f"b{level}", 1)
+        c = tree.add_child(parent, f"c{level}", 1)
+        f = tree.add_child(parent, f"f{level}", 1)
+        half = (limit - 1) // 2
+        tree.add_child(c, f"d{level}", half)
+        e = tree.add_child(c, f"e{level}", limit - 1 - half)
+        parent = f if level % 2 == 0 else e
+    return tree

@@ -1,0 +1,149 @@
+"""The paper corpus: named documents with paper-reference metadata.
+
+``paper_corpus(scale=1.0)`` regenerates the whole Sec. 6.1 document suite
+at a configurable fraction of the defaults (which are themselves about a
+tenth of the originals, keeping the pure-Python experiments laptop-fast).
+Paper-reported figures for every document are carried along so benchmark
+reports can print paper-vs-measured side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from repro.datasets.mondial import mondial_document
+from repro.datasets.relational import orders_document, partsupp_document
+from repro.datasets.sigmod import sigmod_record_document
+from repro.datasets.uwm import uwm_document
+from repro.datasets.xmark import xmark_document
+from repro.tree.node import Tree
+
+
+@dataclass(frozen=True)
+class DocumentSpec:
+    """One corpus document: how to build it and what the paper measured.
+
+    ``paper_partitions`` maps algorithm name → Table 1 partition count;
+    ``paper_runtime`` maps algorithm name → Table 2 CPU seconds (``0.01``
+    stands for the paper's "<0.01").
+    """
+
+    name: str
+    builder: Callable[..., Tree]
+    scale_param: str
+    default_scale: float
+    paper_size_kb: int
+    paper_nodes: int
+    paper_weight_over_k: int
+    paper_partitions: Mapping[str, int] = field(default_factory=dict)
+    paper_runtime: Mapping[str, float] = field(default_factory=dict)
+
+    def generate(self, scale: float = 1.0, seed: int = 2006) -> Tree:
+        """Build the document at ``scale`` × the default size."""
+        value = self.default_scale * scale
+        if self.scale_param != "scale":
+            value = max(1, round(value))
+        return self.builder(**{self.scale_param: value, "seed": seed})
+
+
+_ALGOS = ("dhw", "ghdw", "ekm", "rs", "dfs", "km", "bfs")
+
+
+def _t1(*counts: int) -> dict[str, int]:
+    return dict(zip(_ALGOS, counts))
+
+
+def _t2(*secs: float) -> dict[str, float]:
+    return dict(zip(_ALGOS, secs))
+
+
+PAPER_DOCUMENTS: tuple[DocumentSpec, ...] = (
+    DocumentSpec(
+        name="SigmodRecord.xml",
+        builder=sigmod_record_document,
+        scale_param="issues",
+        default_scale=5,
+        paper_size_kb=477,
+        paper_nodes=42054,
+        paper_weight_over_k=352,
+        paper_partitions=_t1(382, 384, 402, 405, 1153, 1294, 2987),
+        paper_runtime=_t2(24.83, 0.28, 0.01, 0.01, 0.01, 0.05, 0.01),
+    ),
+    DocumentSpec(
+        name="mondial-3.0.xml",
+        builder=mondial_document,
+        scale_param="countries",
+        default_scale=17,
+        paper_size_kb=1785,
+        paper_nodes=152218,
+        paper_weight_over_k=1236,
+        paper_partitions=_t1(1358, 1376, 1407, 1433, 3268, 11625, 17312),
+        paper_runtime=_t2(184.17, 6.02, 0.01, 0.01, 0.01, 0.11, 0.02),
+    ),
+    DocumentSpec(
+        name="partsupp.xml",
+        builder=partsupp_document,
+        scale_param="rows",
+        default_scale=870,
+        paper_size_kb=2242,
+        paper_nodes=96005,
+        paper_weight_over_k=1026,
+        paper_partitions=_t1(1083, 1083, 1091, 1091, 2282, 15876, 8192),
+        paper_runtime=_t2(474.13, 5.55, 0.01, 0.01, 0.01, 0.16, 0.02),
+    ),
+    DocumentSpec(
+        name="uwm.xml",
+        builder=uwm_document,
+        scale_param="courses",
+        default_scale=440,
+        paper_size_kb=2338,
+        paper_nodes=189542,
+        paper_weight_over_k=1446,
+        paper_partitions=_t1(1727, 1790, 1746, 1817, 4345, 5449, 11039),
+        paper_runtime=_t2(401.38, 1.18, 0.01, 0.01, 0.01, 0.21, 0.04),
+    ),
+    DocumentSpec(
+        name="orders.xml",
+        builder=orders_document,
+        scale_param="rows",
+        default_scale=1580,
+        paper_size_kb=5379,
+        paper_nodes=300005,
+        paper_weight_over_k=2247,
+        paper_partitions=_t1(2476, 2476, 2482, 2482, 5832, 29876, 15474),
+        paper_runtime=_t2(565.01, 9.73, 0.01, 0.01, 0.01, 0.35, 0.07),
+    ),
+    DocumentSpec(
+        name="xmark0p1.xml",
+        builder=xmark_document,
+        scale_param="scale",
+        default_scale=0.02,
+        paper_size_kb=11670,
+        paper_nodes=549213,
+        paper_weight_over_k=7532,
+        paper_partitions=_t1(8603, 8838, 8975, 9631, 25046, 20519, 42155),
+        paper_runtime=_t2(2041.18, 6.24, 0.02, 0.03, 0.01, 0.63, 0.11),
+    ),
+)
+
+_BY_NAME = {spec.name: spec for spec in PAPER_DOCUMENTS}
+# Short aliases: "partsupp" for "partsupp.xml" etc.
+_BY_NAME.update({spec.name.split(".xml")[0].split("-")[0].lower(): spec for spec in PAPER_DOCUMENTS})
+_BY_NAME["sigmod"] = _BY_NAME["SigmodRecord.xml"]
+_BY_NAME["xmark"] = _BY_NAME["xmark0p1.xml"]
+
+
+def generate_document(name: str, scale: float = 1.0, seed: int = 2006) -> Tree:
+    """Generate one corpus document by (aliased) name."""
+    try:
+        spec = _BY_NAME[name]
+    except KeyError:
+        known = ", ".join(sorted({s.name for s in PAPER_DOCUMENTS}))
+        raise KeyError(f"unknown document {name!r}; known: {known}") from None
+    return spec.generate(scale=scale, seed=seed)
+
+
+def paper_corpus(scale: float = 1.0, seed: int = 2006) -> dict[str, Tree]:
+    """All six documents, keyed by their paper file names."""
+    return {spec.name: spec.generate(scale=scale, seed=seed) for spec in PAPER_DOCUMENTS}

@@ -1,0 +1,42 @@
+"""SigmodRecord.xml-shaped document.
+
+The UW ``SigmodRecord.xml`` is the table of contents of SIGMOD Record:
+issues containing articles with title, page range and an author list —
+shallow, regular, with short text fields and a moderate fan-out at the
+``articles`` level. Paper reference: 42 054 nodes, 477 KB.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.datasets.builder import DocBuilder
+from repro.datasets.words import person_name, words
+from repro.tree.node import Tree
+
+
+def sigmod_record_document(issues: int = 5, seed: int = 2006) -> Tree:
+    """SIGMOD Record TOC: ``issues`` issues × ~60 articles each.
+
+    The default of 5 issues yields roughly a tenth of the original's
+    node count.
+    """
+    rng = random.Random(seed)
+    doc = DocBuilder("SigmodRecord")
+    for i in range(issues):
+        issue = doc.element(doc.root, "issue")
+        doc.leaf(issue, "volume", str(11 + i))
+        doc.leaf(issue, "number", str(rng.randint(1, 4)))
+        articles = doc.element(issue, "articles")
+        for _ in range(rng.randint(40, 80)):
+            article = doc.element(articles, "article")
+            doc.leaf(article, "title", words(rng, rng.randint(4, 12)).title() + ".")
+            first = rng.randint(1, 180)
+            doc.leaf(article, "initPage", str(first))
+            doc.leaf(article, "endPage", str(first + rng.randint(1, 30)))
+            authors = doc.element(article, "authors")
+            for pos in range(rng.randint(1, 4)):
+                author = doc.element(authors, "author")
+                doc.attr(author, "position", f"{pos:02d}")
+                doc.text(author, person_name(rng))
+    return doc.tree

@@ -1,0 +1,58 @@
+"""uwm.xml-shaped document (UW-Milwaukee course catalogue).
+
+The UW repository's ``uwm.xml`` lists course offerings: many small,
+regular ``course_listing`` subtrees with short text fields and a nested
+section/lab substructure. It is the corpus' "many tiny subtrees under one
+huge fan-out" case. Paper reference: 189 542 nodes, 2 338 KB.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.datasets.builder import DocBuilder
+from repro.datasets.words import person_name, sentence, words
+from repro.tree.node import Tree
+
+
+def uwm_document(courses: int = 440, seed: int = 2006) -> Tree:
+    """Course catalogue with ``courses`` listings (default ≈ 1/10 scale)."""
+    rng = random.Random(seed)
+    doc = DocBuilder("root")
+    subjects = [words(rng, 1).upper()[:7] for _ in range(40)]
+    for _ in range(courses):
+        listing = doc.element(doc.root, "course_listing")
+        doc.leaf(listing, "note", sentence(rng, 2, 6))
+        doc.leaf(
+            listing, "course", f"{rng.choice(subjects)} {rng.randint(100, 999)}"
+        )
+        doc.leaf(listing, "title", words(rng, rng.randint(2, 7)).title())
+        doc.leaf(listing, "credits", rng.choice(["1", "2", "3", "3 - 4", "4", "1 - 6"]))
+        doc.leaf(listing, "level", rng.choice(["U", "G", "U/G"]))
+        if rng.random() < 0.4:
+            restrictions = doc.element(listing, "restrictions")
+            doc.text(restrictions, "Prereq: " + sentence(rng, 3, 10))
+        sections = doc.element(listing, "sections")
+        for si in range(rng.randint(1, 4)):
+            section = doc.element(sections, "section_listing")
+            doc.leaf(section, "section_note", sentence(rng, 1, 4))
+            doc.leaf(section, "section", f"{rng.choice('LS')}EC {si + 1:03d}")
+            doc.leaf(
+                section,
+                "days",
+                rng.choice(["M", "T", "W", "R", "F", "MW", "TR", "MWF"]),
+            )
+            doc.leaf(
+                section,
+                "hours",
+                f"{rng.randint(8, 17)}:{rng.choice(['00', '30'])}",
+            )
+            if rng.random() < 0.7:
+                doc.leaf(section, "instructor", person_name(rng))
+            if rng.random() < 0.2:
+                labs = doc.element(section, "labs")
+                for li in range(rng.randint(1, 2)):
+                    lab = doc.element(labs, "lab_listing")
+                    doc.leaf(lab, "lab", f"LAB {li + 801}")
+                    doc.leaf(lab, "lab_hours", f"{rng.randint(8, 17)}:00")
+    return doc.tree

@@ -1,0 +1,78 @@
+"""Deterministic text generation for the synthetic documents.
+
+XMark fills text content with words drawn from Shakespeare; we use a
+fixed word list in the same spirit. All helpers take a
+``random.Random`` instance so documents are reproducible per seed.
+"""
+
+from __future__ import annotations
+
+import random
+
+WORDS = (
+    "the of and to in that is was he for it with as his on be at by had "
+    "not are but from or have an they which one you were her all she there "
+    "would their we him been has when who will more no if out so said what "
+    "up its about into than them can only other new some could time these "
+    "two may then do first any my now such like our over man me even most "
+    "made after also did many before must through back years where much "
+    "your way well down should because each just those people how too "
+    "little state good very make world still own see men work long get "
+    "here between both life being under never day same another know while "
+    "last might us great old year off come since against go came right "
+    "used take three states himself few house use during without again "
+    "place american around however home small found mrs thought went say "
+    "part once general high upon school every keep seemed whole sword "
+    "crown duke noble honest valiant gentle fair sweet lord lady king "
+    "queen prince battle love death night morrow heart soul eyes speak "
+    "tongue grace mercy fortune nature heaven earth blood fire water air"
+).split()
+
+_FIRST = (
+    "james john robert michael william david richard charles joseph thomas "
+    "mary patricia linda barbara elizabeth jennifer maria susan margaret"
+).split()
+
+_LAST = (
+    "smith johnson williams jones brown davis miller wilson moore taylor "
+    "anderson thomas jackson white harris martin thompson garcia martinez"
+).split()
+
+_CITIES = (
+    "springfield riverton lakewood fairview georgetown franklin clinton "
+    "madison arlington ashland burlington clayton dayton easton fulton"
+).split()
+
+_COUNTRIES = (
+    "germany france italy spain poland austria hungary sweden norway "
+    "denmark portugal greece ireland finland belgium netherlands"
+).split()
+
+
+def words(rng: random.Random, count: int) -> str:
+    """``count`` space-separated words."""
+    return " ".join(rng.choice(WORDS) for _ in range(count))
+
+
+def sentence(rng: random.Random, lo: int = 4, hi: int = 14) -> str:
+    return words(rng, rng.randint(lo, hi))
+
+
+def person_name(rng: random.Random) -> str:
+    return f"{rng.choice(_FIRST).title()} {rng.choice(_LAST).title()}"
+
+
+def city_name(rng: random.Random) -> str:
+    return rng.choice(_CITIES).title()
+
+
+def country_name(rng: random.Random) -> str:
+    return rng.choice(_COUNTRIES).title()
+
+
+def date_string(rng: random.Random) -> str:
+    return f"{rng.randint(1, 12):02d}/{rng.randint(1, 28):02d}/{rng.randint(1998, 2001)}"
+
+
+def money(rng: random.Random, lo: float = 1.0, hi: float = 5000.0) -> str:
+    return f"{rng.uniform(lo, hi):.2f}"

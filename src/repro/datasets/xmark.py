@@ -1,0 +1,249 @@
+"""XMark-shaped auction document (Schmidt et al., VLDB 2002).
+
+The paper's query experiment (Table 3) runs XPathMark queries Q1–Q7
+against an XMark document of scaling factor 0.1. This generator rebuilds
+the XMark schema — ``site`` with regional ``item`` lists, ``people``,
+``open_auctions``, ``closed_auctions`` (whose annotations contain the
+``description/parlist/listitem/text/keyword`` chains Q2/Q4/Q6 navigate),
+``mailbox/mail`` trees with keywords (Q7), and category data — with
+entity counts proportional to the official benchmark's.
+
+``scale`` follows XMark semantics: 0.1 ≈ the paper's document (≈550 000
+nodes); the default 0.02 produces ≈a tenth of that for fast pure-Python
+experiments (override per call).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.datasets.builder import DocBuilder
+from repro.datasets.words import date_string, money, person_name, sentence, words
+from repro.tree.node import Tree, TreeNode
+
+#: Fraction of all items listed in each continental region.
+REGION_SHARES = (
+    ("africa", 0.025),
+    ("asia", 0.10),
+    ("australia", 0.10),
+    ("europe", 0.30),
+    ("namerica", 0.40),
+    ("samerica", 0.075),
+)
+
+# Official XMark entity counts at scale 1.0.
+_ITEMS = 21_750
+_PERSONS = 25_500
+_OPEN_AUCTIONS = 12_000
+_CLOSED_AUCTIONS = 9_750
+_CATEGORIES = 1_000
+
+
+def xmark_document(scale: float = 0.02, seed: int = 2006) -> Tree:
+    """Generate an XMark-like ``site`` document at the given scale."""
+    rng = random.Random(seed)
+    gen = _XMarkGenerator(rng, scale)
+    return gen.build()
+
+
+class _XMarkGenerator:
+    def __init__(self, rng: random.Random, scale: float):
+        self.rng = rng
+        self.scale = scale
+        self.doc = DocBuilder("site")
+        self.n_items = max(6, int(_ITEMS * scale))
+        self.n_persons = max(4, int(_PERSONS * scale))
+        self.n_open = max(2, int(_OPEN_AUCTIONS * scale))
+        self.n_closed = max(2, int(_CLOSED_AUCTIONS * scale))
+        self.n_categories = max(2, int(_CATEGORIES * scale))
+
+    def build(self) -> Tree:
+        doc = self.doc
+        root = doc.root
+        regions = doc.element(root, "regions")
+        item_no = 0
+        for region_name, share in REGION_SHARES:
+            region = doc.element(regions, region_name)
+            count = max(1, int(self.n_items * share))
+            for _ in range(count):
+                self.item(region, item_no)
+                item_no += 1
+        self.categories(root)
+        self.catgraph(root)
+        people = doc.element(root, "people")
+        for i in range(self.n_persons):
+            self.person(people, i)
+        open_auctions = doc.element(root, "open_auctions")
+        for i in range(self.n_open):
+            self.open_auction(open_auctions, i)
+        closed_auctions = doc.element(root, "closed_auctions")
+        for i in range(self.n_closed):
+            self.closed_auction(closed_auctions, i)
+        return doc.tree
+
+    # -- building blocks -------------------------------------------------
+
+    def text_block(self, parent: TreeNode, keyword_prob: float = 0.4) -> None:
+        """A ``text`` element with mixed content: words interleaved with
+        ``keyword``/``bold``/``emph`` phrase elements."""
+        doc, rng = self.doc, self.rng
+        text = doc.element(parent, "text")
+        doc.text(text, sentence(rng, 4, 12))
+        for _ in range(rng.randint(0, 3)):
+            if rng.random() < keyword_prob:
+                doc.leaf(text, "keyword", words(rng, rng.randint(1, 3)))
+            else:
+                doc.leaf(text, rng.choice(("bold", "emph")), words(rng, rng.randint(1, 3)))
+            doc.text(text, sentence(rng, 3, 10))
+
+    def parlist(self, parent: TreeNode, depth: int = 0) -> None:
+        doc, rng = self.doc, self.rng
+        par = doc.element(parent, "parlist")
+        for _ in range(rng.randint(2, 4)):
+            listitem = doc.element(par, "listitem")
+            if depth == 0 and rng.random() < 0.2:
+                self.parlist(listitem, depth=1)
+            else:
+                self.text_block(listitem)
+
+    def description(self, parent: TreeNode, parlist_prob: float = 0.3) -> None:
+        doc = self.doc
+        desc = doc.element(parent, "description")
+        if self.rng.random() < parlist_prob:
+            self.parlist(desc)
+        else:
+            self.text_block(desc)
+
+    def mail(self, parent: TreeNode) -> None:
+        doc, rng = self.doc, self.rng
+        mail = doc.element(parent, "mail")
+        doc.leaf(mail, "from", person_name(rng))
+        doc.leaf(mail, "to", person_name(rng))
+        doc.leaf(mail, "date", date_string(rng))
+        self.text_block(mail, keyword_prob=0.5)
+
+    def item(self, region: TreeNode, number: int) -> None:
+        doc, rng = self.doc, self.rng
+        item = doc.element(region, "item")
+        doc.attr(item, "id", f"item{number}")
+        doc.attr(item, "featured", "yes" if rng.random() < 0.1 else "")
+        doc.leaf(item, "location", rng.choice(("United States", "Germany", "France", "Japan")))
+        doc.leaf(item, "quantity", str(rng.randint(1, 5)))
+        doc.leaf(item, "name", words(rng, rng.randint(1, 3)).title())
+        payment = doc.element(item, "payment")
+        doc.text(payment, rng.choice(("Creditcard", "Money order", "Cash", "Personal Check")))
+        self.description(item)
+        doc.leaf(item, "shipping", rng.choice(("Will ship internationally", "Buyer pays fixed shipping charges")))
+        for _ in range(rng.randint(1, 3)):
+            incategory = doc.element(item, "incategory")
+            doc.attr(incategory, "category", f"category{rng.randrange(self.n_categories)}")
+        mailbox = doc.element(item, "mailbox")
+        for _ in range(rng.randint(0, 2)):
+            self.mail(mailbox)
+
+    def person(self, people: TreeNode, number: int) -> None:
+        doc, rng = self.doc, self.rng
+        person = doc.element(people, "person")
+        doc.attr(person, "id", f"person{number}")
+        doc.leaf(person, "name", person_name(rng))
+        doc.leaf(person, "emailaddress", f"mailto:user{number}@example.org")
+        if rng.random() < 0.5:
+            doc.leaf(person, "phone", f"+{rng.randint(1, 99)} ({rng.randint(10, 999)}) {rng.randint(1000000, 9999999)}")
+        if rng.random() < 0.4:
+            address = doc.element(person, "address")
+            doc.leaf(address, "street", f"{rng.randint(1, 99)} {words(rng, 1).title()} St")
+            doc.leaf(address, "city", words(rng, 1).title())
+            doc.leaf(address, "country", "United States")
+            doc.leaf(address, "zipcode", str(rng.randint(10000, 99999)))
+        if rng.random() < 0.3:
+            doc.leaf(person, "homepage", f"http://www.example.org/~user{number}")
+        if rng.random() < 0.3:
+            doc.leaf(person, "creditcard", " ".join(str(rng.randint(1000, 9999)) for _ in range(4)))
+        if rng.random() < 0.6:
+            profile = doc.element(person, "profile")
+            doc.attr(profile, "income", money(rng, 9000, 100000))
+            for _ in range(rng.randint(0, 3)):
+                interest = doc.element(profile, "interest")
+                doc.attr(interest, "category", f"category{rng.randrange(self.n_categories)}")
+            if rng.random() < 0.5:
+                doc.leaf(profile, "education", rng.choice(("High School", "College", "Graduate School", "Other")))
+            if rng.random() < 0.7:
+                doc.leaf(profile, "gender", rng.choice(("male", "female")))
+            doc.leaf(profile, "business", rng.choice(("Yes", "No")))
+            if rng.random() < 0.6:
+                doc.leaf(profile, "age", str(rng.randint(18, 80)))
+        if rng.random() < 0.3:
+            watches = doc.element(person, "watches")
+            for _ in range(rng.randint(1, 3)):
+                watch = doc.element(watches, "watch")
+                doc.attr(watch, "open_auction", f"open_auction{rng.randrange(self.n_open)}")
+
+    def open_auction(self, parent: TreeNode, number: int) -> None:
+        doc, rng = self.doc, self.rng
+        auction = doc.element(parent, "open_auction")
+        doc.attr(auction, "id", f"open_auction{number}")
+        doc.leaf(auction, "initial", money(rng, 1, 300))
+        if rng.random() < 0.4:
+            doc.leaf(auction, "reserve", money(rng, 50, 500))
+        for _ in range(rng.randint(0, 4)):
+            bidder = doc.element(auction, "bidder")
+            doc.leaf(bidder, "date", date_string(rng))
+            doc.leaf(bidder, "time", f"{rng.randint(0, 23):02d}:{rng.randint(0, 59):02d}:00")
+            personref = doc.element(bidder, "personref")
+            doc.attr(personref, "person", f"person{rng.randrange(self.n_persons)}")
+            doc.leaf(bidder, "increase", money(rng, 1, 50))
+        doc.leaf(auction, "current", money(rng, 1, 800))
+        if rng.random() < 0.2:
+            doc.leaf(auction, "privacy", "Yes")
+        itemref = doc.element(auction, "itemref")
+        doc.attr(itemref, "item", f"item{rng.randrange(self.n_items)}")
+        seller = doc.element(auction, "seller")
+        doc.attr(seller, "person", f"person{rng.randrange(self.n_persons)}")
+        self.annotation(auction)
+        doc.leaf(auction, "quantity", str(rng.randint(1, 5)))
+        doc.leaf(auction, "type", rng.choice(("Regular", "Featured", "Dutch")))
+        interval = doc.element(auction, "interval")
+        doc.leaf(interval, "start", date_string(rng))
+        doc.leaf(interval, "end", date_string(rng))
+
+    def closed_auction(self, parent: TreeNode, number: int) -> None:
+        doc, rng = self.doc, self.rng
+        auction = doc.element(parent, "closed_auction")
+        seller = doc.element(auction, "seller")
+        doc.attr(seller, "person", f"person{rng.randrange(self.n_persons)}")
+        buyer = doc.element(auction, "buyer")
+        doc.attr(buyer, "person", f"person{rng.randrange(self.n_persons)}")
+        itemref = doc.element(auction, "itemref")
+        doc.attr(itemref, "item", f"item{rng.randrange(self.n_items)}")
+        doc.leaf(auction, "price", money(rng, 1, 800))
+        doc.leaf(auction, "date", date_string(rng))
+        doc.leaf(auction, "quantity", str(rng.randint(1, 5)))
+        doc.leaf(auction, "type", rng.choice(("Regular", "Featured", "Dutch")))
+        # Q2 navigates annotation/description/parlist/listitem/text/keyword,
+        # so closed-auction annotations lean towards parlist descriptions.
+        self.annotation(auction, parlist_prob=0.7)
+
+    def annotation(self, parent: TreeNode, parlist_prob: float = 0.3) -> None:
+        doc, rng = self.doc, self.rng
+        annotation = doc.element(parent, "annotation")
+        author = doc.element(annotation, "author")
+        doc.attr(author, "person", f"person{rng.randrange(self.n_persons)}")
+        self.description(annotation, parlist_prob=parlist_prob)
+        doc.leaf(annotation, "happiness", str(rng.randint(1, 10)))
+
+    def categories(self, root: TreeNode) -> None:
+        doc, rng = self.doc, self.rng
+        categories = doc.element(root, "categories")
+        for i in range(self.n_categories):
+            category = doc.element(categories, "category")
+            doc.attr(category, "id", f"category{i}")
+            doc.leaf(category, "name", words(rng, rng.randint(1, 2)).title())
+            self.description(category, parlist_prob=0.1)
+
+    def catgraph(self, root: TreeNode) -> None:
+        doc, rng = self.doc, self.rng
+        catgraph = doc.element(root, "catgraph")
+        for _ in range(self.n_categories):
+            edge = doc.element(catgraph, "edge")
+            doc.attr(edge, "from", f"category{rng.randrange(self.n_categories)}")
+            doc.attr(edge, "to", f"category{rng.randrange(self.n_categories)}")

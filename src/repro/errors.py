@@ -1,0 +1,51 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class. Subclasses mark the subsystem that raised them.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class TreeError(ReproError):
+    """Structural problem with a tree (cycle, foreign node, bad order)."""
+
+
+class InfeasiblePartitioningError(ReproError):
+    """No feasible partitioning exists for the given tree and weight limit.
+
+    This happens exactly when some single node weighs more than the limit
+    ``K``: such a node cannot be placed in any partition.
+    """
+
+    def __init__(self, message: str, node_id: int | None = None):
+        super().__init__(message)
+        self.node_id = node_id
+
+
+class InvalidPartitioningError(ReproError):
+    """A proposed partitioning violates the sibling-interval model."""
+
+
+class XmlFormatError(ReproError):
+    """Malformed XML input or an unsupported construct."""
+
+
+class StorageError(ReproError):
+    """Problem inside the storage engine (records, pages, buffer)."""
+
+
+class RecordOverflowError(StorageError):
+    """A partition does not fit into a single record."""
+
+
+class QuerySyntaxError(ReproError):
+    """The XPath subset parser rejected an expression."""
+
+
+class QueryEvaluationError(ReproError):
+    """Runtime failure while evaluating a query against a store."""

@@ -1,0 +1,80 @@
+"""Structural analysis of partitionings: the *why* behind the numbers.
+
+Beyond the cardinality that Tables 1–2 report, two static quantities
+predict query performance on a layout:
+
+* **cut parent edges** — parent-child edges whose endpoints live in
+  different partitions (every interval member except the root cuts one);
+* **navigation crossings** — first-child and next-sibling edges crossing
+  partitions, i.e. the record switches a full document scan performs.
+
+The fill histogram explains the disk-space differences of Table 3 (many
+small records pack pages better than few large ones).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.partition.evaluate import (
+    assignment_from_partitioning,
+    partition_weights,
+)
+from repro.partition.interval import Partitioning
+from repro.tree.node import Tree
+
+
+@dataclass(frozen=True)
+class PartitionAnalysis:
+    """Summary statistics of one partitioning on one tree."""
+
+    cardinality: int
+    limit: int
+    total_weight: int
+    cut_parent_edges: int
+    navigation_crossings: int
+    min_weight: int
+    max_weight: int
+    mean_weight: float
+    fill_histogram: dict[str, int] = field(repr=False)
+
+    @property
+    def mean_fill(self) -> float:
+        return self.mean_weight / self.limit if self.limit else 0.0
+
+
+def analyze_partitioning(
+    tree: Tree, partitioning: Partitioning, limit: int
+) -> PartitionAnalysis:
+    """Compute all analysis metrics in two passes."""
+    assignment = assignment_from_partitioning(tree, partitioning)
+    cut_edges = 0
+    crossings = 0
+    for node in tree:
+        parent = node.parent
+        if parent is not None and assignment[node.node_id] != assignment[parent.node_id]:
+            cut_edges += 1
+        # navigation edges: parent -> first child, node -> next sibling
+        if node.children:
+            first = node.children[0]
+            if assignment[first.node_id] != assignment[node.node_id]:
+                crossings += 1
+        sibling = node.next_sibling()
+        if sibling is not None and assignment[sibling.node_id] != assignment[node.node_id]:
+            crossings += 1
+    weights = list(partition_weights(tree, partitioning).values())
+    histogram: dict[str, int] = {}
+    for weight in weights:
+        bucket = f"{min(10, int(10 * weight / limit)) * 10}%"
+        histogram[bucket] = histogram.get(bucket, 0) + 1
+    return PartitionAnalysis(
+        cardinality=partitioning.cardinality,
+        limit=limit,
+        total_weight=tree.total_weight(),
+        cut_parent_edges=cut_edges,
+        navigation_crossings=crossings,
+        min_weight=min(weights),
+        max_weight=max(weights),
+        mean_weight=sum(weights) / len(weights),
+        fill_histogram=histogram,
+    )

@@ -1,0 +1,55 @@
+"""Deriving sibling intervals from per-node partition assignments.
+
+The top-down heuristics (DFS, BFS) naturally produce a *partition id per
+node* rather than intervals. This module converts such an assignment into
+the interval representation shared by the rest of the library.
+
+The conversion is exact when the assignment obeys the sibling-partition
+shape both heuristics guarantee by construction: within one partition,
+the nodes whose parent lies in a different partition ("cut" nodes) form
+one run of consecutive siblings, and every other member hangs below a cut
+node. Each run of consecutive cut siblings with the same partition id
+becomes one interval.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import InvalidPartitioningError
+from repro.partition.interval import SiblingInterval
+from repro.tree.node import Tree
+
+
+def intervals_from_assignment(
+    tree: Tree, part_of: Sequence[int]
+) -> set[SiblingInterval]:
+    """Convert a node→partition mapping into sibling intervals.
+
+    A node is *cut* iff it is the root or its parent has a different
+    partition id. Consecutive cut siblings sharing a partition id are
+    grouped into one interval.
+    """
+    if len(part_of) != len(tree):
+        raise InvalidPartitioningError("assignment length does not match tree size")
+    root = tree.root
+    intervals: set[SiblingInterval] = {
+        SiblingInterval(root.node_id, root.node_id)
+    }
+    for parent in tree:
+        children = parent.children
+        parent_pid = part_of[parent.node_id]
+        i = 0
+        while i < len(children):
+            pid = part_of[children[i].node_id]
+            if pid == parent_pid:
+                i += 1
+                continue
+            j = i
+            while j + 1 < len(children) and part_of[children[j + 1].node_id] == pid:
+                j += 1
+            intervals.add(
+                SiblingInterval(children[i].node_id, children[j].node_id)
+            )
+            i = j + 1
+    return intervals

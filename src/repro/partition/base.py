@@ -1,0 +1,100 @@
+"""Partitioner interface and algorithm registry.
+
+Every algorithm is a :class:`Partitioner` subclass with a unique ``name``.
+Modules register a default instance via :func:`register`, which makes the
+algorithm available to the benchmark harness, the bulkloader and the CLI
+through :func:`get_algorithm` / :func:`partition_tree`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable
+
+from repro.errors import InfeasiblePartitioningError, ReproError
+from repro.partition.interval import Partitioning
+from repro.tree.node import Tree
+
+# name -> factory producing a fresh partitioner instance
+ALGORITHMS: dict[str, Callable[[], "Partitioner"]] = {}
+
+
+class Partitioner(abc.ABC):
+    """Base class for all tree sibling partitioning algorithms.
+
+    Subclasses implement :meth:`_partition`; the public :meth:`partition`
+    wraps it with the shared infeasibility check (a node heavier than the
+    limit can never be placed).
+    """
+
+    #: short identifier used in the registry, tables and CLI
+    name: str = "abstract"
+    #: does the algorithm produce a provably minimal partitioning?
+    optimal: bool = False
+    #: can the algorithm emit partitions before seeing the whole document?
+    main_memory_friendly: bool = False
+
+    def partition(self, tree: Tree, limit: int) -> Partitioning:
+        """Compute a feasible tree sibling partitioning of ``tree``.
+
+        Parameters
+        ----------
+        tree:
+            The document tree.
+        limit:
+            The weight limit ``K`` (storage unit capacity in slots).
+
+        Raises
+        ------
+        InfeasiblePartitioningError
+            If some node weighs more than ``limit``.
+        """
+        if limit < 1:
+            raise ReproError(f"weight limit must be positive, got {limit}")
+        for node in tree:
+            if node.weight > limit:
+                raise InfeasiblePartitioningError(
+                    f"node {node.node_id} ({node.label!r}) weighs {node.weight} > K={limit}",
+                    node_id=node.node_id,
+                )
+        return self._partition(tree, limit)
+
+    @abc.abstractmethod
+    def _partition(self, tree: Tree, limit: int) -> Partitioning:
+        """Algorithm-specific implementation (input already sanity-checked)."""
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} name={self.name!r}>"
+
+
+def register(cls: type[Partitioner]) -> type[Partitioner]:
+    """Class decorator adding a partitioner to :data:`ALGORITHMS`."""
+    if not cls.name or cls.name == "abstract":
+        raise ReproError(f"partitioner {cls!r} must define a name")
+    ALGORITHMS[cls.name] = cls
+    return cls
+
+
+def available_algorithms() -> list[str]:
+    """Registered algorithm names, in registration (paper) order."""
+    return list(ALGORITHMS)
+
+
+def get_algorithm(name: str) -> Partitioner:
+    """Instantiate the partitioner registered under ``name``."""
+    try:
+        factory = ALGORITHMS[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown algorithm {name!r}; available: {', '.join(ALGORITHMS)}"
+        ) from None
+    return factory()
+
+
+def partition_tree(tree: Tree, limit: int, algorithm: str = "ekm") -> Partitioning:
+    """One-call convenience API: partition ``tree`` with a named algorithm.
+
+    The default is EKM, the paper's recommendation (and Natix' default
+    since this work): near-optimal quality at heuristic speed.
+    """
+    return get_algorithm(algorithm).partition(tree, limit)

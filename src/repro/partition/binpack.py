@@ -1,0 +1,52 @@
+"""Bin packing — the structure-oblivious extreme (paper Sec. 5).
+
+BIN PACKING minimizes the number of storage units while ignoring the tree
+entirely; its result is a *lower bound reference*, not a valid tree
+sibling partitioning (unrelated nodes may share a bin, so no interval
+structure exists). The paper dismisses it for two reasons: it is NP-hard,
+and scattering related nodes destroys navigation locality.
+
+We provide first-fit-decreasing (the classic 11/9·OPT+1 approximation)
+plus the trivial ``ceil(total/K)`` bound. Both appear in Table 1 as the
+``Weight/K`` reference column.
+"""
+
+from __future__ import annotations
+
+from repro.tree.node import Tree
+
+
+def capacity_lower_bound(tree: Tree, limit: int) -> int:
+    """``ceil(total_weight / K)`` — no partitioning can use fewer units."""
+    total = tree.total_weight()
+    return -(-total // limit)
+
+
+def first_fit_decreasing(tree: Tree, limit: int) -> int:
+    """Number of bins used by first-fit-decreasing over the node weights.
+
+    Connectivity is ignored, so this approximates the absolute minimum
+    number of storage units of the given capacity.
+    """
+    bins: list[int] = []
+    for weight in sorted((n.weight for n in tree), reverse=True):
+        for i, used in enumerate(bins):
+            if used + weight <= limit:
+                bins[i] = used + weight
+                break
+        else:
+            bins.append(weight)
+    return len(bins)
+
+
+class BinPackingBaseline:
+    """Callable facade mirroring the partitioner API where a count (not a
+    partitioning) is the deliverable."""
+
+    name = "binpack"
+
+    def count(self, tree: Tree, limit: int) -> int:
+        return first_fit_decreasing(tree, limit)
+
+    def lower_bound(self, tree: Tree, limit: int) -> int:
+        return capacity_lower_bound(tree, limit)

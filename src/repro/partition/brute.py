@@ -1,0 +1,151 @@
+"""Brute-force enumeration of all tree sibling partitionings.
+
+The paper argues (Sec. 3.2) that the number of feasible partitionings is
+exponential — ``Ω(n^{K-1})`` root partitions alone for flat unit-weight
+trees — so enumeration is no import algorithm. It is, however, the
+perfect *oracle*: this module enumerates every structurally valid
+partitioning of a (small) tree, which the test suite uses to verify that
+DHW is minimal **and** lean, that FDW is exact on flat trees, and that
+every heuristic is feasible and no better than the optimum.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, Optional
+
+from repro.errors import ReproError
+from repro.partition.base import Partitioner, register
+from repro.partition.evaluate import partition_weights, root_weight
+from repro.partition.interval import Partitioning, SiblingInterval
+from repro.tree.node import Tree, TreeNode
+
+
+def _run_choices(children: list[TreeNode]) -> list[tuple[SiblingInterval, ...]]:
+    """All ways to mark disjoint runs of consecutive siblings as intervals.
+
+    Returned per sibling group; the empty choice (no intervals) is always
+    included. For ``k`` children the count follows the recurrence
+    ``f(k) = f(k-1) + sum_j f(k-1-j)`` (order-3 exponential), fine for the
+    small trees the oracle is meant for.
+    """
+    k = len(children)
+    # choices[i] = run-sets for the suffix starting at child index i
+    choices: list[list[tuple[SiblingInterval, ...]]] = [[] for _ in range(k + 1)]
+    choices[k] = [()]
+    for i in range(k - 1, -1, -1):
+        out: list[tuple[SiblingInterval, ...]] = list(choices[i + 1])  # child i unmarked
+        for j in range(i, k):  # run [i..j]
+            run = SiblingInterval(children[i].node_id, children[j].node_id)
+            out.extend((run,) + rest for rest in choices[j + 1])
+        choices[i] = out
+    return choices[0]
+
+
+def _run_choice_count(k: int) -> int:
+    """Number of run-set choices for ``k`` children, without materializing
+    them (the guard must run *before* the exponential expansion)."""
+    counts = [0] * (k + 1)
+    counts[k] = 1
+    for i in range(k - 1, -1, -1):
+        counts[i] = counts[i + 1] + sum(counts[j + 1] for j in range(i, k))
+    return counts[0]
+
+
+def enumerate_partitionings(
+    tree: Tree, max_count: int = 2_000_000
+) -> Iterator[Partitioning]:
+    """Yield every structurally valid tree sibling partitioning of ``tree``.
+
+    Intervals in different sibling groups are independent, so the space
+    is the cartesian product of per-parent run choices. Raises
+    :class:`ReproError` when the space exceeds ``max_count`` (use a
+    smaller tree).
+    """
+    parents = [node for node in tree if node.children]
+    total = 1
+    for node in parents:
+        total *= _run_choice_count(len(node.children))
+        if total > max_count:
+            raise ReproError(
+                f"more than {max_count} partitionings; brute force is for small trees"
+            )
+    groups = [_run_choices(node.children) for node in parents]
+    root_iv = SiblingInterval(tree.root.node_id, tree.root.node_id)
+    for combo in itertools.product(*groups):
+        intervals = {root_iv}
+        for runs in combo:
+            intervals.update(runs)
+        yield Partitioning(intervals)
+
+
+def brute_force_optimal(
+    tree: Tree, limit: int, max_count: int = 2_000_000
+) -> Optional[tuple[int, int, Partitioning]]:
+    """Exhaustively find an optimal partitioning.
+
+    Returns ``(cardinality, root_weight, partitioning)`` minimizing
+    cardinality first and root weight second, or ``None`` if no feasible
+    partitioning exists (some node exceeds the limit).
+    """
+    best: Optional[tuple[int, int, Partitioning]] = None
+    for cand in enumerate_partitionings(tree, max_count=max_count):
+        weights = partition_weights(tree, cand)
+        if any(w > limit for w in weights.values()):
+            continue
+        key = (cand.cardinality, weights[SiblingInterval(0, 0)])
+        if best is None or key < (best[0], best[1]):
+            best = (key[0], key[1], cand)
+    return best
+
+
+def brute_force_nearly_optimal(
+    tree: Tree, limit: int, max_count: int = 2_000_000
+) -> Optional[tuple[int, int, Partitioning]]:
+    """Exhaustively find a *nearly optimal* partitioning (Sec. 3.3.2):
+    exactly one more partition than the minimum, lean among those.
+    Returns ``None`` when none exists."""
+    optimum = brute_force_optimal(tree, limit, max_count=max_count)
+    if optimum is None:
+        return None
+    target = optimum[0] + 1
+    best: Optional[tuple[int, int, Partitioning]] = None
+    for cand in enumerate_partitionings(tree, max_count=max_count):
+        if cand.cardinality != target:
+            continue
+        weights = partition_weights(tree, cand)
+        if any(w > limit for w in weights.values()):
+            continue
+        rw = weights[SiblingInterval(0, 0)]
+        if best is None or rw < best[1]:
+            best = (target, rw, cand)
+    return best
+
+
+@register
+class BruteForcePartitioner(Partitioner):
+    """Oracle partitioner (exponential; small trees only)."""
+
+    name = "brute"
+    optimal = True
+    main_memory_friendly = False
+
+    def __init__(self, max_count: int = 2_000_000):
+        self.max_count = max_count
+
+    def _partition(self, tree: Tree, limit: int) -> Partitioning:
+        result = brute_force_optimal(tree, limit, max_count=self.max_count)
+        assert result is not None, "feasibility was pre-checked"
+        return result[2]
+
+
+def delta_w_oracle(tree: Tree, limit: int) -> int:
+    """Reference implementation of ``ΔW(t)`` for the whole tree (used to
+    validate DHW's Lemma-4 shortcut)."""
+    optimum = brute_force_optimal(tree, limit)
+    if optimum is None:
+        return 0
+    nearly = brute_force_nearly_optimal(tree, limit)
+    if nearly is None:
+        return 0
+    return max(0, optimum[1] - nearly[1])

@@ -1,0 +1,148 @@
+"""DHW — optimal tree sibling partitioning (paper Sec. 3.3, Fig. 7).
+
+DHW extends GHDW with the *nearly-optimal* subtree choice that makes the
+bottom-up strategy exact:
+
+1. For every node ``v`` (postorder) the flat DP computes the **optimal**
+   subtree solution ``D(v)`` over the children's collapsed weights.
+2. Per Lemma 4, the **nearly-optimal** solution ``Q(v)`` — exactly one
+   more partition, minimal root weight — is read from the *same* DP table
+   at the inflated base root weight ``s_q = w(v) + K - opt_rw + 1``. The
+   inflation makes every minimal-cardinality solution infeasible, so the
+   table's best entry at ``s_q`` (if feasible) has exactly one extra
+   partition and a root weight smaller than the optimum's.
+3. ``ΔW(v)`` is the root-weight saving of the nearly-optimal variant.
+   Because the table entry at ``s_q`` carries the *inflated* base, the
+   true saving is ``ΔW(v) = K + 1 - Q_table.rootweight`` (equivalently
+   ``opt_rw - (Q_table.rootweight - (K - opt_rw + 1))``).
+4. At the parent level, interval candidates heavier than ``K`` may
+   downgrade members to their nearly-optimal variants, greedily by
+   descending ``ΔW`` (Lemma 5), one extra partition per downgrade. This
+   is handled inside :class:`~repro.partition.flatdp.FlatDP` via the
+   ``deltas`` argument.
+5. Extraction walks the tree top-down: the root uses its optimal chain;
+   every child uses its nearly-optimal chain iff some interval entry
+   recorded it in its ``nearlyopt`` set, and its optimal chain otherwise.
+
+Worst-case time is ``O(n·K³)`` — linear in the number of nodes for fixed
+``K``, which is the paper's headline result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.partition.base import Partitioner, register
+from repro.partition.flatdp import (
+    CARD,
+    INF,
+    ROOTWEIGHT,
+    Entry,
+    FlatDP,
+    chain_intervals,
+    leaf_entry,
+)
+from repro.partition.interval import Partitioning, SiblingInterval
+from repro.tree.node import Tree
+from repro.tree.traversal import iter_postorder
+
+
+@dataclass
+class DHWStats:
+    """Instrumentation: DP sizes and how often nearly-optimal solutions
+    exist / are actually used (experiments A2 and A3)."""
+
+    dp_cells: int = 0
+    inner_nodes: int = 0
+    nearly_optimal_exists: int = 0
+    nearly_optimal_used: int = 0
+    s_values_per_node: list[int] = field(default_factory=list)
+
+
+@register
+class DHWPartitioner(Partitioner):
+    """The paper's optimal ``O(n·K³)`` algorithm."""
+
+    name = "dhw"
+    optimal = True
+    main_memory_friendly = False  # decisions depend on the next-higher level
+
+    def __init__(self, collect_stats: bool = False, exclude_endpoints: bool = False):
+        """``exclude_endpoints`` enables the Sec. 3.3.6 optimization: the
+        first and last node of an interval are never downgraded to a
+        nearly-optimal subtree partitioning (the paper proves an optimal
+        one always suffices there), shrinking the candidate lists."""
+        self.collect_stats = collect_stats
+        self.exclude_endpoints = exclude_endpoints
+        self.stats = DHWStats()
+
+    def _partition(self, tree: Tree, limit: int) -> Partitioning:
+        n = len(tree)
+        opt_entries: list[Optional[Entry]] = [None] * n
+        near_entries: list[Optional[Entry]] = [None] * n
+        deltas = [0] * n
+
+        # Bottom-up DP pass (Fig. 7).
+        for node in iter_postorder(tree):
+            nid = node.node_id
+            if not node.children:
+                opt_entries[nid] = leaf_entry(node.weight)
+                continue
+            child_weights = [opt_entries[c.node_id][ROOTWEIGHT] for c in node.children]
+            child_deltas = [deltas[c.node_id] for c in node.children]
+            dp = FlatDP(
+                child_weights,
+                limit,
+                deltas=child_deltas,
+                exclude_endpoints=self.exclude_endpoints,
+            )
+            opt = dp.top_entry(node.weight)
+            assert opt[CARD] is not INF, "DHW subproblem must be feasible"
+            opt_entries[nid] = opt
+
+            # Lemma 4: the nearly-optimal variant from the inflated base.
+            s_q = node.weight + limit - opt[ROOTWEIGHT] + 1
+            if s_q <= limit:
+                near = dp.top_entry(s_q)
+                if near[CARD] is not INF:
+                    # A genuine nearly-minimal solution has exactly one
+                    # extra partition; the lean argument of Lemma 4 rules
+                    # out anything smaller, and anything larger is not
+                    # nearly minimal and must be discarded.
+                    assert near[CARD] >= opt[CARD] + 1
+                    if near[CARD] == opt[CARD] + 1:
+                        near_entries[nid] = near
+                        deltas[nid] = limit + 1 - near[ROOTWEIGHT]
+                        assert deltas[nid] > 0
+            if self.collect_stats:
+                self.stats.dp_cells += dp.cells_computed
+                self.stats.inner_nodes += 1
+                if near_entries[nid] is not None:
+                    self.stats.nearly_optimal_exists += 1
+                distinct_s: set[int] = set()
+                for col in dp.needed:
+                    distinct_s |= col
+                self.stats.s_values_per_node.append(len(distinct_s))
+
+        # Top-down extraction: choose D- or Q-chains per node.
+        intervals = {SiblingInterval(tree.root.node_id, tree.root.node_id)}
+        stack: list[tuple[int, bool]] = [(tree.root.node_id, False)]
+        while stack:
+            nid, use_near = stack.pop()
+            node = tree.node(nid)
+            entry = near_entries[nid] if use_near else opt_entries[nid]
+            assert entry is not None
+            if use_near and self.collect_stats:
+                self.stats.nearly_optimal_used += 1
+            near_children: set[int] = set()
+            for begin, end, nearly in chain_intervals(entry):
+                intervals.add(
+                    SiblingInterval(
+                        node.children[begin].node_id, node.children[end].node_id
+                    )
+                )
+                near_children.update(nearly)
+            for idx, child in enumerate(node.children):
+                stack.append((child.node_id, idx in near_children))
+        return Partitioning(intervals)

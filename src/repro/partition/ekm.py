@@ -1,0 +1,76 @@
+"""EKM — Enhanced Kundu & Misra (paper Sec. 4.3.4, a novel heuristic).
+
+EKM is KM run on the binary (left-child / right-sibling) representation
+of the document tree: every node has at most two binary children — its
+first child and its next sibling. Cutting a binary edge therefore either
+starts a new partition for a run of right siblings, or for a whole block
+of children one level down; this is precisely the choice that lets DHW
+beat GHDW (paper Fig. 6), which is why EKM comes surprisingly close to
+the optimum while being trivial to implement.
+
+Binary components map one-to-one to sibling partitions: a component's
+root plus the nodes reachable from it through uncut *right* edges form
+the sibling interval identifying the partition (see
+:mod:`repro.tree.binary`). The component's total node weight equals the
+partition weight, so enforcing the limit on binary subtree residuals
+enforces feasibility.
+
+Linear time, independent of ``K``, main-memory friendly — and since this
+paper, Natix' default import algorithm.
+"""
+
+from __future__ import annotations
+
+from repro.partition.base import Partitioner, register
+from repro.partition.interval import Partitioning, SiblingInterval
+from repro.tree.binary import first_child, iter_binary_postorder, next_sibling
+from repro.tree.node import Tree
+
+
+@register
+class EKMPartitioner(Partitioner):
+    """Kundu-Misra cuts on the binary view."""
+
+    name = "ekm"
+    optimal = False
+    main_memory_friendly = True
+
+    def _partition(self, tree: Tree, limit: int) -> Partitioning:
+        n = len(tree)
+        residual = [0] * n
+        cut = bytearray(n)  # 1 where the node's binary parent edge is cut
+        for node in iter_binary_postorder(tree):
+            rest = node.weight
+            kids = []
+            lc = first_child(node)
+            if lc is not None:
+                kids.append(lc)
+                rest += residual[lc.node_id]
+            rs = next_sibling(node)
+            if rs is not None:
+                kids.append(rs)
+                rest += residual[rs.node_id]
+            while rest > limit and kids:
+                # Cut the heavier binary child (the paper's Fig. 8 walk);
+                # ties go to the left (first-child) edge for determinism.
+                heaviest = max(kids, key=lambda k: residual[k.node_id])
+                cut[heaviest.node_id] = 1
+                rest -= residual[heaviest.node_id]
+                kids.remove(heaviest)
+            residual[node.node_id] = rest
+        cut[tree.root.node_id] = 1
+
+        # Each cut node roots a component; its interval extends through
+        # consecutive right siblings whose own binary parent edge is uncut.
+        intervals = set()
+        for node in tree:
+            if not cut[node.node_id]:
+                continue
+            end = node
+            while True:
+                sib = end.next_sibling()
+                if sib is None or cut[sib.node_id]:
+                    break
+                end = sib
+            intervals.add(SiblingInterval(node.node_id, end.node_id))
+        return Partitioning(intervals)

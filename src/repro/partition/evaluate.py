@@ -1,0 +1,165 @@
+"""Partition-forest semantics: validation, weights, feasibility.
+
+This module is the single source of truth for what a partitioning *means*
+(paper Sec. 2.1). Every algorithm's output — and every candidate the test
+suite constructs — is interpreted by the functions here:
+
+* Cutting every interval member from its parent yields the *partition
+  forest* ``F_P_T``.
+* The *partition weight* of a node is its subtree weight in that forest.
+* The partition defined by an interval is the set of forest trees rooted
+  at the interval's members; its weight is the sum of their partition
+  weights.
+* A partitioning is *feasible* for limit ``K`` iff it contains the root
+  interval and every interval's partition weight is at most ``K``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import InvalidPartitioningError
+from repro.partition.interval import Partitioning, SiblingInterval
+from repro.tree.node import Tree
+from repro.tree.traversal import iter_postorder
+
+
+def validate_partitioning(tree: Tree, partitioning: Partitioning) -> None:
+    """Check the structural rules of a tree sibling partitioning.
+
+    Raises :class:`InvalidPartitioningError` if any interval has endpoints
+    that are not siblings in order, if intervals overlap, or if the root
+    interval ``(t, t)`` is missing.
+    """
+    root_iv = SiblingInterval(tree.root.node_id, tree.root.node_id)
+    if root_iv not in partitioning.intervals:
+        raise InvalidPartitioningError("partitioning does not contain the root interval (t,t)")
+    seen: set[int] = set()
+    n = len(tree)
+    for iv in partitioning.intervals:
+        if not (0 <= iv.left < n and 0 <= iv.right < n):
+            raise InvalidPartitioningError(f"interval {iv} references unknown nodes")
+        left, right = tree.node(iv.left), tree.node(iv.right)
+        if left.parent is not right.parent:
+            raise InvalidPartitioningError(f"interval {iv} endpoints are not siblings")
+        if left.parent is not None and left.index > right.index:
+            raise InvalidPartitioningError(f"interval {iv} endpoints are out of sibling order")
+        if left.parent is None and iv.left != iv.right:
+            raise InvalidPartitioningError(f"interval {iv} spans the root")
+        for member in iv.nodes(tree):
+            if member.node_id in seen:
+                raise InvalidPartitioningError(
+                    f"node {member.node_id} belongs to more than one interval"
+                )
+            seen.add(member.node_id)
+
+
+def partition_node_weights(tree: Tree, partitioning: Partitioning) -> list[int]:
+    """Partition weight ``W_P_T(v)`` of every node, indexed by node id.
+
+    One postorder pass: a node's partition weight is its own weight plus
+    the partition weights of its children that are *not* interval members
+    (those stay attached; members are cut into their own forest trees).
+    """
+    cut = partitioning.member_ids(tree)
+    cut.add(tree.root.node_id)
+    weights = [0] * len(tree)
+    for node in iter_postorder(tree):
+        total = node.weight
+        for child in node.children:
+            if child.node_id not in cut:
+                total += weights[child.node_id]
+        weights[node.node_id] = total
+    return weights
+
+
+def partition_weights(
+    tree: Tree, partitioning: Partitioning
+) -> dict[SiblingInterval, int]:
+    """Partition weight of every interval, ``W_P_T(l, r)``."""
+    node_weights = partition_node_weights(tree, partitioning)
+    return {
+        iv: sum(node_weights[n.node_id] for n in iv.nodes(tree))
+        for iv in partitioning.intervals
+    }
+
+
+def root_weight(tree: Tree, partitioning: Partitioning) -> int:
+    """``W_P_T(t)``: weight of the partition containing the root."""
+    return partition_node_weights(tree, partitioning)[tree.root.node_id]
+
+
+def is_feasible(tree: Tree, partitioning: Partitioning, limit: int) -> bool:
+    """Feasibility per Sec. 2.1 (structure is assumed valid)."""
+    root_iv = SiblingInterval(tree.root.node_id, tree.root.node_id)
+    if root_iv not in partitioning.intervals:
+        return False
+    return all(w <= limit for w in partition_weights(tree, partitioning).values())
+
+
+@dataclass(frozen=True)
+class PartitioningReport:
+    """Everything one usually wants to know about a partitioning."""
+
+    cardinality: int
+    root_weight: int
+    feasible: bool
+    limit: int
+    max_partition_weight: int
+    total_weight: int
+    interval_weights: dict[SiblingInterval, int] = field(repr=False)
+
+    @property
+    def fill_factor(self) -> float:
+        """Average fraction of the capacity ``K`` that partitions use."""
+        if self.cardinality == 0:
+            return 0.0
+        return self.total_weight / (self.cardinality * self.limit)
+
+    @property
+    def lower_bound(self) -> int:
+        """``ceil(total_weight / K)``: the structure-oblivious minimum."""
+        return -(-self.total_weight // self.limit)
+
+
+def evaluate_partitioning(
+    tree: Tree, partitioning: Partitioning, limit: int, validate: bool = True
+) -> PartitioningReport:
+    """Validate (optionally) and measure a partitioning in one call."""
+    if validate:
+        validate_partitioning(tree, partitioning)
+    weights = partition_weights(tree, partitioning)
+    root_iv = SiblingInterval(tree.root.node_id, tree.root.node_id)
+    return PartitioningReport(
+        cardinality=partitioning.cardinality,
+        root_weight=weights.get(root_iv, 0),
+        feasible=root_iv in weights and all(w <= limit for w in weights.values()),
+        limit=limit,
+        max_partition_weight=max(weights.values()) if weights else 0,
+        total_weight=tree.total_weight(),
+        interval_weights=weights,
+    )
+
+
+def assignment_from_partitioning(tree: Tree, partitioning: Partitioning) -> list[int]:
+    """Map every node id to a dense partition index.
+
+    Partition indices follow the sorted interval order; every non-member
+    node inherits the partition of its parent. Used by the storage engine
+    to materialize records and by tests to cross-check weights.
+    """
+    intervals = partitioning.sorted_intervals()
+    index_of: dict[SiblingInterval, int] = {iv: i for i, iv in enumerate(intervals)}
+    assignment = [-1] * len(tree)
+    member_partition: dict[int, int] = {}
+    for iv in intervals:
+        for node in iv.nodes(tree):
+            member_partition[node.node_id] = index_of[iv]
+    for node in tree:  # creation order: parents before children
+        if node.node_id in member_partition:
+            assignment[node.node_id] = member_partition[node.node_id]
+        elif node.parent is not None:
+            assignment[node.node_id] = assignment[node.parent.node_id]
+        else:
+            raise InvalidPartitioningError("root is not covered by any interval")
+    return assignment

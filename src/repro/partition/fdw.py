@@ -1,0 +1,62 @@
+"""FDW — optimal partitioning of *flat* trees (paper Sec. 3.2, Fig. 4).
+
+A flat tree has a root whose children are all leaves. FDW runs the
+Lemma-2 dynamic program over the child sequence and reconstructs an
+optimal (minimal, then lean) tree sibling partitioning in ``O(n·K²)``
+worst-case time. It is both a standalone algorithm (registered as
+``"fdw"``, raising on non-flat input) and the building block that GHDW
+and DHW apply per inner node.
+"""
+
+from __future__ import annotations
+
+from repro.errors import InfeasiblePartitioningError, TreeError
+from repro.partition.base import Partitioner, register
+from repro.partition.flatdp import INFEASIBLE_ENTRY, FlatDP, chain_intervals
+from repro.partition.interval import Partitioning, SiblingInterval
+from repro.tree.node import Tree
+
+
+def fdw_partition_flat(tree: Tree, limit: int) -> Partitioning:
+    """Optimal tree sibling partitioning of a flat tree.
+
+    Returns the partitioning; raises :class:`TreeError` if the tree is not
+    flat and :class:`InfeasiblePartitioningError` if a node exceeds the
+    limit.
+    """
+    root = tree.root
+    for child in root.children:
+        if child.children:
+            raise TreeError("fdw_partition_flat requires a flat tree (all children are leaves)")
+    if root.weight > limit:
+        raise InfeasiblePartitioningError(
+            f"root weighs {root.weight} > K={limit}", node_id=root.node_id
+        )
+    for child in root.children:
+        if child.weight > limit:
+            raise InfeasiblePartitioningError(
+                f"node {child.node_id} weighs {child.weight} > K={limit}",
+                node_id=child.node_id,
+            )
+    dp = FlatDP([c.weight for c in root.children], limit)
+    entry = dp.top_entry(root.weight)
+    if entry is INFEASIBLE_ENTRY:  # cannot happen after the weight checks
+        raise InfeasiblePartitioningError("no feasible flat partitioning exists")
+    intervals = {SiblingInterval(root.node_id, root.node_id)}
+    for begin, end, _nearly in chain_intervals(entry):
+        intervals.add(
+            SiblingInterval(root.children[begin].node_id, root.children[end].node_id)
+        )
+    return Partitioning(intervals)
+
+
+@register
+class FDWPartitioner(Partitioner):
+    """Registry wrapper for :func:`fdw_partition_flat` (flat trees only)."""
+
+    name = "fdw"
+    optimal = True  # on its input class (flat trees)
+    main_memory_friendly = False
+
+    def _partition(self, tree: Tree, limit: int) -> Partitioning:
+        return fdw_partition_flat(tree, limit)

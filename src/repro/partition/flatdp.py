@@ -1,0 +1,267 @@
+"""Shared dynamic-programming core for FDW, GHDW and DHW (paper Sec. 3).
+
+The table of the paper's Fig. 4/5/7 is realized by :class:`FlatDP`. One
+instance solves the *flat* subproblem for a single parent: given the
+sequence of (collapsed) child weights ``cw[0..n-1]`` and a weight limit
+``K``, compute for a requested base root weight ``s`` an optimal
+partitioning of the flat tree ``T^s_n`` — minimal in the number of
+sibling intervals among the children, and *lean* (minimal root-partition
+weight) among those.
+
+Entries ``D(s, j)`` follow Lemma 2: either the last child ``c_j`` joins
+the root partition (the entry of ``D(s + cw_j, j-1)`` is shared), or a new
+interval ``(c_{j-m}, c_j)`` is appended to ``D(s, j-m-1)``.
+
+Memoization (Sec. 3.2.3 / 3.3.6): instead of filling all ``K`` rows, only
+the ``s`` values reachable from the requested bases are materialized. New
+bases (DHW's inflated root weights, Lemma 4) can be added lazily via
+:meth:`FlatDP.top_entry`.
+
+For DHW, per-child ``deltas`` (the ``ΔW`` values) enable *nearly-optimal*
+downgrades inside interval candidates (Lemma 5): when an interval's
+optimal weight exceeds ``K`` but its best-case weight ``w - Σ ΔW`` does
+not, members are greedily switched to their nearly-optimal subtree
+partitioning in order of descending ``ΔW``, each switch costing one extra
+partition.
+
+Entries are plain tuples ``(card, rootweight, begin, end, nearlyopt,
+next_entry)``:
+
+``card``
+    number of intervals created among the children *plus* one per
+    nearly-optimal downgrade (the paper's ``card`` field, normalized so
+    the empty base entry has card 0),
+``rootweight``
+    weight of the root partition of this sub-solution,
+``begin, end``
+    0-based child indices of the interval this entry appended (``None``
+    for base entries),
+``nearlyopt``
+    tuple of 0-based child indices downgraded to nearly-optimal,
+``next_entry``
+    the rest of the interval chain (object reference; ``None`` for base
+    entries).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+INF = float("inf")
+
+# Tuple field indices, for readability at use sites.
+CARD, ROOTWEIGHT, BEGIN, END, NEARLYOPT, NEXT = range(6)
+
+#: Sentinel for "no feasible partitioning of this subproblem".
+INFEASIBLE_ENTRY = (INF, INF, None, None, (), None)
+
+Entry = tuple
+
+
+class FlatDP:
+    """Memoized dynamic-programming table for one flat (sub)tree.
+
+    Parameters
+    ----------
+    child_weights:
+        ``cw[i]`` is the weight of child ``c_{i+1}`` — the plain node
+        weight for true flat trees (FDW), or the collapsed optimal root
+        weight of the child's subtree for deep trees (GHDW/DHW).
+    limit:
+        The weight limit ``K``.
+    deltas:
+        Optional ``ΔW`` per child (DHW only). ``None`` disables
+        nearly-optimal downgrades (FDW/GHDW behaviour).
+    """
+
+    __slots__ = (
+        "cw",
+        "limit",
+        "deltas",
+        "exclude_endpoints",
+        "cols",
+        "needed",
+        "cells_computed",
+        "_picks_cache",
+    )
+
+    def __init__(
+        self,
+        child_weights: Sequence[int],
+        limit: int,
+        deltas: Optional[Sequence[int]] = None,
+        exclude_endpoints: bool = False,
+    ):
+        self.cw = list(child_weights)
+        self.limit = limit
+        self.deltas = list(deltas) if deltas is not None else None
+        # Sec. 3.3.6: the first and last node of an interval never *need*
+        # a nearly-optimal subtree partitioning — an optimal one always
+        # suffices for a globally optimal solution — so they can be left
+        # out of the downgrade candidate list.
+        self.exclude_endpoints = exclude_endpoints
+        n = len(self.cw)
+        self.cols: list[dict[int, Entry]] = [{} for _ in range(n + 1)]
+        self.needed: list[set[int]] = [set() for _ in range(n + 1)]
+        #: number of table cells materialized (memoization statistics, A2)
+        self.cells_computed = 0
+        # Nearly-optimal pick sets depend only on the interval (j, m) —
+        # not on the root weight s — so they are shared across rows (the
+        # spirit of the paper's Sec. 3.3.6 priority-queue optimization).
+        self._picks_cache: dict[tuple[int, int], Optional[tuple[int, ...]]] = {}
+
+    @property
+    def n(self) -> int:
+        return len(self.cw)
+
+    def top_entry(self, base_s: int) -> Entry:
+        """The entry ``D(base_s, n)``, i.e. the best partitioning of the
+        flat tree whose root (including everything already committed to
+        the root partition) weighs ``base_s``.
+
+        Returns :data:`INFEASIBLE_ENTRY` if ``base_s`` exceeds the limit
+        or no feasible solution exists.
+        """
+        if base_s > self.limit:
+            return INFEASIBLE_ENTRY
+        n = self.n
+        if base_s not in self.needed[n]:
+            self._extend(base_s)
+        return self.cols[n][base_s]
+
+    # ------------------------------------------------------------------
+    # internals
+
+    def _extend(self, base_s: int) -> None:
+        """Propagate a new base ``s`` value down the columns and fill the
+        newly needed cells bottom-up."""
+        n = self.n
+        cw = self.cw
+        limit = self.limit
+        new_per_col: list[set[int]] = [set() for _ in range(n + 1)]
+        new_per_col[n] = {base_s}
+        self.needed[n].add(base_s)
+        for j in range(n, 0, -1):
+            w = cw[j - 1]
+            below = self.needed[j - 1]
+            fresh = set()
+            for s in new_per_col[j]:
+                if s not in below:
+                    fresh.add(s)
+                s2 = s + w
+                if s2 <= limit and s2 not in below:
+                    fresh.add(s2)
+            new_per_col[j - 1] = fresh
+            below.update(fresh)
+        for s in new_per_col[0]:
+            self.cols[0][s] = (0, s, None, None, (), None)
+            self.cells_computed += 1
+        for j in range(1, n + 1):
+            col = self.cols[j]
+            for s in new_per_col[j]:
+                col[s] = self._compute(s, j)
+                self.cells_computed += 1
+
+    def _compute(self, s: int, j: int) -> Entry:
+        """Lemma 2 recurrence for cell ``D(s, j)``."""
+        cw = self.cw
+        cols = self.cols
+        limit = self.limit
+        deltas = self.deltas
+
+        # Candidate 1: c_j joins the root partition — share D(s + cw_j, j-1).
+        s2 = s + cw[j - 1]
+        best = cols[j - 1][s2] if s2 <= limit else INFEASIBLE_ENTRY
+        best_card = best[CARD]
+        best_rw = best[ROOTWEIGHT]
+
+        # Candidate 2: append an interval (c_{j-m}, c_j) to D(s, j-m-1).
+        w = 0
+        dw = 0
+        max_m = j if j < limit else limit
+        for m in range(max_m):
+            idx = j - m - 1  # 0-based index of the interval's first child
+            w += cw[idx]
+            if deltas is None:
+                if w > limit:
+                    break
+                nearlyopt: tuple[int, ...] = ()
+                extra = 1
+            else:
+                dw += deltas[idx]
+                if w - dw > limit:
+                    # Even downgrading every member cannot make the
+                    # interval fit; wider intervals only get heavier.
+                    break
+                if w <= limit:
+                    nearlyopt = ()
+                    extra = 1
+                else:
+                    key = (j, m)
+                    if key in self._picks_cache:
+                        picks = self._picks_cache[key]
+                    else:
+                        picks = self._pick_nearly_optimal(idx, j, w)
+                        self._picks_cache[key] = picks
+                    if picks is None:
+                        continue
+                    nearlyopt = picks
+                    extra = 1 + len(picks)
+            prev = cols[idx][s]
+            prev_card = prev[CARD]
+            if prev_card is INF:
+                continue
+            crd = prev_card + extra
+            rw = prev[ROOTWEIGHT]
+            if crd < best_card or (crd == best_card and rw < best_rw):
+                best_card = crd
+                best_rw = rw
+                best = (crd, rw, idx, j - 1, nearlyopt, prev)
+        return best
+
+    def _pick_nearly_optimal(self, begin: int, j: int, w: int) -> Optional[tuple[int, ...]]:
+        """Greedy downgrade selection for interval members ``begin..j-1``.
+
+        Members are switched to nearly-optimal subtree partitionings in
+        order of descending ``ΔW`` until the interval weight drops to the
+        limit (Lemma 5 statement 2). Returns ``None`` if infeasible.
+        """
+        deltas = self.deltas
+        assert deltas is not None
+        candidates = range(begin + 1, j - 1) if self.exclude_endpoints else range(begin, j)
+        order = sorted(
+            (i for i in candidates if deltas[i] > 0),
+            key=lambda i: deltas[i],
+            reverse=True,
+        )
+        picks: list[int] = []
+        limit = self.limit
+        for i in order:
+            if w <= limit:
+                break
+            w -= deltas[i]
+            picks.append(i)
+        if w > limit:
+            return None
+        return tuple(picks)
+
+
+def chain_intervals(entry: Entry) -> list[tuple[int, int, tuple[int, ...]]]:
+    """Walk an entry's ``next`` chain and collect its intervals.
+
+    Returns ``(begin, end, nearlyopt)`` triples of 0-based child indices,
+    in right-to-left construction order. Base entries contribute nothing.
+    """
+    out: list[tuple[int, int, tuple[int, ...]]] = []
+    cur: Optional[Entry] = entry
+    while cur is not None:
+        if cur[BEGIN] is not None:
+            out.append((cur[BEGIN], cur[END], cur[NEARLYOPT]))
+        cur = cur[NEXT]
+    return out
+
+
+def leaf_entry(weight: int) -> Entry:
+    """The trivial solution for a leaf subtree: empty chain, root weight
+    equal to the node weight."""
+    return (0, weight, None, None, (), None)

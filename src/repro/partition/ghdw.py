@@ -1,0 +1,73 @@
+"""GHDW — Greedy-Height / Dynamic-Width partitioning (paper Sec. 3.3.1).
+
+GHDW walks the tree bottom-up and, at every inner node, runs the FDW
+dynamic program over the children's *collapsed* weights — each child
+counts with the root weight of the locally optimal partitioning of its
+subtree (Lemma 1). The result is always feasible and usually within a few
+percent of the optimum, but can be suboptimal (the paper's Fig. 6): a
+locally optimal subtree partitioning may force extra partitions one level
+up. DHW repairs exactly this deficiency.
+
+Complexity: ``O(n·K²)`` worst case; with the memoized table the practical
+cost is far lower (only reachable ``s`` values are materialized).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.partition.base import Partitioner, register
+from repro.partition.flatdp import CARD, INF, ROOTWEIGHT, FlatDP, chain_intervals, leaf_entry
+from repro.partition.interval import Partitioning, SiblingInterval
+from repro.tree.node import Tree
+from repro.tree.traversal import iter_postorder
+
+
+@dataclass
+class GHDWStats:
+    """Instrumentation for the memoization ablation (experiment A2)."""
+
+    dp_cells: int = 0
+    inner_nodes: int = 0
+    s_values_per_node: list[int] = field(default_factory=list)
+
+
+@register
+class GHDWPartitioner(Partitioner):
+    """Bottom-up application of the flat-tree DP with greedy subtree choice."""
+
+    name = "ghdw"
+    optimal = False
+    main_memory_friendly = True  # subtrees are finalized as soon as they close
+
+    def __init__(self, collect_stats: bool = False):
+        self.collect_stats = collect_stats
+        self.stats = GHDWStats()
+
+    def _partition(self, tree: Tree, limit: int) -> Partitioning:
+        n = len(tree)
+        entries = [None] * n  # optimal-chain entry per node
+        intervals = {SiblingInterval(tree.root.node_id, tree.root.node_id)}
+        for node in iter_postorder(tree):
+            if not node.children:
+                entries[node.node_id] = leaf_entry(node.weight)
+                continue
+            child_weights = [entries[c.node_id][ROOTWEIGHT] for c in node.children]
+            dp = FlatDP(child_weights, limit)
+            entry = dp.top_entry(node.weight)
+            assert entry[CARD] is not INF, "GHDW subproblem must be feasible"
+            entries[node.node_id] = entry
+            for begin, end, _nearly in chain_intervals(entry):
+                intervals.add(
+                    SiblingInterval(
+                        node.children[begin].node_id, node.children[end].node_id
+                    )
+                )
+            if self.collect_stats:
+                self.stats.dp_cells += dp.cells_computed
+                self.stats.inner_nodes += 1
+                distinct_s: set[int] = set()
+                for col in dp.needed:
+                    distinct_s |= col
+                self.stats.s_values_per_node.append(len(distinct_s))
+        return Partitioning(intervals)

@@ -1,0 +1,107 @@
+"""Sibling intervals and tree sibling partitionings (paper Sec. 2.1).
+
+A *sibling interval* ``(l, r)`` is a maximal-by-construction run of
+consecutive siblings, identified here by the node ids of its first and
+last member. A *tree sibling partitioning* is a set of disjoint sibling
+intervals; a *feasible* one additionally contains the root interval
+``(t, t)`` and respects the weight limit.
+
+Intervals and partitionings are plain value objects: they reference nodes
+by id only, so they can be stored, hashed, compared and serialized
+independently of the tree they came from.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.tree.node import Tree, TreeNode
+
+
+class SiblingInterval(tuple):
+    """Immutable ``(left_id, right_id)`` pair with named accessors."""
+
+    __slots__ = ()
+
+    def __new__(cls, left: int, right: int) -> "SiblingInterval":
+        return super().__new__(cls, (int(left), int(right)))
+
+    @property
+    def left(self) -> int:
+        return self[0]
+
+    @property
+    def right(self) -> int:
+        return self[1]
+
+    @property
+    def is_singleton(self) -> bool:
+        return self[0] == self[1]
+
+    def nodes(self, tree: Tree) -> list[TreeNode]:
+        """Materialize the member nodes of this interval in ``tree``."""
+        return tree.interval_nodes(tree.node(self.left), tree.node(self.right))
+
+    def __repr__(self) -> str:
+        return f"({self.left},{self.right})"
+
+
+class Partitioning:
+    """A set of disjoint sibling intervals.
+
+    The class is intentionally dumb: validation and weight computation
+    live in :mod:`repro.partition.evaluate` so there is exactly one
+    implementation of the partition-forest semantics.
+    """
+
+    __slots__ = ("intervals",)
+
+    def __init__(self, intervals: Iterable[SiblingInterval | tuple[int, int]] = ()):
+        self.intervals: frozenset[SiblingInterval] = frozenset(
+            iv if isinstance(iv, SiblingInterval) else SiblingInterval(*iv) for iv in intervals
+        )
+
+    @property
+    def cardinality(self) -> int:
+        """Number of partitions, i.e. number of intervals."""
+        return len(self.intervals)
+
+    def __len__(self) -> int:
+        return len(self.intervals)
+
+    def __iter__(self) -> Iterator[SiblingInterval]:
+        return iter(self.intervals)
+
+    def __contains__(self, interval: object) -> bool:
+        if isinstance(interval, tuple) and not isinstance(interval, SiblingInterval):
+            interval = SiblingInterval(*interval)  # type: ignore[misc]
+        return interval in self.intervals
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Partitioning) and self.intervals == other.intervals
+
+    def __hash__(self) -> int:
+        return hash(self.intervals)
+
+    def union(self, other: "Partitioning | Iterable") -> "Partitioning":
+        """A new partitioning with the intervals of both (no validation)."""
+        other_ivs = other.intervals if isinstance(other, Partitioning) else other
+        return Partitioning(set(self.intervals) | set(other_ivs))
+
+    def with_interval(self, left: int, right: int) -> "Partitioning":
+        return Partitioning(set(self.intervals) | {SiblingInterval(left, right)})
+
+    def sorted_intervals(self) -> list[SiblingInterval]:
+        """Deterministic order (by left id, then right id) for display."""
+        return sorted(self.intervals)
+
+    def member_ids(self, tree: Tree) -> set[int]:
+        """Ids of all nodes that are a member of some interval (the *cut*
+        nodes of the partition forest)."""
+        members: set[int] = set()
+        for iv in self.intervals:
+            members.update(n.node_id for n in iv.nodes(tree))
+        return members
+
+    def __repr__(self) -> str:
+        return "Partitioning{" + ", ".join(map(repr, self.sorted_intervals())) + "}"

@@ -1,0 +1,86 @@
+"""ASCII rendering of partitioned trees.
+
+Turns a tree + partitioning into the kind of picture the paper draws by
+hand in Figs. 1/2/6/9: an indented tree where every node is tagged with
+its partition and interval starts are marked. Used by examples and — more
+importantly — by humans trying to understand why an algorithm made a
+particular decision.
+"""
+
+from __future__ import annotations
+
+import io
+
+from repro.partition.evaluate import assignment_from_partitioning, partition_weights
+from repro.partition.interval import Partitioning
+from repro.tree.node import Tree, TreeNode
+
+
+def render_partitioning(
+    tree: Tree,
+    partitioning: Partitioning,
+    limit: int | None = None,
+    max_nodes: int = 200,
+) -> str:
+    """Render the tree with partition tags, one node per line.
+
+    Output format::
+
+        P0│ a:3
+        P0│ ├─ b:2
+        P1│ ├─ c:1        ◀ interval (c..f)
+        ...
+
+    Trees larger than ``max_nodes`` are truncated with a note.
+    """
+    assignment = assignment_from_partitioning(tree, partitioning)
+    starts = {iv.left: iv for iv in partitioning.intervals}
+    width = len(str(max(assignment)))
+    out = io.StringIO()
+
+    def tag(node: TreeNode) -> str:
+        return f"P{assignment[node.node_id]:<{width}}│ "
+
+    count = 0
+    truncated = False
+    # iterative preorder with prefix bookkeeping
+    stack: list[tuple[TreeNode, str, bool]] = [(tree.root, "", True)]
+    while stack:
+        node, prefix, is_last = stack.pop()
+        count += 1
+        if count > max_nodes:
+            truncated = True
+            break
+        if node.parent is None:
+            branch = ""
+            child_prefix = ""
+        else:
+            branch = "└─ " if is_last else "├─ "
+            child_prefix = prefix + ("   " if is_last else "│  ")
+        line = f"{tag(node)}{prefix}{branch}{node.label}:{node.weight}"
+        if node.node_id in starts:
+            iv = starts[node.node_id]
+            if iv.left == iv.right:
+                line += f"   ◀ interval ({tree.node(iv.left).label})"
+            else:
+                line += (
+                    f"   ◀ interval ({tree.node(iv.left).label}.."
+                    f"{tree.node(iv.right).label})"
+                )
+        out.write(line + "\n")
+        for idx in range(len(node.children) - 1, -1, -1):
+            stack.append((node.children[idx], child_prefix, idx == len(node.children) - 1))
+    if truncated:
+        out.write(f"... ({len(tree) - max_nodes} more nodes)\n")
+    out.write(_summary(tree, partitioning, limit))
+    return out.getvalue()
+
+
+def _summary(tree: Tree, partitioning: Partitioning, limit: int | None) -> str:
+    weights = partition_weights(tree, partitioning)
+    parts = ", ".join(
+        f"P{idx}={weights[iv]}"
+        for idx, iv in enumerate(partitioning.sorted_intervals())
+    )
+    suffix = f" (K={limit})" if limit is not None else ""
+    return f"{partitioning.cardinality} partitions{suffix}: {parts}\n"

@@ -1,0 +1,61 @@
+"""RS — the legacy Natix "rightmost siblings" heuristic (Sec. 4.3.2).
+
+RS is the simple bulkload heuristic this paper set out to replace. It
+processes nodes bottom-up; when a node's residual subtree exceeds ``K``
+it repeatedly packs maximal runs of *rightmost* children into new
+partitions — filling each partition greedily from right to left until the
+next sibling would not fit — and stops cutting as soon as the residual
+drops to ``K`` or below.
+
+The right-to-left packing is what produces the paper's "peculiar
+partitioning decisions": it never reconsiders where a run should start,
+so a single heavy child can strand many light siblings in poorly filled
+partitions. Still main-memory friendly and very fast.
+"""
+
+from __future__ import annotations
+
+from repro.partition.base import Partitioner, register
+from repro.partition.interval import Partitioning, SiblingInterval
+from repro.tree.node import Tree
+from repro.tree.traversal import iter_postorder
+
+
+@register
+class RSPartitioner(Partitioner):
+    """Rightmost-siblings packing, Natix' pre-paper import algorithm."""
+
+    name = "rs"
+    optimal = False
+    main_memory_friendly = True
+
+    def _partition(self, tree: Tree, limit: int) -> Partitioning:
+        residual = [0] * len(tree)
+        intervals = {SiblingInterval(tree.root.node_id, tree.root.node_id)}
+        for node in iter_postorder(tree):
+            rest = node.weight + sum(residual[c.node_id] for c in node.children)
+            right = len(node.children) - 1  # rightmost not-yet-cut child
+            while rest > limit:
+                # Start a new partition at the rightmost remaining child
+                # and extend it leftward while the next sibling fits.
+                end = right
+                weight = residual[node.children[end].node_id]
+                rest -= weight
+                begin = end
+                while (
+                    rest > limit
+                    and begin > 0
+                    and weight + residual[node.children[begin - 1].node_id] <= limit
+                ):
+                    begin -= 1
+                    w = residual[node.children[begin].node_id]
+                    weight += w
+                    rest -= w
+                intervals.add(
+                    SiblingInterval(
+                        node.children[begin].node_id, node.children[end].node_id
+                    )
+                )
+                right = begin - 1
+            residual[node.node_id] = rest
+        return Partitioning(intervals)

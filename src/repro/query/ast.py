@@ -1,0 +1,125 @@
+"""Abstract syntax for the XPath subset."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Union
+
+
+class Axis(enum.Enum):
+    CHILD = "child"
+    DESCENDANT = "descendant"
+    DESCENDANT_OR_SELF = "descendant-or-self"
+    SELF = "self"
+    PARENT = "parent"
+    ANCESTOR = "ancestor"
+    ANCESTOR_OR_SELF = "ancestor-or-self"
+    FOLLOWING_SIBLING = "following-sibling"
+    PRECEDING_SIBLING = "preceding-sibling"
+    ATTRIBUTE = "attribute"
+
+
+AXES_BY_NAME = {axis.value: axis for axis in Axis}
+
+#: wildcard node test
+STAR = "*"
+
+
+class NodeTestKind(enum.Enum):
+    """What a step's node test selects."""
+
+    ELEMENT = "element"  # named element or *
+    ATTRIBUTE = "attribute"  # named attribute or @*
+    TEXT = "text"  # text()
+    ANY = "any"  # node()
+
+
+@dataclass(frozen=True)
+class NodeTest:
+    kind: NodeTestKind
+    name: str = STAR  # element/attribute name, or * for wildcards
+
+    def __str__(self) -> str:
+        if self.kind is NodeTestKind.TEXT:
+            return "text()"
+        if self.kind is NodeTestKind.ANY:
+            return "node()"
+        prefix = "@" if self.kind is NodeTestKind.ATTRIBUTE else ""
+        return prefix + self.name
+
+
+@dataclass(frozen=True)
+class Step:
+    """One location step: ``axis::nodetest[predicate]*``."""
+
+    axis: Axis
+    node_test: NodeTest
+    predicates: tuple["Predicate", ...] = ()
+
+    def __str__(self) -> str:
+        preds = "".join(f"[{p}]" for p in self.predicates)
+        return f"{self.axis.value}::{self.node_test}{preds}"
+
+
+@dataclass(frozen=True)
+class LocationPath:
+    """A (possibly absolute) chain of steps."""
+
+    steps: tuple[Step, ...]
+    absolute: bool = False
+
+    def __str__(self) -> str:
+        sep = "/" if self.absolute else ""
+        return sep + "/".join(str(s) for s in self.steps)
+
+
+@dataclass(frozen=True)
+class BooleanExpr:
+    """``or``/``and`` combination of predicate expressions."""
+
+    op: str  # "or" | "and"
+    operands: tuple["PredicateExpr", ...]
+
+    def __str__(self) -> str:
+        return f" {self.op} ".join(str(o) for o in self.operands)
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """``path = "literal"`` — string-value equality (or ``!=``)."""
+
+    path: LocationPath
+    op: str  # "=" | "!="
+    literal: str
+
+    def __str__(self) -> str:
+        return f'{self.path} {self.op} "{self.literal}"'
+
+
+@dataclass(frozen=True)
+class Position:
+    """A numeric predicate ``[n]`` or ``[last()]``."""
+
+    index: int  # 1-based; -1 means last()
+
+    def __str__(self) -> str:
+        return "last()" if self.index == -1 else str(self.index)
+
+
+PredicateExpr = Union[LocationPath, BooleanExpr, Comparison, Position]
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """A bracketed filter.
+
+    Path / boolean / comparison predicates are truthy per context node;
+    :class:`Position` predicates filter by proximity position within the
+    step's axis result.
+    """
+
+    expr: PredicateExpr = field()
+
+    def __str__(self) -> str:
+        return str(self.expr)

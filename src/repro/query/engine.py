@@ -1,0 +1,272 @@
+"""Evaluation of the XPath subset over a document store.
+
+Navigation-based, like Natix' query processor for these simple location
+paths: context node sets are expanded axis by axis through
+:class:`~repro.storage.store.StoredNode` hops (first-child /
+next-sibling / parent), so the store's cost counters directly reflect the
+work a navigational evaluator performs on the chosen partitioning.
+
+Results are duplicate-free and in document order. Supported beyond the
+paper's Table 3 needs: the attribute axis (attributes are modelled as
+leading children of their element), ``text()``/``node()`` kind tests,
+positional predicates (``[2]``, ``[last()]``) and string-value
+comparisons (``[@id = "x"]``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import QueryEvaluationError
+from repro.query.ast import (
+    Axis,
+    BooleanExpr,
+    Comparison,
+    LocationPath,
+    NodeTest,
+    NodeTestKind,
+    Position,
+    Predicate,
+    PredicateExpr,
+    STAR,
+    Step,
+)
+from repro.query.parser import parse_xpath
+from repro.storage.constants import StorageConfig
+from repro.storage.store import DocumentStore, StoredNode
+from repro.tree.node import NodeKind
+
+
+def _matches(node: StoredNode, test: NodeTest) -> bool:
+    if test.kind is NodeTestKind.ANY:
+        return True
+    if test.kind is NodeTestKind.TEXT:
+        return node.kind is NodeKind.TEXT
+    if test.kind is NodeTestKind.ATTRIBUTE:
+        return node.kind is NodeKind.ATTRIBUTE and (
+            test.name == STAR or node.label == test.name
+        )
+    return node.is_element() and (test.name == STAR or node.label == test.name)
+
+
+def _axis_nodes(context: StoredNode, axis: Axis):
+    """Generate the axis population for one context node (all hops are
+    charged by StoredNode). Order is proximity order for reverse axes,
+    document order otherwise."""
+    if axis is Axis.CHILD:
+        yield from context.children()
+    elif axis is Axis.ATTRIBUTE:
+        # attributes are the leading children of an element
+        for child in context.children():
+            if child.kind is not NodeKind.ATTRIBUTE:
+                break
+            yield child
+    elif axis is Axis.SELF:
+        yield context
+    elif axis is Axis.DESCENDANT:
+        walker = context.descendants_or_self()
+        next(walker)  # drop self
+        yield from walker
+    elif axis is Axis.DESCENDANT_OR_SELF:
+        yield from context.descendants_or_self()
+    elif axis is Axis.PARENT:
+        parent = context.parent()
+        if parent is not None:
+            yield parent
+    elif axis in (Axis.ANCESTOR, Axis.ANCESTOR_OR_SELF):
+        if axis is Axis.ANCESTOR_OR_SELF:
+            yield context
+        node = context.parent()
+        while node is not None:
+            yield node
+            node = node.parent()
+    elif axis is Axis.FOLLOWING_SIBLING:
+        node = context.next_sibling()
+        while node is not None:
+            yield node
+            node = node.next_sibling()
+    elif axis is Axis.PRECEDING_SIBLING:
+        node = context.prev_sibling()
+        while node is not None:
+            yield node
+            node = node.prev_sibling()
+    else:  # pragma: no cover - exhaustive enum
+        raise QueryEvaluationError(f"unsupported axis {axis}")
+
+
+def _apply_step(contexts: list[StoredNode], step: Step) -> list[StoredNode]:
+    seen: set[int] = set()
+    out: list[StoredNode] = []
+    boolean_preds = [
+        p for p in step.predicates if not isinstance(p.expr, Position)
+    ]
+    position_preds = [
+        p.expr for p in step.predicates if isinstance(p.expr, Position)
+    ]
+    for context in contexts:
+        matched = [
+            node
+            for node in _axis_nodes(context, step.axis)
+            if _matches(node, step.node_test)
+        ]
+        # positional predicates filter within this context's axis result
+        for position in position_preds:
+            index = position.index if position.index != -1 else len(matched)
+            matched = [matched[index - 1]] if 1 <= index <= len(matched) else []
+        for node in matched:
+            if node.node_id in seen:
+                continue
+            if all(_predicate_holds(node, pred) for pred in boolean_preds):
+                seen.add(node.node_id)
+                out.append(node)
+    out.sort(key=lambda n: n.store.order_rank(n.node_id))  # document order
+    return out
+
+
+def string_value(node: StoredNode) -> str:
+    """XPath string-value: own content for text/attribute nodes, the
+    concatenation of descendant text for elements."""
+    if node.kind in (NodeKind.TEXT, NodeKind.ATTRIBUTE):
+        return node.content or ""
+    parts = []
+    for descendant in node.descendants_or_self():
+        if descendant.kind is NodeKind.TEXT:
+            parts.append(descendant.content or "")
+    return "".join(parts)
+
+
+def _predicate_holds(node: StoredNode, predicate: Predicate) -> bool:
+    return _expr_holds(node, predicate.expr)
+
+
+def _expr_holds(node: StoredNode, expr: PredicateExpr) -> bool:
+    if isinstance(expr, BooleanExpr):
+        if expr.op == "or":
+            return any(_expr_holds(node, operand) for operand in expr.operands)
+        return all(_expr_holds(node, operand) for operand in expr.operands)
+    if isinstance(expr, Comparison):
+        selected = _evaluate_path([node], expr.path, _source_of(node))
+        values = (string_value(n) for n in selected)
+        if expr.op == "=":
+            return any(v == expr.literal for v in values)
+        return any(v != expr.literal for v in values)
+    if isinstance(expr, LocationPath):
+        return bool(_evaluate_path([node], expr, _source_of(node)))
+    raise QueryEvaluationError(f"unsupported predicate expression {expr!r}")
+
+
+def _source_of(node):
+    """The navigator that produced a node handle (for absolute sub-paths)."""
+    return getattr(node, "navigator", None) or node.store
+
+
+def _evaluate_path(
+    contexts: list[StoredNode], path: LocationPath, source
+) -> list[StoredNode]:
+    if path.absolute:
+        root = source.root()
+        store = getattr(source, "store", source)
+        contexts = [_VirtualRoot(store, root)]  # type: ignore[list-item]
+    current = contexts
+    for step in path.steps:
+        if not current:
+            return []
+        current = _apply_step(current, step)
+    # A bare "/" selects the virtual root; report the document element.
+    if path.absolute and not path.steps:
+        return [source.root()]
+    return current
+
+
+class _VirtualRoot:
+    """The XPath root node: parent of the document element.
+
+    Duck-typed so it wraps either navigator's node handles (tree-backed
+    :class:`StoredNode` or record-backed
+    :class:`~repro.storage.navigator.RecordNode`).
+    """
+
+    __slots__ = ("store", "node_id", "_doc_root")
+
+    def __init__(self, store: DocumentStore, doc_root):
+        self.store = store
+        self.node_id = doc_root.node_id
+        self._doc_root = doc_root
+
+    @property
+    def kind(self) -> NodeKind:
+        return NodeKind.OTHER
+
+    def is_element(self) -> bool:
+        return False
+
+    def parent(self):
+        return None
+
+    def first_child(self):
+        return self._doc_root
+
+    def next_sibling(self):
+        return None
+
+    def prev_sibling(self):
+        return None
+
+    def children(self):
+        yield self._doc_root
+
+    def descendants_or_self(self):
+        yield self
+        yield from self._doc_root.descendants_or_self()
+
+
+@dataclass(frozen=True)
+class QueryRun:
+    """Outcome of one measured query execution."""
+
+    xpath: str
+    result_count: int
+    intra_steps: int
+    cross_steps: int
+    page_faults: int
+    cost: float
+
+    @property
+    def total_steps(self) -> int:
+        return self.intra_steps + self.cross_steps
+
+    @property
+    def cross_ratio(self) -> float:
+        return self.cross_steps / self.total_steps if self.total_steps else 0.0
+
+
+def evaluate(source, xpath: str) -> list[StoredNode]:
+    """Evaluate an expression; returns matching nodes in document order.
+
+    ``source`` is a :class:`DocumentStore` or any navigator exposing the
+    same ``root()`` handle protocol (e.g.
+    :class:`~repro.storage.navigator.RecordNavigator` for fully
+    record-backed evaluation).
+    """
+    path = parse_xpath(xpath)
+    return _evaluate_path([source.root()], path, source)
+
+
+def run_query(
+    store: DocumentStore, xpath: str, config: StorageConfig | None = None
+) -> QueryRun:
+    """Evaluate with fresh counters and return the measured
+    :class:`QueryRun` (buffer content is left warm across runs, matching
+    the paper's protocol)."""
+    config = config or store.config
+    store.stats.reset()
+    results = evaluate(store, xpath)
+    stats = store.stats
+    return QueryRun(
+        xpath=xpath,
+        result_count=len(results),
+        intra_steps=stats.intra_steps,
+        cross_steps=stats.cross_steps,
+        page_faults=stats.page_faults,
+        cost=stats.cost(config),
+    )

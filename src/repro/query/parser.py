@@ -1,0 +1,244 @@
+"""Recursive-descent parser for the XPath subset.
+
+Grammar (abbreviated syntax is normalized during parsing)::
+
+    path       := ("/" | "//")? relative
+    relative   := step (("/" | "//") step)*
+    step       := (axisname "::")? nodetest predicate*
+    nodetest   := NAME | "*" | "@" NAME | "@" "*" | "text()" | "node()"
+    predicate  := "[" orexpr "]" | "[" NUMBER "]" | "[" "last()" "]"
+    orexpr     := andexpr ("or" andexpr)*
+    andexpr    := compexpr ("and" compexpr)*
+    compexpr   := path (("=" | "!=") LITERAL)?
+
+``//`` before a step is normalized to the ``descendant`` axis; ``@name``
+to the ``attribute`` axis.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from repro.errors import QuerySyntaxError
+from repro.query.ast import (
+    AXES_BY_NAME,
+    Axis,
+    BooleanExpr,
+    Comparison,
+    LocationPath,
+    NodeTest,
+    NodeTestKind,
+    Position,
+    Predicate,
+    PredicateExpr,
+    STAR,
+    Step,
+)
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:"
+    r"(?P<dslash>//)"
+    r"|(?P<slash>/)"
+    r"|(?P<axis_sep>::)"
+    r"|(?P<lbracket>\[)"
+    r"|(?P<rbracket>\])"
+    r"|(?P<lparen>\()"
+    r"|(?P<rparen>\))"
+    r"|(?P<at>@)"
+    r"|(?P<neq>!=)"
+    r"|(?P<eq>=)"
+    r"|(?P<star>\*)"
+    r"|(?P<number>\d+)"
+    r"|(?P<literal>\"[^\"]*\"|'[^']*')"
+    r"|(?P<name>[A-Za-z_][\w.-]*)"
+    r")"
+)
+
+
+def _tokenize(text: str) -> list[tuple[str, str]]:
+    tokens: list[tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None or match.end() == pos:
+            raise QuerySyntaxError(f"unexpected character at {pos}: {text[pos:pos + 10]!r}")
+        kind = match.lastgroup
+        assert kind is not None
+        tokens.append((kind, match.group(kind)))
+        pos = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.pos = 0
+
+    def peek(self, offset: int = 0) -> Optional[tuple[str, str]]:
+        index = self.pos + offset
+        return self.tokens[index] if index < len(self.tokens) else None
+
+    def take(self, kind: Optional[str] = None) -> tuple[str, str]:
+        token = self.peek()
+        if token is None:
+            raise QuerySyntaxError(f"unexpected end of expression: {self.text!r}")
+        if kind is not None and token[0] != kind:
+            raise QuerySyntaxError(
+                f"expected {kind}, found {token[1]!r} in {self.text!r}"
+            )
+        self.pos += 1
+        return token
+
+    # path := ("/" | "//")? relative
+    def parse_path(self) -> LocationPath:
+        token = self.peek()
+        absolute = False
+        double = False
+        if token is not None and token[0] in ("slash", "dslash"):
+            absolute = True
+            double = token[0] == "dslash"
+            self.take()
+            if self.peek() is None and not double:
+                return LocationPath(steps=(), absolute=True)  # just "/"
+        steps = [self.parse_step(descendant=double)]
+        while True:
+            token = self.peek()
+            if token is None or token[0] not in ("slash", "dslash"):
+                break
+            double = token[0] == "dslash"
+            self.take()
+            steps.append(self.parse_step(descendant=double))
+        return LocationPath(steps=tuple(steps), absolute=absolute)
+
+    def parse_step(self, descendant: bool) -> Step:
+        axis: Optional[Axis] = None
+        token = self.peek()
+        if token is None:
+            raise QuerySyntaxError(f"unexpected end of expression: {self.text!r}")
+        # explicit axis?
+        if token[0] == "name" and self.peek(1) is not None and self.peek(1)[0] == "axis_sep":
+            if descendant:
+                raise QuerySyntaxError("'//' before an explicit axis is not supported")
+            axis_name = self.take("name")[1]
+            axis = AXES_BY_NAME.get(axis_name)
+            if axis is None:
+                raise QuerySyntaxError(f"unknown axis {axis_name!r} in {self.text!r}")
+            self.take("axis_sep")
+        node_test = self.parse_node_test(axis)
+        if axis is None:
+            if node_test.kind is NodeTestKind.ATTRIBUTE:
+                # attributes are modelled as children, so "//@x" is just
+                # the descendant axis with an attribute node test
+                axis = Axis.DESCENDANT if descendant else Axis.ATTRIBUTE
+            else:
+                axis = Axis.DESCENDANT if descendant else Axis.CHILD
+        predicates = []
+        while self.peek() is not None and self.peek()[0] == "lbracket":
+            self.take("lbracket")
+            predicates.append(Predicate(self.parse_predicate_expr()))
+            self.take("rbracket")
+        return Step(axis=axis, node_test=node_test, predicates=tuple(predicates))
+
+    def parse_node_test(self, axis: Optional[Axis]) -> NodeTest:
+        token = self.take()
+        if token[0] == "at":
+            token = self.take()
+            if token[0] == "star":
+                return NodeTest(NodeTestKind.ATTRIBUTE, STAR)
+            if token[0] == "name":
+                return NodeTest(NodeTestKind.ATTRIBUTE, token[1])
+            raise QuerySyntaxError(f"expected attribute name after '@' in {self.text!r}")
+        if token[0] == "star":
+            kind = (
+                NodeTestKind.ATTRIBUTE if axis is Axis.ATTRIBUTE else NodeTestKind.ELEMENT
+            )
+            return NodeTest(kind, STAR)
+        if token[0] == "name":
+            name = token[1]
+            # text() / node() kind tests
+            if (
+                self.peek() is not None
+                and self.peek()[0] == "lparen"
+                and name in ("text", "node")
+            ):
+                self.take("lparen")
+                self.take("rparen")
+                return NodeTest(
+                    NodeTestKind.TEXT if name == "text" else NodeTestKind.ANY
+                )
+            kind = (
+                NodeTestKind.ATTRIBUTE if axis is Axis.ATTRIBUTE else NodeTestKind.ELEMENT
+            )
+            return NodeTest(kind, name)
+        raise QuerySyntaxError(f"expected node test, found {token[1]!r}")
+
+    # predicate bodies ---------------------------------------------------
+
+    def parse_predicate_expr(self) -> PredicateExpr:
+        token = self.peek()
+        if token is not None and token[0] == "number":
+            self.take()
+            return Position(int(token[1]))
+        if (
+            token is not None
+            and token[0] == "name"
+            and token[1] == "last"
+            and self.peek(1) is not None
+            and self.peek(1)[0] == "lparen"
+        ):
+            self.take()
+            self.take("lparen")
+            self.take("rparen")
+            return Position(-1)
+        return self.parse_or()
+
+    def parse_or(self) -> PredicateExpr:
+        operands = [self.parse_and()]
+        while self._keyword("or"):
+            operands.append(self.parse_and())
+        if len(operands) == 1:
+            return operands[0]
+        return BooleanExpr("or", tuple(operands))
+
+    def parse_and(self) -> PredicateExpr:
+        operands = [self.parse_comparison()]
+        while self._keyword("and"):
+            operands.append(self.parse_comparison())
+        if len(operands) == 1:
+            return operands[0]
+        return BooleanExpr("and", tuple(operands))
+
+    def parse_comparison(self) -> PredicateExpr:
+        path = self.parse_path()
+        token = self.peek()
+        if token is not None and token[0] in ("eq", "neq"):
+            op = "=" if token[0] == "eq" else "!="
+            self.take()
+            literal = self.take("literal")[1]
+            return Comparison(path=path, op=op, literal=literal[1:-1])
+        return path
+
+    def _keyword(self, word: str) -> bool:
+        token = self.peek()
+        if token is not None and token[0] == "name" and token[1] == word:
+            # don't swallow "or"/"and" when used as an element name at the
+            # start of a predicate — only treat as keyword between
+            # expressions, which is exactly where this helper is called.
+            self.take()
+            return True
+        return False
+
+
+def parse_xpath(text: str) -> LocationPath:
+    """Parse an expression of the supported XPath subset."""
+    parser = _Parser(text)
+    path = parser.parse_path()
+    if parser.peek() is not None:
+        raise QuerySyntaxError(
+            f"trailing tokens after position {parser.pos} in {text!r}"
+        )
+    if not path.steps and not path.absolute:
+        raise QuerySyntaxError("empty expression")
+    return path

@@ -1,0 +1,77 @@
+"""Buffer pool: LRU page cache with hit/miss accounting.
+
+Table 3 runs with "a buffer pool that is larger than the document, so
+that there is no page fault during query evaluation"; the pool still
+matters because it is where cross-record navigation pays its lookup, and
+because a smaller pool (ablation A4-style experiments) lets the cost
+model show the fault penalty.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.errors import StorageError
+from repro.storage.page import Page
+
+
+@dataclass
+class BufferStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+
+class BufferPool:
+    """LRU cache over a page table ("disk")."""
+
+    def __init__(self, pages: dict[int, Page], capacity: int):
+        if capacity < 1:
+            raise StorageError("buffer pool needs capacity >= 1")
+        self._disk = pages
+        self.capacity = capacity
+        self._cached: OrderedDict[int, Page] = OrderedDict()
+        self.stats = BufferStats()
+
+    def fetch(self, page_id: int) -> Page:
+        """Return the page, counting a hit or a (possibly evicting) miss."""
+        page = self._cached.get(page_id)
+        if page is not None:
+            self.stats.hits += 1
+            self._cached.move_to_end(page_id)
+            return page
+        self.stats.misses += 1
+        try:
+            page = self._disk[page_id]
+        except KeyError:
+            raise StorageError(f"unknown page {page_id}") from None
+        self._cached[page_id] = page
+        if len(self._cached) > self.capacity:
+            self._cached.popitem(last=False)
+            self.stats.evictions += 1
+        return page
+
+    def is_cached(self, page_id: int) -> bool:
+        return page_id in self._cached
+
+    def warm_up(self) -> None:
+        """Touch every page once (the paper preloads before measuring)."""
+        for page_id in self._disk:
+            self.fetch(page_id)
+
+    def clear(self) -> None:
+        self._cached.clear()

@@ -1,0 +1,243 @@
+"""Record-level navigation: walking the document from record bytes.
+
+:class:`~repro.storage.store.StoredNode` navigates the in-memory tree and
+*accounts* intra-/cross-record steps — fast and sufficient for the
+experiments. This module goes further: :class:`RecordNavigator` performs
+navigation **purely from decoded records**, the way the real Natix engine
+does. Structure comes from three sources only:
+
+* intra-record parent slots (record-internal pointer chases),
+* per-node sibling positions, and
+* the *proxy index*: fragment roots announce their parent's global node
+  id, so the children of any node are the union of its in-record
+  children and the fragment roots (possibly in several other records)
+  claiming it as parent — merged by position.
+
+Tests drive full-document traversals through both navigators and assert
+identical structure *and* identical cross-record step counts, which
+validates the cost model the experiments rely on.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.errors import StorageError
+from repro.storage.record import DOCUMENT_ROOT, NO_PARENT, Record
+from repro.storage.store import DocumentStore, NavigationStats
+from repro.tree.node import NodeKind
+
+
+@dataclass
+class _DecodedRecord:
+    """One record plus the lookup structures navigation needs."""
+
+    record: Record
+    #: node_id -> slot index
+    slot_of: dict[int, int] = field(default_factory=dict)
+    #: parent node_id -> sorted list of (position, child node_id) within
+    #: this record
+    children_of: dict[int, list[tuple[int, int]]] = field(default_factory=dict)
+
+    @classmethod
+    def build(cls, record: Record) -> "_DecodedRecord":
+        decoded = cls(record)
+        for slot, node in enumerate(record.nodes):
+            decoded.slot_of[node.node_id] = slot
+        for node in record.nodes:
+            if node.parent_slot == NO_PARENT:
+                continue
+            parent_id = record.nodes[node.parent_slot].node_id
+            bisect.insort(
+                decoded.children_of.setdefault(parent_id, []),
+                (node.position, node.node_id),
+            )
+        return decoded
+
+
+class RecordNavigator:
+    """Navigates a :class:`DocumentStore`'s documents from records alone.
+
+    Shares the store's buffer pool (so page-level accounting is real) but
+    keeps its own :class:`NavigationStats`, letting tests compare both
+    navigators' counters on identical walks.
+    """
+
+    def __init__(self, store: DocumentStore):
+        self.store = store
+        self.stats = NavigationStats()
+        self._decoded: dict[int, _DecodedRecord] = {}
+        # proxy index: parent node_id -> sorted (position, child node_id)
+        # over all fragment roots of all records
+        self._proxies: dict[int, list[tuple[int, int]]] = {}
+        self._root_id: Optional[int] = None
+        for record_id in range(store.record_count):
+            record = store.fetch_record(record_id)
+            for node in record.fragment_roots():
+                if node.parent_node_id == DOCUMENT_ROOT:
+                    if self._root_id is not None:
+                        raise StorageError("multiple document roots in records")
+                    self._root_id = node.node_id
+                    continue
+                bisect.insort(
+                    self._proxies.setdefault(node.parent_node_id, []),
+                    (node.position, node.node_id),
+                )
+        if self._root_id is None:
+            raise StorageError("records contain no document root")
+
+    # -- internals ---------------------------------------------------------
+
+    def _record_of(self, node_id: int) -> int:
+        return self.store.record_of[node_id]
+
+    def _decoded_record(self, record_id: int) -> _DecodedRecord:
+        decoded = self._decoded.get(record_id)
+        if decoded is None:
+            decoded = _DecodedRecord.build(self.store.fetch_record(record_id))
+            self._decoded[record_id] = decoded
+        return decoded
+
+    def _entry(self, node_id: int):
+        decoded = self._decoded_record(self._record_of(node_id))
+        return decoded.record.nodes[decoded.slot_of[node_id]]
+
+    def _charge(self, source_id: int, target_id: int) -> None:
+        if self._record_of(source_id) == self._record_of(target_id):
+            self.stats.intra_steps += 1
+            return
+        self.stats.cross_steps += 1
+        page_id = self.store.manager.page_of_record[self._record_of(target_id)]
+        if not self.store.buffer.is_cached(page_id):
+            self.stats.page_faults += 1
+        self.store.buffer.fetch(page_id)
+
+    def _children_ids(self, node_id: int) -> list[int]:
+        """All children (in-record + proxied), in sibling order."""
+        decoded = self._decoded_record(self._record_of(node_id))
+        local = decoded.children_of.get(node_id, [])
+        proxied = self._proxies.get(node_id, [])
+        merged = sorted(local + proxied)
+        return [child_id for _pos, child_id in merged]
+
+    # -- public API ----------------------------------------------------------
+
+    def root(self) -> "RecordNode":
+        self.stats.node_visits += 1
+        return RecordNode(self, self._root_id)
+
+
+class RecordNode:
+    """Navigation handle mirroring :class:`StoredNode`'s interface, but
+    backed exclusively by record data."""
+
+    __slots__ = ("navigator", "node_id")
+
+    def __init__(self, navigator: RecordNavigator, node_id: int):
+        self.navigator = navigator
+        self.node_id = node_id
+
+    # payload accessors (record-resident, no navigation cost)
+
+    @property
+    def label(self) -> str:
+        entry = self.navigator._entry(self.node_id)
+        return self.navigator.store.labels[entry.label_id]
+
+    @property
+    def kind(self) -> NodeKind:
+        return self.navigator._entry(self.node_id).kind
+
+    @property
+    def content(self) -> Optional[str]:
+        raw = self.navigator._entry(self.node_id).content
+        return raw.decode("utf-8") if raw else None
+
+    @property
+    def record_id(self) -> int:
+        return self.navigator._record_of(self.node_id)
+
+    @property
+    def store(self) -> DocumentStore:
+        """The owning store (document-order ranks, label dictionary)."""
+        return self.navigator.store
+
+    @property
+    def position(self) -> int:
+        return self.navigator._entry(self.node_id).position
+
+    def is_element(self) -> bool:
+        return self.kind is NodeKind.ELEMENT
+
+    # navigation (charged)
+
+    def _hop(self, target_id: Optional[int]) -> Optional["RecordNode"]:
+        if target_id is None:
+            return None
+        self.navigator._charge(self.node_id, target_id)
+        self.navigator.stats.node_visits += 1
+        return RecordNode(self.navigator, target_id)
+
+    def parent(self) -> Optional["RecordNode"]:
+        entry = self.navigator._entry(self.node_id)
+        if entry.parent_slot != NO_PARENT:
+            decoded = self.navigator._decoded_record(self.record_id)
+            return self._hop(decoded.record.nodes[entry.parent_slot].node_id)
+        if entry.parent_node_id == DOCUMENT_ROOT:
+            return None
+        return self._hop(entry.parent_node_id)
+
+    def first_child(self) -> Optional["RecordNode"]:
+        children = self.navigator._children_ids(self.node_id)
+        return self._hop(children[0] if children else None)
+
+    def _sibling(self, offset: int) -> Optional["RecordNode"]:
+        entry = self.navigator._entry(self.node_id)
+        if entry.parent_node_id == DOCUMENT_ROOT and entry.parent_slot == NO_PARENT:
+            return None
+        parent = self.parent_id()
+        siblings = self.navigator._children_ids(parent)
+        index = siblings.index(self.node_id) + offset
+        if 0 <= index < len(siblings):
+            return self._hop(siblings[index])
+        return None
+
+    def parent_id(self) -> int:
+        entry = self.navigator._entry(self.node_id)
+        if entry.parent_slot != NO_PARENT:
+            decoded = self.navigator._decoded_record(self.record_id)
+            return decoded.record.nodes[entry.parent_slot].node_id
+        return entry.parent_node_id
+
+    def next_sibling(self) -> Optional["RecordNode"]:
+        return self._sibling(+1)
+
+    def prev_sibling(self) -> Optional["RecordNode"]:
+        return self._sibling(-1)
+
+    def children(self) -> Iterator["RecordNode"]:
+        child = self.first_child()
+        while child is not None:
+            yield child
+            child = child.next_sibling()
+
+    def descendants_or_self(self) -> Iterator["RecordNode"]:
+        yield self
+        stack: list[RecordNode] = []
+        first = self.first_child()
+        if first is not None:
+            stack.append(first)
+        while stack:
+            node = stack.pop()
+            yield node
+            sibling = node.next_sibling()
+            if sibling is not None:
+                stack.append(sibling)
+            child = node.first_child()
+            if child is not None:
+                stack.append(child)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RecordNode(id={self.node_id}, record={self.record_id})"

@@ -1,0 +1,62 @@
+"""Slotted disk pages.
+
+A page holds several record blobs, addressed through a slot directory.
+The free-space accounting reproduces the fragmentation effects the paper
+mentions for Table 3: a record only fits if its bytes *plus* a slot
+directory entry fit into the remaining payload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import StorageError
+from repro.storage.constants import StorageConfig
+
+
+@dataclass
+class Page:
+    """One fixed-size page with a slot directory of record blobs."""
+
+    page_id: int
+    config: StorageConfig
+    slots: dict[int, bytes] = field(default_factory=dict)  # record_id -> blob
+
+    @property
+    def used_bytes(self) -> int:
+        payload = sum(len(blob) for blob in self.slots.values())
+        return self.config.page_header + payload + self.config.page_slot_entry * len(self.slots)
+
+    @property
+    def free_bytes(self) -> int:
+        return self.config.page_size - self.used_bytes
+
+    def fits(self, blob: bytes) -> bool:
+        return len(blob) + self.config.page_slot_entry <= self.free_bytes
+
+    def put(self, record_id: int, blob: bytes) -> None:
+        if record_id in self.slots:
+            raise StorageError(f"record {record_id} already on page {self.page_id}")
+        if not self.fits(blob):
+            raise StorageError(
+                f"record {record_id} ({len(blob)} B) does not fit page {self.page_id} "
+                f"({self.free_bytes} B free)"
+            )
+        self.slots[record_id] = blob
+
+    def get(self, record_id: int) -> bytes:
+        try:
+            return self.slots[record_id]
+        except KeyError:
+            raise StorageError(
+                f"record {record_id} not on page {self.page_id}"
+            ) from None
+
+    def remove(self, record_id: int) -> bytes:
+        """Free a record's slot (used by incremental updates)."""
+        try:
+            return self.slots.pop(record_id)
+        except KeyError:
+            raise StorageError(
+                f"record {record_id} not on page {self.page_id}"
+            ) from None

@@ -1,0 +1,328 @@
+"""The document store: partitioned tree + navigation cost accounting.
+
+:meth:`DocumentStore.build` materializes a partitioned document: every
+partition is serialized into a :class:`~repro.storage.record.Record`,
+records are packed onto pages, and a shared label dictionary maps tag
+names to ids. Queries then navigate :class:`StoredNode` handles; each
+axis step is charged
+
+* ``intra_cost`` when source and target live in the same record,
+* ``cross_cost`` (+ a buffer fetch, + ``fault_cost`` on a page miss)
+  when the step follows an inter-record proxy.
+
+This is the quantity Table 3 measures: the same document stored under
+KM's single-node partitions forces a cross-record hop for nearly every
+edge, while EKM's sibling partitions keep whole child sequences local.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.errors import StorageError
+from repro.partition.evaluate import assignment_from_partitioning
+from repro.partition.interval import Partitioning
+from repro.storage.buffer import BufferPool
+from repro.storage.constants import DEFAULT_CONFIG, StorageConfig
+from repro.storage.manager import RecordManager, SpaceReport
+from repro.storage.record import DOCUMENT_ROOT, NO_PARENT, Record, RecordCodec, RecordNode
+from repro.tree.node import NodeKind, Tree, TreeNode
+
+
+@dataclass
+class NavigationStats:
+    """Counters and the derived simulated cost of a navigation workload."""
+
+    intra_steps: int = 0
+    cross_steps: int = 0
+    page_faults: int = 0
+    node_visits: int = 0
+
+    def cost(self, config: StorageConfig) -> float:
+        return (
+            self.intra_steps * config.intra_cost
+            + self.cross_steps * config.cross_cost
+            + self.page_faults * config.fault_cost
+        )
+
+    def reset(self) -> None:
+        self.intra_steps = 0
+        self.cross_steps = 0
+        self.page_faults = 0
+        self.node_visits = 0
+
+
+class DocumentStore:
+    """A partitioned, serialized document with navigational access."""
+
+    def __init__(
+        self,
+        tree: Tree,
+        partitioning: Partitioning,
+        config: StorageConfig = DEFAULT_CONFIG,
+    ):
+        self.tree = tree
+        self.partitioning = partitioning
+        self.config = config
+        self.stats = NavigationStats()
+        #: optional hook called with (source_id, target_id) on every
+        #: navigation step — used by workload profiling
+        self.edge_recorder = None
+
+        # label dictionary
+        self.labels: list[str] = []
+        self._label_ids: dict[str, int] = {}
+
+        # node -> record assignment (dense partition indices)
+        self.record_of = assignment_from_partitioning(tree, partitioning)
+
+        # build + serialize records, place them on pages
+        self.codec = RecordCodec(
+            record_header=config.record_header,
+            capacity_bytes=None,  # weight feasibility is checked upstream
+        )
+        self.manager = RecordManager(config)
+        records = self._build_records()
+        for record in records:
+            self.manager.store(record.record_id, self.codec.encode(record))
+        self.record_count = len(records)
+        self.buffer = BufferPool(self.manager.pages, config.buffer_pages)
+
+        # current partition weight per record (maintained by updates)
+        self.record_weights = [0] * self.record_count
+        for node in tree:
+            self.record_weights[self.record_of[node.node_id]] += node.weight
+        # document-order ranks, recomputed lazily after structural updates
+        self._order_ranks: Optional[list[int]] = None
+
+    # -- construction ----------------------------------------------------
+
+    def _label_id(self, label: str) -> int:
+        lid = self._label_ids.get(label)
+        if lid is None:
+            lid = len(self.labels)
+            if lid > 0xFFFF:
+                raise StorageError("label dictionary overflow")
+            self.labels.append(label)
+            self._label_ids[label] = lid
+        return lid
+
+    def _build_records(self) -> list[Record]:
+        record_of = self.record_of
+        count = max(record_of) + 1
+        records = [Record(rid) for rid in range(count)]
+        slot_of: dict[int, int] = {}
+        for node in self.tree:  # document order; parents precede children
+            rid = record_of[node.node_id]
+            record = records[rid]
+            parent = node.parent
+            if parent is not None and record_of[parent.node_id] == rid:
+                parent_slot = slot_of[parent.node_id]
+            else:
+                parent_slot = NO_PARENT
+            slot_of[node.node_id] = len(record.nodes)
+            record.nodes.append(
+                RecordNode(
+                    node_id=node.node_id,
+                    kind=node.kind,
+                    label_id=self._label_id(node.label),
+                    parent_slot=parent_slot,
+                    content=(node.content or "").encode("utf-8"),
+                    parent_node_id=(
+                        DOCUMENT_ROOT if parent is None else parent.node_id
+                    ),
+                    position=node.index,
+                )
+            )
+        return records
+
+    @classmethod
+    def build(
+        cls,
+        tree: Tree,
+        partitioning: Partitioning,
+        config: StorageConfig = DEFAULT_CONFIG,
+    ) -> "DocumentStore":
+        return cls(tree, partitioning, config)
+
+    # -- accounting ------------------------------------------------------
+
+    def warm_up(self) -> None:
+        """Preload the buffer and zero the counters (Table 3 protocol)."""
+        self.buffer.warm_up()
+        self.stats.reset()
+        self.buffer.stats.reset()
+
+    def _charge_step(self, source_id: int, target_id: int) -> None:
+        if self.edge_recorder is not None:
+            self.edge_recorder(source_id, target_id)
+        if self.record_of[source_id] == self.record_of[target_id]:
+            self.stats.intra_steps += 1
+            return
+        self.stats.cross_steps += 1
+        page_id = self.manager.page_of_record[self.record_of[target_id]]
+        cached = self.buffer.is_cached(page_id)
+        self.buffer.fetch(page_id)
+        if not cached:
+            self.stats.page_faults += 1
+
+    def simulated_cost(self) -> float:
+        return self.stats.cost(self.config)
+
+    def space_report(self) -> SpaceReport:
+        return self.manager.space_report()
+
+    def fetch_record(self, record_id: int) -> Record:
+        """Decode a record from its page (used by integrity checks)."""
+        page = self.buffer.fetch(self.manager.page_of_record[record_id])
+        return self.codec.decode(record_id, page.get(record_id))
+
+    # -- document order (stable across incremental updates) ---------------
+
+    def order_rank(self, node_id: int) -> int:
+        """Preorder (document-order) rank of a node.
+
+        For freshly built stores node ids *are* document order; after
+        incremental inserts they are not, so ranks are recomputed lazily
+        whenever the structure changed.
+        """
+        if self._order_ranks is None:
+            from repro.tree.traversal import iter_preorder
+
+            ranks = [0] * len(self.tree)
+            for rank, node in enumerate(iter_preorder(self.tree)):
+                ranks[node.node_id] = rank
+            self._order_ranks = ranks
+        return self._order_ranks[node_id]
+
+    def invalidate_order(self) -> None:
+        """Called by the updater after structural changes."""
+        self._order_ranks = None
+
+    def rebuild_record(self, record_id: int) -> Record:
+        """Re-materialize one record from the current tree + assignment
+        (incremental updates re-encode dirty records through this)."""
+        record = Record(record_id)
+        slot_of: dict[int, int] = {}
+        for node in self.tree:
+            if self.record_of[node.node_id] != record_id:
+                continue
+            parent = node.parent
+            if parent is not None and self.record_of[parent.node_id] == record_id:
+                parent_slot = slot_of[parent.node_id]
+            else:
+                parent_slot = NO_PARENT
+            slot_of[node.node_id] = len(record.nodes)
+            record.nodes.append(
+                RecordNode(
+                    node_id=node.node_id,
+                    kind=node.kind,
+                    label_id=self._label_id(node.label),
+                    parent_slot=parent_slot,
+                    content=(node.content or "").encode("utf-8"),
+                    parent_node_id=(
+                        DOCUMENT_ROOT if parent is None else parent.node_id
+                    ),
+                    position=node.index,
+                )
+            )
+        return record
+
+    # -- navigation ------------------------------------------------------
+
+    def root(self) -> "StoredNode":
+        self.stats.node_visits += 1
+        return StoredNode(self, self.tree.root)
+
+    def node(self, node_id: int) -> "StoredNode":
+        return StoredNode(self, self.tree.node(node_id))
+
+
+class StoredNode:
+    """Handle to one stored node; navigation is charged to the store.
+
+    The structural links come from the in-memory tree (this is a
+    simulator), but every step is classified intra- vs cross-record using
+    the real record assignment, and cross steps go through the buffer
+    pool — the quantities the experiments measure.
+    """
+
+    __slots__ = ("store", "_node")
+
+    def __init__(self, store: DocumentStore, node: TreeNode):
+        self.store = store
+        self._node = node
+
+    # identity / payload (no navigation cost)
+
+    @property
+    def node_id(self) -> int:
+        return self._node.node_id
+
+    @property
+    def label(self) -> str:
+        return self._node.label
+
+    @property
+    def kind(self) -> NodeKind:
+        return self._node.kind
+
+    @property
+    def content(self) -> Optional[str]:
+        return self._node.content
+
+    @property
+    def record_id(self) -> int:
+        return self.store.record_of[self._node.node_id]
+
+    def is_element(self) -> bool:
+        return self._node.kind is NodeKind.ELEMENT
+
+    # navigation primitives (each hop is charged)
+
+    def _hop(self, target: Optional[TreeNode]) -> Optional["StoredNode"]:
+        if target is None:
+            return None
+        self.store._charge_step(self._node.node_id, target.node_id)
+        self.store.stats.node_visits += 1
+        return StoredNode(self.store, target)
+
+    def parent(self) -> Optional["StoredNode"]:
+        return self._hop(self._node.parent)
+
+    def first_child(self) -> Optional["StoredNode"]:
+        children = self._node.children
+        return self._hop(children[0] if children else None)
+
+    def next_sibling(self) -> Optional["StoredNode"]:
+        return self._hop(self._node.next_sibling())
+
+    def prev_sibling(self) -> Optional["StoredNode"]:
+        return self._hop(self._node.prev_sibling())
+
+    def children(self) -> Iterator["StoredNode"]:
+        """First-child / next-sibling walk over all children."""
+        child = self.first_child()
+        while child is not None:
+            yield child
+            child = child.next_sibling()
+
+    def descendants_or_self(self) -> Iterator["StoredNode"]:
+        """Document-order walk of the subtree (self first), step-charged."""
+        yield self
+        stack: list[StoredNode] = []
+        first = self.first_child()
+        if first is not None:
+            stack.append(first)
+        while stack:
+            node = stack.pop()
+            yield node
+            sibling = node.next_sibling()
+            if sibling is not None:
+                stack.append(sibling)
+            child = node.first_child()
+            if child is not None:
+                stack.append(child)
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StoredNode(id={self.node_id}, label={self.label!r}, record={self.record_id})"

@@ -1,0 +1,87 @@
+"""Left-child / right-sibling (LCRS) *binary view* of an ordered tree.
+
+The EKM algorithm (paper Sec. 4.3.4) runs the Kundu-Misra cuts on the
+binary representation in which every node has at most two children:
+
+* the *left* binary child is the node's first child in the n-ary tree, and
+* the *right* binary child is the node's next sibling in the n-ary tree.
+
+No separate data structure is materialized: the accessors below interpret
+the ordinary :class:`~repro.tree.node.TreeNode` links as the binary tree.
+A key property (proved in DESIGN.md Sec. 4) is that cutting binary edges
+yields components that correspond exactly to sibling partitions: each
+component's nodes reachable from its root via *right* edges form the
+sibling interval that identifies the partition.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.tree.node import Tree, TreeNode
+
+
+def first_child(node: TreeNode) -> Optional[TreeNode]:
+    """Left binary child: the first n-ary child, if any."""
+    return node.children[0] if node.children else None
+
+
+def next_sibling(node: TreeNode) -> Optional[TreeNode]:
+    """Right binary child: the next n-ary sibling, if any."""
+    return node.next_sibling()
+
+
+def binary_children(node: TreeNode) -> list[TreeNode]:
+    """The (0, 1 or 2) binary children, left before right."""
+    out = []
+    lc = first_child(node)
+    if lc is not None:
+        out.append(lc)
+    rs = next_sibling(node)
+    if rs is not None:
+        out.append(rs)
+    return out
+
+
+def binary_parent(node: TreeNode) -> Optional[TreeNode]:
+    """The binary parent: previous sibling if one exists, else the parent."""
+    prev = node.prev_sibling()
+    if prev is not None:
+        return prev
+    return node.parent
+
+
+def iter_binary_postorder(tree: Tree) -> Iterator[TreeNode]:
+    """Postorder of the binary view (left subtree, right subtree, node)."""
+    stack: list[tuple[TreeNode, bool]] = [(tree.root, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if expanded:
+            yield node
+        else:
+            stack.append((node, True))
+            rs = next_sibling(node)
+            if rs is not None:
+                stack.append((rs, False))
+            lc = first_child(node)
+            if lc is not None:
+                stack.append((lc, False))
+
+
+def binary_subtree_weights(tree: Tree) -> list[int]:
+    """Weight of every node's *binary* subtree, indexed by node id.
+
+    The binary subtree of ``v`` contains ``v``, its n-ary descendants, its
+    right siblings, their descendants, and so on.
+    """
+    weights = [0] * len(tree)
+    for node in iter_binary_postorder(tree):
+        total = node.weight
+        lc = first_child(node)
+        if lc is not None:
+            total += weights[lc.node_id]
+        rs = next_sibling(node)
+        if rs is not None:
+            total += weights[rs.node_id]
+        weights[node.node_id] = total
+    return weights

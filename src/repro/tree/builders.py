@@ -1,0 +1,102 @@
+"""Convenience constructors for trees.
+
+The compact *spec* format used across tests and examples is a nested tuple
+``(label, weight, [child_spec, ...])``; the children list may be omitted
+for leaves. The paper's Fig. 3 example tree is::
+
+    ("a", 3, [
+        ("b", 2),
+        ("c", 1, [("d", 2), ("e", 2)]),
+        ("f", 1),
+        ("g", 1),
+        ("h", 2),
+    ])
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+from repro.errors import TreeError
+from repro.tree.node import Tree, TreeNode
+
+Spec = Union[tuple, list]
+
+
+def tree_from_spec(spec: Spec) -> Tree:
+    """Build a tree from a nested ``(label, weight[, children])`` spec."""
+    label, weight, children = _unpack(spec)
+    tree = Tree(label, weight)
+    # Iterative expansion to survive deep specs.
+    stack: list[tuple[TreeNode, Spec]] = [(tree.root, child) for child in reversed(children)]
+    while stack:
+        parent, child_spec = stack.pop()
+        clabel, cweight, grandchildren = _unpack(child_spec)
+        node = tree.add_child(parent, clabel, cweight)
+        stack.extend((node, g) for g in reversed(grandchildren))
+    return tree
+
+
+def _unpack(spec: Spec) -> tuple[str, int, Sequence[Spec]]:
+    if not isinstance(spec, (tuple, list)) or len(spec) not in (2, 3):
+        raise TreeError(f"bad tree spec: {spec!r}")
+    label, weight = spec[0], spec[1]
+    children = spec[2] if len(spec) == 3 else []
+    return str(label), int(weight), children
+
+
+def spec_from_tree(tree: Tree) -> tuple:
+    """Inverse of :func:`tree_from_spec` (children lists always present)."""
+
+    def build(node: TreeNode) -> tuple:
+        return (node.label, node.weight, [build(c) for c in node.children])
+
+    # Recursion is fine here only for shallow trees; use an explicit
+    # post-order construction for robustness.
+    built: dict[int, tuple] = {}
+    from repro.tree.traversal import iter_postorder
+
+    for node in iter_postorder(tree):
+        built[node.node_id] = (
+            node.label,
+            node.weight,
+            [built[c.node_id] for c in node.children],
+        )
+    return built[0]
+
+
+def build_tree(root_weight: int, child_weights: Sequence[int] = (), root_label: str = "t") -> Tree:
+    """Shorthand for small ad-hoc trees: a root plus leaf children."""
+    tree = Tree(root_label, root_weight)
+    for i, w in enumerate(child_weights):
+        tree.add_child(tree.root, f"c{i + 1}", w)
+    return tree
+
+
+def flat_tree(root_weight: int, child_weights: Sequence[int]) -> Tree:
+    """A *flat tree* (Sec. 3.2): all nodes but the root are leaves."""
+    return build_tree(root_weight, child_weights)
+
+
+def chain_tree(weights: Sequence[int]) -> Tree:
+    """A path: each node has exactly one child (worst case for depth)."""
+    if not weights:
+        raise TreeError("chain_tree needs at least one weight")
+    tree = Tree("n0", weights[0])
+    cur = tree.root
+    for i, w in enumerate(weights[1:], start=1):
+        cur = tree.add_child(cur, f"n{i}", w)
+    return tree
+
+
+def uniform_tree(depth: int, fanout: int, weight: int = 1) -> Tree:
+    """Complete ``fanout``-ary tree of the given depth with uniform weights."""
+    tree = Tree("r", weight)
+    frontier = [tree.root]
+    for level in range(depth):
+        nxt = []
+        for parent in frontier:
+            for i in range(fanout):
+                nxt.append(tree.add_child(parent, f"l{level}c{i}", weight))
+        frontier = nxt
+    return tree

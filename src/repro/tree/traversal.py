@@ -1,0 +1,65 @@
+"""Iterative tree traversals.
+
+All traversals are iterative so that arbitrarily deep documents do not hit
+Python's recursion limit (real XML trees and the pathological inputs in the
+test suite can be thousands of levels deep).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator, Union
+
+from repro.tree.node import Tree, TreeNode
+
+
+def _root_of(tree_or_node: Union[Tree, TreeNode]) -> TreeNode:
+    return tree_or_node.root if isinstance(tree_or_node, Tree) else tree_or_node
+
+
+def iter_preorder(tree_or_node: Union[Tree, TreeNode]) -> Iterator[TreeNode]:
+    """Depth-first preorder (document order): node before its children."""
+    stack = [_root_of(tree_or_node)]
+    while stack:
+        node = stack.pop()
+        yield node
+        # Push children reversed so the leftmost child is visited first.
+        stack.extend(reversed(node.children))
+
+
+def iter_postorder(tree_or_node: Union[Tree, TreeNode]) -> Iterator[TreeNode]:
+    """Depth-first postorder: children (left to right) before the node."""
+    root = _root_of(tree_or_node)
+    # Classic two-phase iterative postorder: (node, expanded?) frames.
+    stack: list[tuple[TreeNode, bool]] = [(root, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if expanded:
+            yield node
+        else:
+            stack.append((node, True))
+            stack.extend((child, False) for child in reversed(node.children))
+
+
+def iter_levelorder(tree_or_node: Union[Tree, TreeNode]) -> Iterator[TreeNode]:
+    """Breadth-first order: level by level, siblings left to right."""
+    queue = deque([_root_of(tree_or_node)])
+    while queue:
+        node = queue.popleft()
+        yield node
+        queue.extend(node.children)
+
+
+def iter_descendants(node: TreeNode) -> Iterator[TreeNode]:
+    """All proper descendants of ``node`` in document order."""
+    it = iter_preorder(node)
+    next(it)  # skip the node itself
+    return it
+
+
+def iter_ancestors(node: TreeNode) -> Iterator[TreeNode]:
+    """All proper ancestors, nearest first."""
+    cur = node.parent
+    while cur is not None:
+        yield cur
+        cur = cur.parent

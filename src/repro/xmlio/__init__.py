@@ -1,0 +1,35 @@
+"""XML substrate: streaming parsing, the slot weight model, serialization.
+
+The partitioning algorithms operate on weighted trees; this package maps
+real XML documents onto that model the way the paper does (Sec. 6.1):
+every node costs one metadata slot, text and attribute nodes additionally
+cost slots proportional to their content length, with a slot size of
+8 bytes.
+"""
+
+from repro.xmlio.events import (
+    Characters,
+    EndDocument,
+    EndElement,
+    ParseEvent,
+    StartDocument,
+    StartElement,
+)
+from repro.xmlio.parser import iter_events, parse_tree
+from repro.xmlio.weights import SlotWeightModel, DEFAULT_SLOT_SIZE
+from repro.xmlio.serialize import tree_to_xml, write_xml
+
+__all__ = [
+    "ParseEvent",
+    "StartDocument",
+    "EndDocument",
+    "StartElement",
+    "EndElement",
+    "Characters",
+    "iter_events",
+    "parse_tree",
+    "SlotWeightModel",
+    "DEFAULT_SLOT_SIZE",
+    "tree_to_xml",
+    "write_xml",
+]

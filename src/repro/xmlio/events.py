@@ -1,0 +1,46 @@
+"""Parse events: the streaming currency between parser and consumers.
+
+The bulkloader (Sec. 4.3) consumes documents as a stream of parse events
+in depth-first preorder — "the typical result delivery of XML parsers" —
+so the event vocabulary is kept deliberately small and SAX-like.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+
+@dataclass(frozen=True)
+class StartDocument:
+    """Emitted once before any content."""
+
+
+@dataclass(frozen=True)
+class EndDocument:
+    """Emitted once after all content."""
+
+
+@dataclass(frozen=True)
+class StartElement:
+    """An opening tag with its attributes (in document order)."""
+
+    name: str
+    attributes: tuple[tuple[str, str], ...] = field(default=())
+
+
+@dataclass(frozen=True)
+class EndElement:
+    """A closing tag."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Characters:
+    """A run of character data (adjacent runs may arrive split)."""
+
+    text: str
+
+
+ParseEvent = Union[StartDocument, EndDocument, StartElement, EndElement, Characters]

@@ -1,0 +1,168 @@
+"""Streaming XML parsing and weighted-tree construction (Sec. 6.1).
+
+:func:`iter_events` wraps :mod:`xml.parsers.expat` into a generator of
+:class:`~repro.xmlio.events.ParseEvent` objects, feeding the input in
+chunks so that arbitrarily large documents never have to be resident as a
+whole. :func:`parse_tree` folds such an event stream into the weighted
+:class:`~repro.tree.node.Tree` the partitioning algorithms consume:
+
+* one :data:`~repro.tree.node.NodeKind.ELEMENT` node per element,
+* one :data:`~repro.tree.node.NodeKind.ATTRIBUTE` node per attribute
+  (placed before the element's content children, mirroring DOM order),
+* one :data:`~repro.tree.node.NodeKind.TEXT` node per maximal run of
+  character data (whitespace-only runs are dropped by default — they are
+  formatting noise, not document content).
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from typing import IO, Iterable, Iterator, Union
+from xml.parsers import expat
+
+from repro.errors import XmlFormatError
+from repro.tree.node import NodeKind, Tree
+from repro.xmlio.events import (
+    Characters,
+    EndDocument,
+    EndElement,
+    ParseEvent,
+    StartDocument,
+    StartElement,
+)
+from repro.xmlio.weights import SlotWeightModel
+
+Source = Union[str, bytes, os.PathLike, IO[bytes], IO[str]]
+
+_CHUNK = 64 * 1024
+
+
+def _open_source(source: Source) -> tuple[IO[bytes], bool]:
+    """Normalize the polymorphic source into a binary stream.
+
+    Returns ``(stream, owned)``; owned streams are closed by the caller.
+    """
+    if isinstance(source, bytes):
+        return io.BytesIO(source), True
+    if isinstance(source, str):
+        # Heuristic: document text if it looks like markup, else a path.
+        if not source.strip():
+            raise XmlFormatError("empty document")
+        if source.lstrip()[:1] == "<":
+            return io.BytesIO(source.encode("utf-8")), True
+        return open(source, "rb"), True
+    if isinstance(source, os.PathLike):
+        return open(source, "rb"), True
+    if hasattr(source, "read"):
+        probe = source.read(0)
+        if isinstance(probe, str):
+            return io.BytesIO(source.read().encode("utf-8")), True  # type: ignore[arg-type]
+        return source, False  # type: ignore[return-value]
+    raise XmlFormatError(f"unsupported XML source: {type(source).__name__}")
+
+
+def iter_events(source: Source) -> Iterator[ParseEvent]:
+    """Stream parse events from an XML document in depth-first preorder."""
+    stream, owned = _open_source(source)
+    buffer: list[ParseEvent] = []
+    parser = expat.ParserCreate(namespace_separator=None)
+    parser.buffer_text = True  # merge adjacent character data
+    parser.ordered_attributes = True
+
+    def start(name: str, attrs: list[str]) -> None:
+        pairs = tuple(zip(attrs[0::2], attrs[1::2]))
+        buffer.append(StartElement(name, pairs))
+
+    def end(name: str) -> None:
+        buffer.append(EndElement(name))
+
+    def characters(data: str) -> None:
+        buffer.append(Characters(data))
+
+    parser.StartElementHandler = start
+    parser.EndElementHandler = end
+    parser.CharacterDataHandler = characters
+
+    try:
+        yield StartDocument()
+        while True:
+            chunk = stream.read(_CHUNK)
+            final = not chunk
+            try:
+                parser.Parse(chunk, final)
+            except expat.ExpatError as exc:
+                raise XmlFormatError(f"XML parse error: {exc}") from exc
+            yield from buffer
+            buffer.clear()
+            if final:
+                break
+        yield EndDocument()
+    finally:
+        if owned:
+            stream.close()
+
+
+def parse_tree(
+    source: Source,
+    weight_model: SlotWeightModel | None = None,
+    strip_whitespace: bool = True,
+) -> Tree:
+    """Parse a document into a weighted tree using the slot model."""
+    return tree_from_events(
+        iter_events(source), weight_model=weight_model, strip_whitespace=strip_whitespace
+    )
+
+
+def tree_from_events(
+    events: Iterable[ParseEvent],
+    weight_model: SlotWeightModel | None = None,
+    strip_whitespace: bool = True,
+) -> Tree:
+    """Fold a parse-event stream into a weighted tree."""
+    wm = weight_model or SlotWeightModel()
+    tree: Tree | None = None
+    stack: list = []
+    pending: list[str] = []  # adjacent character runs merge into one node
+
+    def flush_text() -> None:
+        if not pending:
+            return
+        text = "".join(pending)
+        pending.clear()
+        if strip_whitespace and not text.strip():
+            return
+        if tree is None or not stack:
+            raise XmlFormatError("character data outside the document element")
+        tree.add_child(stack[-1], "#text", wm.text_weight(text), NodeKind.TEXT, text)
+
+    for event in events:
+        if isinstance(event, StartElement):
+            flush_text()
+            if tree is None:
+                tree = Tree(event.name, wm.element_weight(), NodeKind.ELEMENT)
+                node = tree.root
+            else:
+                if not stack:
+                    raise XmlFormatError("multiple document elements")
+                node = tree.add_child(
+                    stack[-1], event.name, wm.element_weight(), NodeKind.ELEMENT
+                )
+            for name, value in event.attributes:
+                tree.add_child(
+                    node, name, wm.attribute_weight(value), NodeKind.ATTRIBUTE, value
+                )
+            stack.append(node)
+        elif isinstance(event, EndElement):
+            flush_text()
+            if not stack:
+                raise XmlFormatError(f"unexpected closing tag {event.name!r}")
+            stack.pop()
+        elif isinstance(event, Characters):
+            pending.append(event.text)
+    flush_text()
+    if tree is None:
+        raise XmlFormatError("document contains no elements")
+    if stack:
+        raise XmlFormatError("document ended with unclosed elements")
+    return tree

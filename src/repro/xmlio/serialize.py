@@ -1,0 +1,72 @@
+"""Serialize weighted trees back to XML text.
+
+The dataset generators build :class:`~repro.tree.node.Tree` objects
+directly; serializing them to markup and re-parsing exercises the full
+parser path and lets examples work with real files. Attribute nodes are
+emitted as attributes, text nodes as character data.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from typing import IO, Union
+from xml.sax.saxutils import escape, quoteattr
+
+from repro.errors import XmlFormatError
+from repro.tree.node import NodeKind, Tree, TreeNode
+
+
+def tree_to_xml(tree: Tree, declaration: bool = True) -> str:
+    """Render the tree as an XML string."""
+    out = io.StringIO()
+    if declaration:
+        out.write('<?xml version="1.0" encoding="UTF-8"?>')
+    _write_node(out, tree.root)
+    return out.getvalue()
+
+
+def write_xml(tree: Tree, path: Union[str, os.PathLike, IO[str]]) -> None:
+    """Serialize the tree into a file (path or text stream)."""
+    text = tree_to_xml(tree)
+    if hasattr(path, "write"):
+        path.write(text)  # type: ignore[union-attr]
+        return
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+
+
+def _write_node(out: io.StringIO, root: TreeNode) -> None:
+    # Iterative serializer: frames are (node, child_cursor); -1 = not opened.
+    stack: list[tuple[TreeNode, int]] = [(root, -1)]
+    while stack:
+        node, cursor = stack.pop()
+        if node.kind is NodeKind.TEXT:
+            out.write(escape(node.content or ""))
+            continue
+        if node.kind is NodeKind.ATTRIBUTE:
+            raise XmlFormatError(
+                f"attribute node {node.label!r} outside an element start tag"
+            )
+        if cursor == -1:
+            out.write(f"<{node.label}")
+            content_children: list[TreeNode] = []
+            for child in node.children:
+                if child.kind is NodeKind.ATTRIBUTE:
+                    out.write(f" {child.label}={quoteattr(child.content or '')}")
+                else:
+                    content_children.append(child)
+            if not content_children:
+                out.write("/>")
+                continue
+            out.write(">")
+            stack.append((node, 0))
+            stack.append((content_children[0], -1))
+            continue
+        content_children = [c for c in node.children if c.kind is not NodeKind.ATTRIBUTE]
+        nxt = cursor + 1
+        if nxt < len(content_children):
+            stack.append((node, nxt))
+            stack.append((content_children[nxt], -1))
+        else:
+            out.write(f"</{node.label}>")

@@ -1,0 +1,28 @@
+"""Table rendering helper tests."""
+
+from repro.bench.report import render_table
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["name", "count"], [["a", 1], ["bbbb", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", " "}
+        # right-aligned numbers share their last column
+        assert lines[2].rstrip().endswith("1")
+        assert lines[3].rstrip().endswith("22")
+
+    def test_title(self):
+        text = render_table(["h"], [["x"]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        text = render_table(["v"], [[0.005], [1.23456], [0.0]])
+        assert "<0.01" in text
+        assert "1.23" in text
+        assert "\n0" in text
+
+    def test_empty_rows(self):
+        text = render_table(["a", "b"], [])
+        assert "a" in text

@@ -1,0 +1,189 @@
+"""Dataset generators: determinism, scaling, structural signatures."""
+
+import pytest
+
+from repro.datasets import (
+    PAPER_DOCUMENTS,
+    generate_document,
+    mondial_document,
+    orders_document,
+    paper_corpus,
+    partsupp_document,
+    sigmod_record_document,
+    uwm_document,
+    xmark_document,
+)
+from repro.tree import tree_stats
+from repro.tree.node import NodeKind
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", [spec.name for spec in PAPER_DOCUMENTS])
+    def test_same_seed_same_tree(self, name):
+        a = generate_document(name, scale=0.05, seed=3)
+        b = generate_document(name, scale=0.05, seed=3)
+        assert len(a) == len(b)
+        assert [n.weight for n in a] == [n.weight for n in b]
+        assert [n.label for n in a] == [n.label for n in b]
+
+    def test_different_seed_differs(self):
+        a = xmark_document(scale=0.005, seed=1)
+        b = xmark_document(scale=0.005, seed=2)
+        assert [n.weight for n in a] != [n.weight for n in b]
+
+
+class TestScaling:
+    def test_scale_monotone(self):
+        small = xmark_document(scale=0.003)
+        large = xmark_document(scale=0.01)
+        assert len(large) > len(small) * 2
+
+    def test_registry_scale_parameter(self):
+        half = generate_document("partsupp", scale=0.5)
+        full = generate_document("partsupp", scale=1.0)
+        assert 0.4 < len(half) / len(full) < 0.6
+
+    def test_unknown_document_rejected(self):
+        with pytest.raises(KeyError):
+            generate_document("no-such-doc")
+
+    def test_aliases(self):
+        assert len(generate_document("sigmod", scale=0.2)) == len(
+            generate_document("SigmodRecord.xml", scale=0.2)
+        )
+
+
+class TestStructuralSignatures:
+    def test_relational_docs_are_shallow_wide(self):
+        for builder in (partsupp_document, orders_document):
+            tree = builder(rows=50)
+            stats = tree_stats(tree)
+            assert stats.height == 3  # root / T / field / text
+            assert stats.max_fanout == 50
+
+    def test_partsupp_row_shape(self):
+        tree = partsupp_document(rows=3)
+        row = tree.root.children[0]
+        assert row.label == "T"
+        assert [c.label for c in row.children] == [
+            "PS_PARTKEY",
+            "PS_SUPPKEY",
+            "PS_AVAILQTY",
+            "PS_SUPPLYCOST",
+            "PS_COMMENT",
+        ]
+
+    def test_sigmod_structure(self):
+        tree = sigmod_record_document(issues=2)
+        issue = tree.root.children[0]
+        assert issue.label == "issue"
+        labels = {c.label for c in issue.children}
+        assert {"volume", "number", "articles"} <= labels
+
+    def test_mondial_attribute_heavy(self):
+        tree = mondial_document(countries=3)
+        attrs = sum(1 for n in tree if n.kind is NodeKind.ATTRIBUTE)
+        assert attrs / len(tree) > 0.2
+
+    def test_mondial_nesting(self):
+        tree = mondial_document(countries=3)
+        assert tree_stats(tree).height >= 4  # country/province/city/field/text
+
+    def test_uwm_sections(self):
+        tree = uwm_document(courses=10)
+        listing = tree.root.children[0]
+        assert listing.label == "course_listing"
+        assert any(c.label == "sections" for c in listing.children)
+
+
+class TestXMarkSignature:
+    def test_top_level_sections(self, tiny_xmark):
+        labels = [c.label for c in tiny_xmark.root.children]
+        assert labels == [
+            "regions",
+            "categories",
+            "catgraph",
+            "people",
+            "open_auctions",
+            "closed_auctions",
+        ]
+
+    def test_all_six_regions_present(self, tiny_xmark):
+        regions = tiny_xmark.root.children[0]
+        assert [r.label for r in regions.children] == [
+            "africa",
+            "asia",
+            "australia",
+            "europe",
+            "namerica",
+            "samerica",
+        ]
+
+    def test_namerica_has_most_items(self, tiny_xmark):
+        regions = tiny_xmark.root.children[0]
+        counts = {r.label: len(r.children) for r in regions.children}
+        assert counts["namerica"] == max(counts.values())
+
+    def test_q2_path_exists(self, tiny_xmark):
+        """closed_auction/annotation/description/parlist/listitem/text/keyword
+        must be realized so Table 3's Q2 has results."""
+        found = False
+        for node in tiny_xmark:
+            if node.label != "keyword":
+                continue
+            chain = []
+            cur = node
+            while cur is not None and len(chain) < 8:
+                chain.append(cur.label)
+                cur = cur.parent
+            if chain[1:7] == [
+                "text",
+                "listitem",
+                "parlist",
+                "description",
+                "annotation",
+                "closed_auction",
+            ]:
+                found = True
+                break
+        assert found
+
+    def test_mail_keywords_exist(self, tiny_xmark):
+        """Q7 needs keywords below mail elements."""
+        assert any(
+            n.label == "keyword"
+            and any(a.label == "mail" for a in _ancestors(n))
+            for n in tiny_xmark
+        )
+
+    def test_weights_match_slot_model(self, tiny_xmark):
+        from repro.xmlio.weights import SlotWeightModel
+
+        wm = SlotWeightModel()
+        for node in tiny_xmark:
+            assert node.weight == wm.weight(node.kind, node.content)
+
+
+def _ancestors(node):
+    cur = node.parent
+    while cur is not None:
+        yield cur
+        cur = cur.parent
+
+
+class TestCorpus:
+    def test_paper_corpus_names(self):
+        corpus = paper_corpus(scale=0.05)
+        assert set(corpus) == {spec.name for spec in PAPER_DOCUMENTS}
+
+    def test_all_documents_valid(self, tiny_corpus):
+        for tree in tiny_corpus.values():
+            tree.validate()
+
+    def test_paper_metadata_complete(self):
+        for spec in PAPER_DOCUMENTS:
+            assert set(spec.paper_partitions) == {
+                "dhw", "ghdw", "ekm", "rs", "dfs", "km", "bfs",
+            }
+            assert spec.paper_nodes > 0
+            assert spec.paper_weight_over_k > 0

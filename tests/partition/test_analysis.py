@@ -1,0 +1,47 @@
+"""Partition analysis metrics (crossings, fill) tests."""
+
+from repro.partition import get_algorithm
+from repro.partition.analysis import analyze_partitioning
+from repro.partition.interval import Partitioning
+
+
+class TestAnalysis:
+    def test_single_partition_no_crossings(self, fig3_tree):
+        analysis = analyze_partitioning(fig3_tree, Partitioning([(0, 0)]), 14)
+        assert analysis.cut_parent_edges == 0
+        assert analysis.navigation_crossings == 0
+        assert analysis.cardinality == 1
+        assert analysis.max_weight == 14
+        assert analysis.mean_fill == 1.0
+
+    def test_cut_edges_equal_non_root_members(self, fig3_tree):
+        p = Partitioning([(0, 0), (2, 7), (3, 4)])
+        analysis = analyze_partitioning(fig3_tree, p, 5)
+        # members: c,f,g,h,d,e -> 6 cut parent edges
+        assert analysis.cut_parent_edges == 6
+
+    def test_navigation_crossings_counts_structural_edges(self, fig3_tree):
+        # {(a,a),(b,b)}: b is cut. Crossed navigation edges: a->b
+        # (first-child) and none of the sibling edges (b->c crosses: b in
+        # its own partition, c with root).
+        p = Partitioning([(0, 0), (1, 1)])
+        analysis = analyze_partitioning(fig3_tree, p, 14)
+        assert analysis.navigation_crossings == 2  # a->b and b->c
+
+    def test_km_crosses_more_than_ekm(self, tiny_xmark):
+        """The paper's core mechanism, quantified: sibling partitioning
+        may cut *more* parent edges (every interval member is cut) yet
+        produces far fewer *navigation* crossings, because consecutive
+        cut siblings share their record."""
+        results = {}
+        for name in ("km", "ekm"):
+            p = get_algorithm(name).partition(tiny_xmark, 256)
+            results[name] = analyze_partitioning(tiny_xmark, p, 256)
+        assert results["ekm"].navigation_crossings < results["km"].navigation_crossings
+        assert results["ekm"].cardinality < results["km"].cardinality
+
+    def test_fill_histogram_totals(self, fig3_tree):
+        p = Partitioning([(0, 0), (2, 2), (5, 7)])
+        analysis = analyze_partitioning(fig3_tree, p, 5)
+        assert sum(analysis.fill_histogram.values()) == analysis.cardinality
+        assert analysis.min_weight <= analysis.mean_weight <= analysis.max_weight

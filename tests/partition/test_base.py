@@ -1,0 +1,66 @@
+"""Partitioner base class and registry contract."""
+
+import pytest
+
+from repro.errors import InfeasiblePartitioningError, ReproError
+from repro.partition import (
+    ALGORITHMS,
+    Partitioner,
+    available_algorithms,
+    get_algorithm,
+    partition_tree,
+)
+from repro.partition.base import register
+from repro.partition.interval import Partitioning
+from repro.tree.builders import flat_tree
+
+
+class TestRegistry:
+    def test_paper_algorithms_registered(self):
+        names = available_algorithms()
+        for expected in ("fdw", "ghdw", "dhw", "km", "ekm", "rs", "dfs", "bfs"):
+            assert expected in names
+
+    def test_get_algorithm_returns_fresh_instances(self):
+        a = get_algorithm("ekm")
+        b = get_algorithm("ekm")
+        assert a is not b
+        assert a.name == "ekm"
+
+    def test_unknown_name(self):
+        with pytest.raises(ReproError, match="unknown algorithm"):
+            get_algorithm("does-not-exist")
+
+    def test_register_requires_name(self):
+        class Nameless(Partitioner):
+            def _partition(self, tree, limit):
+                return Partitioning()
+
+        with pytest.raises(ReproError):
+            register(Nameless)
+
+    def test_optimality_flags(self):
+        assert get_algorithm("dhw").optimal
+        assert not get_algorithm("ekm").optimal
+        assert get_algorithm("ekm").main_memory_friendly
+        assert not get_algorithm("dhw").main_memory_friendly
+
+
+class TestPartitionGuards:
+    def test_rejects_nonpositive_limit(self, fig3_tree):
+        with pytest.raises(ReproError):
+            get_algorithm("ekm").partition(fig3_tree, 0)
+
+    def test_rejects_overweight_node_for_every_algorithm(self):
+        tree = flat_tree(1, [10])
+        for name in available_algorithms():
+            with pytest.raises(InfeasiblePartitioningError):
+                get_algorithm(name).partition(tree, 5)
+
+    def test_partition_tree_defaults_to_ekm(self, fig3_tree):
+        default = partition_tree(fig3_tree, 5)
+        explicit = partition_tree(fig3_tree, 5, algorithm="ekm")
+        assert default == explicit
+
+    def test_repr(self):
+        assert "ekm" in repr(get_algorithm("ekm"))

@@ -1,0 +1,134 @@
+"""The oracle (brute force), Lukes' DP and the bin-packing baseline."""
+
+import random
+
+import pytest
+
+from repro.datasets.random_trees import random_tree
+from repro.errors import ReproError
+from repro.partition import evaluate_partitioning, get_algorithm
+from repro.partition.binpack import (
+    BinPackingBaseline,
+    capacity_lower_bound,
+    first_fit_decreasing,
+)
+from repro.partition.brute import (
+    brute_force_optimal,
+    enumerate_partitionings,
+)
+from repro.partition.lukes import lukes_partition
+from repro.tree.builders import flat_tree, tree_from_spec
+
+
+class TestEnumeration:
+    def test_single_node_has_one_partitioning(self):
+        tree = tree_from_spec(("x", 1))
+        assert sum(1 for _ in enumerate_partitionings(tree)) == 1
+
+    def test_counts_for_two_children(self):
+        # Runs over 2 children: {}, {(1)}, {(2)}, {(1,2)}, {(1),(2)} = 5;
+        # each combined with the mandatory root interval.
+        tree = flat_tree(1, [1, 1])
+        assert sum(1 for _ in enumerate_partitionings(tree)) == 5
+
+    def test_all_enumerated_are_valid(self, fig3_tree):
+        from repro.partition.evaluate import validate_partitioning
+
+        count = 0
+        for partitioning in enumerate_partitionings(fig3_tree):
+            validate_partitioning(fig3_tree, partitioning)
+            count += 1
+        assert count > 50
+
+    def test_explosion_guard(self):
+        tree = flat_tree(1, [1] * 40)
+        with pytest.raises(ReproError):
+            list(enumerate_partitionings(tree, max_count=1000))
+
+    def test_registered_partitioner(self, fig3_tree):
+        report = evaluate_partitioning(
+            fig3_tree, get_algorithm("brute").partition(fig3_tree, 5), 5
+        )
+        assert report.cardinality == 3
+
+
+class TestLukes:
+    def test_unit_edges_match_km_cardinality(self):
+        """With unit edge weights Lukes minimizes cardinality in the
+        parent-child-only model — exactly KM's guarantee."""
+        rng = random.Random(21)
+        for _ in range(40):
+            tree = random_tree(rng.randint(2, 25), max_weight=4, rng=rng)
+            limit = rng.randint(4, 10)
+            km = get_algorithm("km").partition(tree, limit)
+            lukes = get_algorithm("lukes").partition(tree, limit)
+            report = evaluate_partitioning(tree, lukes, limit)
+            assert report.feasible
+            assert lukes.cardinality == km.cardinality
+
+    def test_value_is_kept_edges(self, fig3_tree):
+        value, partitioning = lukes_partition(fig3_tree, 5)
+        # n-1 edges minus one cut per non-root partition
+        assert value == (len(fig3_tree) - 1) - (partitioning.cardinality - 1)
+
+    def test_matches_networkx_reference(self):
+        """Cross-check against networkx's independent Lukes implementation
+        (partition count for unit edge weights)."""
+        networkx = pytest.importorskip("networkx")
+        from networkx.algorithms.community import lukes_partitioning
+
+        rng = random.Random(22)
+        for _ in range(10):
+            tree = random_tree(rng.randint(2, 15), max_weight=3, rng=rng)
+            limit = rng.randint(4, 9)
+            graph = networkx.Graph()
+            for node in tree:
+                graph.add_node(node.node_id, weight=node.weight)
+                if node.parent is not None:
+                    graph.add_edge(node.parent.node_id, node.node_id, w=1)
+            clusters = lukes_partitioning(
+                graph, limit, node_weight="weight", edge_weight="w"
+            )
+            ours = get_algorithm("lukes").partition(tree, limit)
+            assert len(clusters) == ours.cardinality
+
+    def test_edge_weight_override(self, fig3_tree):
+        # Making the (a,b) edge precious forces b to stay with the root.
+        def edges(parent, child):
+            return 100 if child.label == "b" else 1
+
+        value, partitioning = lukes_partition(fig3_tree, 5, edge_weight=edges)
+        from repro.partition.evaluate import assignment_from_partitioning
+
+        assignment = assignment_from_partitioning(fig3_tree, partitioning)
+        assert assignment[0] == assignment[1]  # a and b together
+        assert value >= 100
+
+
+class TestBinPacking:
+    def test_lower_bound(self, fig3_tree):
+        assert capacity_lower_bound(fig3_tree, 5) == 3  # ceil(14/5)
+
+    def test_ffd_at_least_lower_bound(self):
+        rng = random.Random(23)
+        for _ in range(30):
+            tree = random_tree(rng.randint(1, 40), max_weight=4, rng=rng)
+            limit = rng.randint(4, 10)
+            bins = first_fit_decreasing(tree, limit)
+            assert bins >= capacity_lower_bound(tree, limit)
+
+    def test_ffd_tracks_tree_algorithms(self):
+        """Ignoring structure can only help the *optimal* packing, and FFD
+        is within 11/9·OPT + 1 of it, so FFD <= 11/9·DHW + 1."""
+        rng = random.Random(24)
+        for _ in range(30):
+            tree = random_tree(rng.randint(2, 30), max_weight=4, rng=rng)
+            limit = rng.randint(4, 10)
+            bins = first_fit_decreasing(tree, limit)
+            dhw = get_algorithm("dhw").partition(tree, limit)
+            assert bins <= (11 * dhw.cardinality) / 9 + 1
+
+    def test_baseline_facade(self, fig3_tree):
+        baseline = BinPackingBaseline()
+        assert baseline.lower_bound(fig3_tree, 5) == 3
+        assert baseline.count(fig3_tree, 5) >= 3

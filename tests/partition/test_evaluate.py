@@ -1,0 +1,142 @@
+"""The partition-forest evaluator: the single source of truth for what a
+partitioning means. These tests encode the paper's Sec. 2.1 examples."""
+
+import pytest
+
+from repro.errors import InvalidPartitioningError
+from repro.partition.evaluate import (
+    assignment_from_partitioning,
+    evaluate_partitioning,
+    is_feasible,
+    partition_node_weights,
+    partition_weights,
+    root_weight,
+    validate_partitioning,
+)
+from repro.partition.interval import Partitioning, SiblingInterval
+
+
+class TestValidation:
+    def test_requires_root_interval(self, fig3_tree):
+        with pytest.raises(InvalidPartitioningError):
+            validate_partitioning(fig3_tree, Partitioning([(1, 2)]))
+
+    def test_rejects_non_siblings(self, fig3_tree):
+        # b (child of a) and d (child of c) are not siblings
+        with pytest.raises(InvalidPartitioningError):
+            validate_partitioning(fig3_tree, Partitioning([(0, 0), (1, 3)]))
+
+    def test_rejects_reversed_interval(self, fig3_tree):
+        with pytest.raises(InvalidPartitioningError):
+            validate_partitioning(fig3_tree, Partitioning([(0, 0), (5, 1)]))
+
+    def test_rejects_overlap(self, fig3_tree):
+        with pytest.raises(InvalidPartitioningError):
+            validate_partitioning(
+                fig3_tree, Partitioning([(0, 0), (1, 5), (5, 6)])
+            )
+
+    def test_rejects_unknown_nodes(self, fig3_tree):
+        with pytest.raises(InvalidPartitioningError):
+            validate_partitioning(fig3_tree, Partitioning([(0, 0), (50, 51)]))
+
+    def test_accepts_paper_example(self, fig3_tree):
+        # P = {(a,a), (b,b), (c,c), (f,g)} — feasible example from Sec. 2.1
+        validate_partitioning(
+            fig3_tree, Partitioning([(0, 0), (1, 1), (2, 2), (5, 6)])
+        )
+
+
+class TestWeights:
+    def test_paper_root_weight_example(self, fig3_tree):
+        # Paper: for P = {(b,f)} (plus root), "only the nodes a, g, and h
+        # remain in the tree of the root" -> root weight 6.
+        p = Partitioning([(0, 0), (1, 5)])
+        assert root_weight(fig3_tree, p) == 6
+
+    def test_paper_feasible_partitioning(self, fig3_tree):
+        # P = {(a,a),(b,b),(c,c),(f,g)}: h stays with the root, weight 5.
+        p = Partitioning([(0, 0), (1, 1), (2, 2), (5, 6)])
+        weights = partition_weights(fig3_tree, p)
+        assert weights[SiblingInterval(0, 0)] == 5  # a + h
+        assert weights[SiblingInterval(1, 1)] == 2  # b
+        assert weights[SiblingInterval(2, 2)] == 5  # c, d, e
+        assert weights[SiblingInterval(5, 6)] == 2  # f, g
+        assert is_feasible(fig3_tree, p, 5)
+
+    def test_paper_minimal_not_lean(self, fig3_tree):
+        # R = {(a,a),(c,c),(f,h)}: minimal (3 partitions), root weight 5.
+        r = Partitioning([(0, 0), (2, 2), (5, 7)])
+        assert root_weight(fig3_tree, r) == 5
+        assert is_feasible(fig3_tree, r, 5)
+
+    def test_weights_sum_to_total(self, fig3_tree):
+        p = Partitioning([(0, 0), (2, 2), (5, 7)])
+        assert sum(partition_weights(fig3_tree, p).values()) == 14
+
+    def test_nested_interval_cuts(self, fig3_tree):
+        # {(a,a),(c,h),(d,e)}: the (d,e) interval is cut out of Tc.
+        p = Partitioning([(0, 0), (2, 7), (3, 4)])
+        weights = partition_weights(fig3_tree, p)
+        assert weights[SiblingInterval(2, 7)] == 5  # c,f,g,h without d,e
+        assert weights[SiblingInterval(3, 4)] == 4
+        assert weights[SiblingInterval(0, 0)] == 5  # a + b
+
+    def test_partition_node_weights(self, fig3_tree):
+        p = Partitioning([(0, 0), (3, 4)])
+        pnw = partition_node_weights(fig3_tree, p)
+        assert pnw[2] == 1  # c without d, e
+        assert pnw[0] == 10  # everything except d, e
+
+    def test_infeasible_when_over_limit(self, fig3_tree):
+        p = Partitioning([(0, 0)])  # everything in the root partition
+        assert not is_feasible(fig3_tree, p, 5)
+        assert is_feasible(fig3_tree, p, 14)
+
+    def test_not_feasible_without_root_interval(self, fig3_tree):
+        assert not is_feasible(fig3_tree, Partitioning([(1, 5)]), 100)
+
+
+class TestReport:
+    def test_report_fields(self, fig3_tree):
+        p = Partitioning([(0, 0), (2, 2), (5, 7)])
+        report = evaluate_partitioning(fig3_tree, p, 5)
+        assert report.cardinality == 3
+        assert report.root_weight == 5
+        assert report.feasible
+        assert report.max_partition_weight == 5
+        assert report.total_weight == 14
+        assert report.lower_bound == 3  # ceil(14/5)
+        assert 0 < report.fill_factor <= 1
+
+    def test_report_validates_by_default(self, fig3_tree):
+        with pytest.raises(InvalidPartitioningError):
+            evaluate_partitioning(fig3_tree, Partitioning([(1, 2)]), 5)
+
+
+class TestAssignment:
+    def test_assignment_matches_forest_semantics(self, fig3_tree):
+        p = Partitioning([(0, 0), (2, 7), (3, 4)])
+        assignment = assignment_from_partitioning(fig3_tree, p)
+        intervals = p.sorted_intervals()
+        # a and b share the root partition
+        root_idx = intervals.index(SiblingInterval(0, 0))
+        assert assignment[0] == assignment[1] == root_idx
+        # d and e share the (d,e) partition
+        de_idx = intervals.index(SiblingInterval(3, 4))
+        assert assignment[3] == assignment[4] == de_idx
+        # c, f, g, h share the (c,h) partition
+        ch_idx = intervals.index(SiblingInterval(2, 7))
+        assert all(assignment[i] == ch_idx for i in (2, 5, 6, 7))
+
+    def test_assignment_weight_cross_check(self, fig3_tree):
+        p = Partitioning([(0, 0), (1, 1), (2, 2), (5, 6)])
+        assignment = assignment_from_partitioning(fig3_tree, p)
+        weights = partition_weights(fig3_tree, p)
+        by_index: dict[int, int] = {}
+        for node in fig3_tree:
+            by_index[assignment[node.node_id]] = (
+                by_index.get(assignment[node.node_id], 0) + node.weight
+            )
+        for idx, iv in enumerate(p.sorted_intervals()):
+            assert by_index[idx] == weights[iv]

@@ -1,0 +1,110 @@
+"""FDW: the flat-tree dynamic program (paper Sec. 3.2)."""
+
+import random
+
+import pytest
+
+from repro.datasets.random_trees import random_flat_tree
+from repro.errors import InfeasiblePartitioningError, TreeError
+from repro.partition import evaluate_partitioning, get_algorithm
+from repro.partition.brute import brute_force_optimal
+from repro.partition.fdw import fdw_partition_flat
+from repro.partition.flatdp import CARD, FlatDP, INFEASIBLE_ENTRY, ROOTWEIGHT, chain_intervals
+from repro.tree.builders import flat_tree, tree_from_spec
+
+
+class TestFlatDP:
+    def test_base_case(self):
+        dp = FlatDP([], limit=10)
+        entry = dp.top_entry(4)
+        assert entry[CARD] == 0
+        assert entry[ROOTWEIGHT] == 4
+        assert chain_intervals(entry) == []
+
+    def test_over_limit_base_is_infeasible(self):
+        dp = FlatDP([1, 2], limit=5)
+        assert dp.top_entry(6) is INFEASIBLE_ENTRY
+
+    def test_all_children_fit_root(self):
+        dp = FlatDP([1, 1, 1], limit=10)
+        entry = dp.top_entry(2)
+        assert entry[CARD] == 0
+        assert entry[ROOTWEIGHT] == 5
+
+    def test_single_interval_when_root_full(self):
+        dp = FlatDP([3, 3], limit=6)
+        entry = dp.top_entry(6)  # root already at the limit
+        assert entry[CARD] == 1
+        assert entry[ROOTWEIGHT] == 6
+        assert chain_intervals(entry) == [(0, 1, ())]
+
+    def test_lean_tiebreak_prefers_smaller_root(self):
+        # With children [4, 4] and K=5, root weight 1: one child joins the
+        # root (5) or both form intervals. card 1 forces exactly one child
+        # into the root; the DP must pick... both children in ONE interval
+        # (weight 8 > 5) is impossible, so card=1 means one child in root.
+        dp = FlatDP([4, 4], limit=5)
+        entry = dp.top_entry(1)
+        assert entry[CARD] == 1
+        assert entry[ROOTWEIGHT] == 5
+
+    def test_memoization_counts_cells(self):
+        dp = FlatDP([2] * 10, limit=100)
+        dp.top_entry(1)
+        full = 100 * 11
+        assert 0 < dp.cells_computed < full
+
+    def test_lazy_extension_reuses_cells(self):
+        dp = FlatDP([2] * 10, limit=100)
+        dp.top_entry(1)
+        cells_before = dp.cells_computed
+        dp.top_entry(1)  # cached
+        assert dp.cells_computed == cells_before
+        dp.top_entry(5)  # new base
+        assert dp.cells_computed > cells_before
+
+
+class TestFDWPartitioner:
+    def test_rejects_deep_tree(self, fig3_tree):
+        with pytest.raises(TreeError):
+            fdw_partition_flat(fig3_tree, 5)
+
+    def test_rejects_oversized_nodes(self):
+        tree = flat_tree(1, [9])
+        with pytest.raises(InfeasiblePartitioningError):
+            fdw_partition_flat(tree, 5)
+        with pytest.raises(InfeasiblePartitioningError):
+            get_algorithm("fdw").partition(tree, 5)
+
+    def test_simple_flat_instance(self):
+        tree = flat_tree(2, [2, 2, 2, 2])  # total 10, K=5
+        partitioning = fdw_partition_flat(tree, 5)
+        report = evaluate_partitioning(tree, partitioning, 5)
+        assert report.feasible
+        # Best possible: root takes one child (weight 4), the remaining
+        # three children need two intervals (4 + 2) -> 3 partitions total.
+        assert report.cardinality == 3
+
+    def test_matches_brute_force_on_random_flat_trees(self):
+        rng = random.Random(1234)
+        for _ in range(120):
+            tree = random_flat_tree(rng.randint(0, 9), max_weight=4, rng=rng)
+            limit = rng.randint(4, 10)
+            expected = brute_force_optimal(tree, limit)
+            got = fdw_partition_flat(tree, limit)
+            report = evaluate_partitioning(tree, got, limit)
+            assert report.feasible
+            assert report.cardinality == expected[0]
+            assert report.root_weight == expected[1]
+
+    def test_unit_weights_pack_tightly(self):
+        tree = flat_tree(1, [1] * 20)  # total 21, K=7
+        partitioning = fdw_partition_flat(tree, 7)
+        report = evaluate_partitioning(tree, partitioning, 7)
+        assert report.feasible
+        assert report.cardinality == 3  # ceil(21/7) — perfect packing
+
+    def test_registered_name_and_flags(self):
+        algo = get_algorithm("fdw")
+        assert algo.name == "fdw"
+        assert algo.optimal

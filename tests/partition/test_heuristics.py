@@ -1,0 +1,116 @@
+"""RS, DFS and BFS: the remaining approximation algorithms."""
+
+import random
+
+from repro.datasets.random_trees import heavy_child_tree, random_tree, star_tree
+from repro.partition import evaluate_partitioning, get_algorithm
+from repro.partition.assignment import intervals_from_assignment
+from repro.partition.interval import Partitioning
+from repro.tree.builders import flat_tree, tree_from_spec
+
+
+def feasible_report(tree, name, limit):
+    partitioning = get_algorithm(name).partition(tree, limit)
+    report = evaluate_partitioning(tree, partitioning, limit)
+    assert report.feasible, f"{name} infeasible at K={limit}"
+    return report
+
+
+class TestRS:
+    def test_feasible_on_random_trees(self):
+        rng = random.Random(11)
+        for _ in range(60):
+            tree = random_tree(rng.randint(1, 70), max_weight=4, rng=rng)
+            feasible_report(tree, "rs", rng.randint(4, 12))
+
+    def test_packs_rightmost_first(self):
+        tree = flat_tree(1, [2, 2, 2, 2, 2])  # total 11, K=5
+        partitioning = get_algorithm("rs").partition(tree, 5)
+        # RS packs (c4,c5) from the right (stopping at the limit), then a
+        # singleton (c3,c3) — after which the residual 1+2+2=5 fits.
+        assert (4, 5) in partitioning
+        assert (3, 3) in partitioning
+        assert partitioning.cardinality == 3
+
+    def test_heavy_child_trap(self):
+        """A heavy child in the middle stops RS's right-to-left run early,
+        stranding light siblings — the 'peculiar decisions' the paper
+        mentions. RS stays feasible but can be worse than EKM."""
+        tree = heavy_child_tree(light_children=10, heavy_weight=9, light_weight=1)
+        rs = feasible_report(tree, "rs", 10)
+        ekm = feasible_report(tree, "ekm", 10)
+        assert rs.cardinality >= ekm.cardinality
+
+    def test_stops_cutting_once_it_fits(self):
+        tree = flat_tree(2, [2, 2])  # total 6, K=6 -> nothing to cut
+        partitioning = get_algorithm("rs").partition(tree, 6)
+        assert partitioning.cardinality == 1
+
+
+class TestDFS:
+    def test_feasible_on_random_trees(self):
+        rng = random.Random(12)
+        for _ in range(60):
+            tree = random_tree(rng.randint(1, 70), max_weight=4, rng=rng)
+            feasible_report(tree, "dfs", rng.randint(4, 12))
+
+    def test_greedy_preorder_packing(self, fig3_tree):
+        report = feasible_report(fig3_tree, "dfs", 5)
+        # DFS: a(3)+b(2)=5 full; c,d,e new partition (5); f,g,h new (4).
+        assert report.cardinality == 3
+
+    def test_premature_decisions_can_hurt(self):
+        # A first child that fills the root partition forces everything
+        # else out — DFS never reconsiders.
+        tree = tree_from_spec(("r", 3, [("big", 2), ("x", 3, [("y", 3)])]))
+        report = feasible_report(tree, "dfs", 5)
+        assert report.cardinality >= 2
+
+
+class TestBFS:
+    def test_feasible_on_random_trees(self):
+        rng = random.Random(13)
+        for _ in range(60):
+            tree = random_tree(rng.randint(1, 70), max_weight=4, rng=rng)
+            feasible_report(tree, "bfs", rng.randint(4, 12))
+
+    def test_level_order_packing(self):
+        tree = flat_tree(1, [1, 1, 1, 1])  # all fit with the root at K=5
+        report = feasible_report(tree, "bfs", 5)
+        assert report.cardinality == 1
+
+    def test_sibling_fallback(self):
+        # Root full after two children; the rest chain into sibling
+        # partitions.
+        tree = flat_tree(3, [1, 1, 2, 2])
+        report = feasible_report(tree, "bfs", 5)
+        assert report.cardinality == 2
+
+    def test_worst_of_all_on_stars_with_descendants(self, tiny_corpus):
+        """Table 1 shape: BFS is generally the weakest algorithm."""
+        worse = 0
+        for tree in tiny_corpus.values():
+            bfs = get_algorithm("bfs").partition(tree, 256).cardinality
+            ekm = get_algorithm("ekm").partition(tree, 256).cardinality
+            if bfs > ekm:
+                worse += 1
+        assert worse >= 5  # on at least 5 of the 6 documents
+
+
+class TestAssignmentDerivation:
+    def test_assignment_roundtrip(self, fig3_tree):
+        # Build an assignment from a partitioning and re-derive intervals.
+        from repro.partition.evaluate import assignment_from_partitioning
+
+        p = Partitioning([(0, 0), (2, 7), (3, 4)])
+        assignment = assignment_from_partitioning(fig3_tree, p)
+        rederived = Partitioning(intervals_from_assignment(fig3_tree, assignment))
+        assert rederived == p
+
+    def test_rejects_wrong_length(self, fig3_tree):
+        import pytest
+
+        from repro.errors import InvalidPartitioningError
+
+        with pytest.raises(InvalidPartitioningError):
+            intervals_from_assignment(fig3_tree, [0, 0])

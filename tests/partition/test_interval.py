@@ -1,0 +1,65 @@
+"""SiblingInterval and Partitioning value semantics."""
+
+import pytest
+
+from repro.partition.interval import Partitioning, SiblingInterval
+
+
+class TestSiblingInterval:
+    def test_accessors(self):
+        iv = SiblingInterval(3, 7)
+        assert iv.left == 3
+        assert iv.right == 7
+        assert not iv.is_singleton
+        assert SiblingInterval(4, 4).is_singleton
+
+    def test_equality_and_hash(self):
+        assert SiblingInterval(1, 2) == SiblingInterval(1, 2)
+        assert SiblingInterval(1, 2) == (1, 2)  # tuple subclass
+        assert hash(SiblingInterval(1, 2)) == hash((1, 2))
+
+    def test_nodes(self, fig3_tree):
+        iv = SiblingInterval(1, 5)  # (b, f)
+        assert [n.label for n in iv.nodes(fig3_tree)] == ["b", "c", "f"]
+
+
+class TestPartitioning:
+    def test_construction_coerces_tuples(self):
+        p = Partitioning([(0, 0), (1, 2)])
+        assert SiblingInterval(1, 2) in p.intervals
+        assert (1, 2) in p
+        assert (9, 9) not in p
+
+    def test_cardinality_and_iter(self):
+        p = Partitioning([(0, 0), (1, 2), (5, 5)])
+        assert p.cardinality == 3
+        assert len(p) == 3
+        assert sorted(p) == [(0, 0), (1, 2), (5, 5)]
+
+    def test_deduplicates(self):
+        p = Partitioning([(0, 0), (0, 0)])
+        assert p.cardinality == 1
+
+    def test_equality_and_hash(self):
+        assert Partitioning([(0, 0), (1, 2)]) == Partitioning([(1, 2), (0, 0)])
+        assert hash(Partitioning([(0, 0)])) == hash(Partitioning([(0, 0)]))
+        assert Partitioning([(0, 0)]) != Partitioning([(0, 1)])
+
+    def test_union_and_with_interval(self):
+        p = Partitioning([(0, 0)])
+        q = p.with_interval(1, 3)
+        assert q.cardinality == 2
+        assert p.cardinality == 1  # immutable
+        r = p.union(Partitioning([(4, 5)]))
+        assert sorted(r) == [(0, 0), (4, 5)]
+
+    def test_member_ids(self, fig3_tree):
+        p = Partitioning([(0, 0), (1, 5)])
+        assert p.member_ids(fig3_tree) == {0, 1, 2, 5}
+
+    def test_sorted_intervals_deterministic(self):
+        p = Partitioning([(5, 5), (0, 0), (1, 2)])
+        assert p.sorted_intervals() == [(0, 0), (1, 2), (5, 5)]
+
+    def test_repr(self):
+        assert "0,0" in repr(Partitioning([(0, 0)]))

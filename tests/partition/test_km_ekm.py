@@ -1,0 +1,121 @@
+"""KM and EKM: the Kundu-Misra baseline and its sibling-aware variant."""
+
+import random
+
+from repro.datasets.random_trees import random_tree, star_tree
+from repro.partition import evaluate_partitioning, get_algorithm
+from repro.partition.brute import brute_force_optimal
+from repro.tree.builders import chain_tree, flat_tree, tree_from_spec
+
+
+class TestKM:
+    def test_only_singleton_intervals(self, fig3_tree):
+        partitioning = get_algorithm("km").partition(fig3_tree, 5)
+        assert all(iv.is_singleton for iv in partitioning.intervals)
+
+    def test_feasible_on_random_trees(self):
+        rng = random.Random(3)
+        for _ in range(60):
+            tree = random_tree(rng.randint(1, 80), max_weight=4, rng=rng)
+            limit = rng.randint(4, 12)
+            report = evaluate_partitioning(
+                tree, get_algorithm("km").partition(tree, limit), limit
+            )
+            assert report.feasible
+
+    def test_minimal_among_singleton_partitionings(self):
+        """KM is optimal in the parent-child-only model: cross-check via
+        brute force restricted to singleton intervals."""
+        rng = random.Random(4)
+        from repro.partition.brute import enumerate_partitionings
+        from repro.partition.evaluate import partition_weights
+
+        for _ in range(25):
+            tree = random_tree(rng.randint(2, 9), max_weight=3, rng=rng)
+            limit = rng.randint(3, 8)
+            km = get_algorithm("km").partition(tree, limit)
+            best = None
+            for cand in enumerate_partitionings(tree):
+                if not all(iv.is_singleton for iv in cand.intervals):
+                    continue
+                weights = partition_weights(tree, cand)
+                if any(w > limit for w in weights.values()):
+                    continue
+                if best is None or cand.cardinality < best:
+                    best = cand.cardinality
+            assert km.cardinality == best
+
+    def test_cuts_heaviest_first(self):
+        # children weights 4, 2; K=5; root weight 2: cutting the heaviest
+        # child (4) suffices.
+        tree = flat_tree(2, [4, 2])
+        partitioning = get_algorithm("km").partition(tree, 5)
+        assert (1, 1) in partitioning
+        assert partitioning.cardinality == 2
+
+    def test_star_fanout(self):
+        tree = star_tree(20, child_weight=3, root_weight=1)
+        report = evaluate_partitioning(
+            tree, get_algorithm("km").partition(tree, 6), 6
+        )
+        assert report.feasible
+        # KM can keep at most one child (1+3=4<=6) and must cut the other
+        # 19 one by one.
+        assert report.cardinality == 20
+
+
+class TestEKM:
+    def test_feasible_on_random_trees(self):
+        rng = random.Random(5)
+        for _ in range(80):
+            tree = random_tree(rng.randint(1, 80), max_weight=4, rng=rng)
+            limit = rng.randint(4, 12)
+            report = evaluate_partitioning(
+                tree, get_algorithm("ekm").partition(tree, limit), limit
+            )
+            assert report.feasible
+
+    def test_beats_km_on_stars(self):
+        tree = star_tree(20, child_weight=3, root_weight=1)
+        km = get_algorithm("km").partition(tree, 6).cardinality
+        ekm = get_algorithm("ekm").partition(tree, 6).cardinality
+        assert ekm < km
+        # EKM packs two 3-weight siblings per interval.
+        assert ekm <= 11
+
+    def test_never_better_than_optimal(self):
+        rng = random.Random(6)
+        for _ in range(60):
+            tree = random_tree(rng.randint(2, 10), max_weight=4, rng=rng)
+            limit = rng.randint(4, 9)
+            optimal = brute_force_optimal(tree, limit)
+            ekm = get_algorithm("ekm").partition(tree, limit)
+            assert ekm.cardinality >= optimal[0]
+
+    def test_fig8_walkthrough(self, fig6_tree):
+        """Paper Sec. 4.3.4: on the Fig. 6/8 tree EKM cuts d's binary
+        subtree (d,e — weight 4) and reaches the optimal 3 partitions."""
+        partitioning = get_algorithm("ekm").partition(fig6_tree, 5)
+        assert partitioning.cardinality == 3
+        assert (3, 4) in partitioning  # the (d,e) interval
+
+    def test_chain(self):
+        tree = chain_tree([2] * 10)
+        report = evaluate_partitioning(
+            tree, get_algorithm("ekm").partition(tree, 4), 4
+        )
+        assert report.feasible
+        assert report.cardinality == 5
+
+    def test_intervals_are_maximal_chains(self):
+        """EKM component intervals never have two adjacent intervals that
+        the algorithm itself could have merged for free... but adjacent
+        intervals may still both exist; just validate structure."""
+        tree = tree_from_spec(
+            ("r", 1, [("a", 3), ("b", 3), ("c", 3), ("d", 3), ("e", 3)])
+        )
+        partitioning = get_algorithm("ekm").partition(tree, 7)
+        report = evaluate_partitioning(tree, partitioning, 7)
+        assert report.feasible
+        # 16 total weight, K=7: at least 3 partitions.
+        assert report.cardinality >= 3

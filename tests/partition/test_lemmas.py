@@ -1,0 +1,205 @@
+"""The paper's lemmas, verified empirically against exhaustive search.
+
+The paper omits its proofs (they live in the companion tech report);
+these tests check each lemma's *statement* on thousands of small random
+instances, which both validates our reading of the formalism and guards
+the implementation's assumptions.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.partition.brute import (
+    brute_force_nearly_optimal,
+    brute_force_optimal,
+    enumerate_partitionings,
+)
+from repro.partition.evaluate import partition_weights
+from repro.partition.interval import SiblingInterval
+from repro.datasets.random_trees import random_tree
+from repro.tree.node import Tree
+
+
+def random_instances(seed, count, max_nodes=9, max_weight=4):
+    rng = random.Random(seed)
+    for _ in range(count):
+        tree = random_tree(rng.randint(2, max_nodes), max_weight=max_weight, rng=rng)
+        limit = rng.randint(tree.max_node_weight(), 10)
+        yield tree, limit
+
+
+class TestLemma1Composition:
+    """Collapsing an optimally partitioned subtree into a weighted node
+    and solving the rest composes into a global optimum."""
+
+    def test_collapse_composition(self):
+        for tree, limit in random_instances(seed=101, count=40):
+            optimum = brute_force_optimal(tree, limit)
+            assert optimum is not None
+            # pick a non-root node v with children and collapse its
+            # optimal subtree solution
+            candidates = [n for n in tree if n.parent is not None and n.children]
+            if not candidates:
+                continue
+            v = candidates[0]
+            sub = _extract_subtree(tree, v)
+            sub_opt = brute_force_optimal(sub, limit)
+            assert sub_opt is not None
+            collapsed = _collapse(tree, v, collapsed_weight=sub_opt[1])
+            rest_opt = brute_force_optimal(collapsed, limit)
+            assert rest_opt is not None
+            # The composed cardinality: intervals below v (sub solution
+            # minus its root interval) + the collapsed solution.
+            composed = rest_opt[0] + (sub_opt[0] - 1)
+            # Lemma 1 only promises optimality when the local solution is
+            # *part of some global optimum* — using the locally optimal S
+            # can overshoot by the nearly-optimal correction, never more.
+            assert composed >= optimum[0]
+            assert composed <= optimum[0] + 1
+
+
+class TestLemma2FlatSubstructure:
+    """For flat trees, the optimum either drops the last child into the
+    root or closes with an interval ending at the last child."""
+
+    def test_last_child_dichotomy(self):
+        rng = random.Random(202)
+        for _ in range(40):
+            n = rng.randint(1, 7)
+            tree = Tree("t", rng.randint(1, 4))
+            for i in range(n):
+                tree.add_child(tree.root, f"c{i}", rng.randint(1, 4))
+            limit = rng.randint(tree.max_node_weight(), 10)
+            optimum = brute_force_optimal(tree, limit)
+            assert optimum is not None
+            last = tree.root.children[-1]
+            in_interval = any(
+                iv.left <= last.node_id <= iv.right and iv != (0, 0)
+                for iv in optimum[2].intervals
+            )
+            in_root = not in_interval
+            # the dichotomy is exhaustive by construction; verify that the
+            # "interval" case always ends exactly at the last child
+            if in_interval:
+                iv = next(
+                    iv
+                    for iv in optimum[2].intervals
+                    if iv != (0, 0) and iv.left <= last.node_id <= iv.right
+                )
+                assert iv.right == last.node_id
+            else:
+                assert in_root
+
+
+class TestLemma4NearlyOptimalViaInflation:
+    """Solving with root weight w + K - W_P(t) + 1 yields the nearly
+    optimal partitioning (when one with smaller root weight exists)."""
+
+    def test_inflated_instance_matches_oracle(self):
+        checked = 0
+        for tree, limit in random_instances(seed=404, count=60):
+            optimum = brute_force_optimal(tree, limit)
+            assert optimum is not None
+            inflation = limit - optimum[1] + 1
+            inflated = tree.copy()
+            inflated.root.weight += inflation
+            if inflated.root.weight > limit:
+                continue  # Q cannot exist through the table
+            inflated_opt = brute_force_optimal(inflated, limit)
+            nearly = brute_force_nearly_optimal(tree, limit)
+            if inflated_opt is None:
+                # no feasible solution under inflation -> no strictly
+                # leaner nearly-optimal solution exists
+                if nearly is not None:
+                    assert nearly[1] >= optimum[1]
+                continue
+            if inflated_opt[0] == optimum[0] + 1:
+                assert nearly is not None
+                # deflating the root weight recovers the true root weight
+                assert inflated_opt[1] - inflation == nearly[1]
+                checked += 1
+        assert checked >= 10
+
+    def test_every_minimal_solution_infeasible_after_inflation(self):
+        for tree, limit in random_instances(seed=505, count=30):
+            optimum = brute_force_optimal(tree, limit)
+            assert optimum is not None
+            inflation = limit - optimum[1] + 1
+            # any minimal partitioning's root partition now exceeds K
+            for cand in enumerate_partitionings(tree):
+                if cand.cardinality != optimum[0]:
+                    continue
+                weights = partition_weights(tree, cand)
+                if any(w > limit for w in weights.values()):
+                    continue
+                assert weights[SiblingInterval(0, 0)] + inflation > limit
+
+
+class TestLemma3TwoCandidatesSuffice:
+    """DHW's central claim: per subtree, only the optimal and nearly
+    optimal local solutions are ever needed. Checked indirectly — DHW,
+    which considers exactly those two, always matches brute force (see
+    test_dhw/test_properties); here we confirm the *nearly minimal*
+    definition: one more interval than minimal, lean among those."""
+
+    def test_nearly_minimal_definition(self):
+        for tree, limit in random_instances(seed=303, count=30):
+            optimum = brute_force_optimal(tree, limit)
+            nearly = brute_force_nearly_optimal(tree, limit)
+            if nearly is None:
+                continue
+            assert nearly[0] == optimum[0] + 1
+            # leanness: no same-cardinality solution has a smaller root
+            for cand in enumerate_partitionings(tree):
+                if cand.cardinality != nearly[0]:
+                    continue
+                weights = partition_weights(tree, cand)
+                if any(w > limit for w in weights.values()):
+                    continue
+                assert weights[SiblingInterval(0, 0)] >= nearly[1]
+
+
+def _extract_subtree(tree: Tree, v) -> Tree:
+    """Copy the subtree induced by v into a standalone Tree."""
+    sub = Tree(v.label, v.weight, v.kind, v.content)
+    mapping = {v.node_id: sub.root}
+    from repro.tree.traversal import iter_preorder
+
+    for node in iter_preorder(v):
+        if node is v:
+            continue
+        parent_clone = mapping[node.parent.node_id]
+        mapping[node.node_id] = sub.add_child(
+            parent_clone, node.label, node.weight, node.kind, node.content
+        )
+    return sub
+
+
+def _collapse(tree: Tree, v, collapsed_weight: int) -> Tree:
+    """Rebuild ``tree`` with Tv replaced by a single node whose weight is
+    the local solution's root weight (Lemma 1's construction)."""
+    clone = Tree(tree.root.label, tree.root.weight)
+    mapping = {tree.root.node_id: clone.root}
+    from repro.tree.traversal import iter_preorder
+
+    skip = {n.node_id for n in iter_preorder(v)}
+    for node in iter_preorder(tree):
+        if node.parent is None:
+            continue
+        if node.node_id == v.node_id:
+            mapping[node.node_id] = clone.add_child(
+                mapping[node.parent.node_id], node.label, collapsed_weight
+            )
+            continue
+        if node.node_id in skip:
+            continue
+        mapping[node.node_id] = clone.add_child(
+            mapping[node.parent.node_id], node.label, node.weight
+        )
+    return clone
+
+
+

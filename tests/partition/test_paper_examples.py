@@ -1,0 +1,105 @@
+"""The paper's worked examples, pinned as regression tests.
+
+Note on Fig. 3: the paper's prose claims the optimal partitioning
+P = {(a,a),(c,h),(d,e)} has root weight 3, but under the paper's own
+formal definitions the root partition is {a, b} with weight 5 (b is in no
+interval, so it stays attached to a). Exhaustive enumeration confirms
+that *no* 3-partition feasible solution has root weight below 5, so we
+pin the self-consistent value.
+"""
+
+import pytest
+
+from repro.partition import evaluate_partitioning, get_algorithm
+from repro.partition.brute import brute_force_optimal, brute_force_nearly_optimal
+
+
+LIMIT = 5
+
+
+def run(tree, name):
+    partitioning = get_algorithm(name).partition(tree, LIMIT)
+    return evaluate_partitioning(tree, partitioning, LIMIT)
+
+
+class TestFig3RunningExample:
+    def test_brute_force_optimum(self, fig3_tree):
+        card, rw, _ = brute_force_optimal(fig3_tree, LIMIT)
+        assert card == 3
+        assert rw == 5  # see module docstring
+
+    def test_dhw_is_optimal(self, fig3_tree):
+        report = run(fig3_tree, "dhw")
+        assert (report.cardinality, report.root_weight) == (3, 5)
+        assert report.feasible
+
+    def test_km_needs_one_more(self, fig3_tree):
+        assert run(fig3_tree, "km").cardinality == 4
+
+    def test_paper_ekm_partitioning_is_feasible(self, fig3_tree):
+        report = run(fig3_tree, "ekm")
+        assert report.cardinality == 3
+        assert report.feasible
+
+
+class TestFig6GreedyFailure:
+    """Fig. 6: locally optimal subtree choice costs GHDW one partition."""
+
+    def test_ghdw_suboptimal(self, fig6_tree):
+        assert run(fig6_tree, "ghdw").cardinality == 4
+
+    def test_dhw_optimal(self, fig6_tree):
+        report = run(fig6_tree, "dhw")
+        assert report.cardinality == 3
+        card, _, _ = brute_force_optimal(fig6_tree, LIMIT)
+        assert card == 3
+
+    def test_ekm_matches_optimum_here(self, fig6_tree):
+        # Sec 4.3.4: EKM "sometimes can make exactly those choices that
+        # make the DHW algorithm superior to GHDW" — on this tree it does.
+        assert run(fig6_tree, "ekm").cardinality == 3
+
+    def test_dhw_uses_nearly_optimal_subtree(self, fig6_tree):
+        from repro.partition.dhw import DHWPartitioner
+
+        algo = DHWPartitioner(collect_stats=True)
+        algo.partition(fig6_tree, LIMIT)
+        assert algo.stats.nearly_optimal_used >= 1
+
+
+class TestFig9EKMFailure:
+    """Fig. 9: EKM cuts the heavier right subtree and pays a partition."""
+
+    def test_ekm_suboptimal(self, fig9_tree):
+        assert run(fig9_tree, "ekm").cardinality == 3
+
+    def test_optimal_is_two(self, fig9_tree):
+        card, _, _ = brute_force_optimal(fig9_tree, LIMIT)
+        assert card == 2
+        assert run(fig9_tree, "dhw").cardinality == 2
+
+    def test_optimal_keeps_d_e_with_root(self, fig9_tree):
+        # "the optimal partitioning has two partitions and d,e are in the
+        # same partition as the root"
+        report = run(fig9_tree, "dhw")
+        assert report.root_weight == 5  # a + c + d + e
+
+
+class TestNearlyOptimalDefinitions:
+    def test_fig6_subtree_delta_w(self, fig6_tree):
+        """For the c-subtree of Fig. 6 (c:1 with d:2, e:2), the optimal
+        local solution has root weight 5 and the nearly optimal one has
+        root weight 1, i.e. ΔW(c) = 4."""
+        from repro.tree.builders import tree_from_spec
+
+        sub = tree_from_spec(("c", 1, [("d", 2), ("e", 2)]))
+        card, rw, _ = brute_force_optimal(sub, LIMIT)
+        assert (card, rw) == (1, 5)
+        ncard, nrw, _ = brute_force_nearly_optimal(sub, LIMIT)
+        assert (ncard, nrw) == (2, 1)
+
+    def test_nearly_optimal_missing_for_single_node(self):
+        from repro.tree.builders import tree_from_spec
+
+        single = tree_from_spec(("x", 2))
+        assert brute_force_nearly_optimal(single, LIMIT) is None

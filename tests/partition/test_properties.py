@@ -1,0 +1,154 @@
+"""Property-based tests (hypothesis) for the partitioning stack.
+
+Random ordered weighted trees are generated from flat weight lists plus a
+parent-attachment choice sequence, so shrinking produces minimal
+counterexamples. The central properties:
+
+* every algorithm produces a structurally valid, feasible partitioning;
+* DHW matches the brute-force optimum in cardinality *and* root weight;
+* FDW matches the brute-force optimum on flat trees;
+* no algorithm beats DHW;
+* evaluator invariants (weights partition the total; assignment
+  round-trips).
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.partition import (
+    evaluate_partitioning,
+    get_algorithm,
+    validate_partitioning,
+)
+from repro.partition.brute import brute_force_optimal
+from repro.partition.evaluate import (
+    assignment_from_partitioning,
+    partition_weights,
+)
+from repro.partition.interval import Partitioning
+from repro.partition.assignment import intervals_from_assignment
+from repro.tree.node import Tree
+
+HEURISTICS = ("ghdw", "ekm", "km", "rs", "dfs", "bfs", "lukes")
+
+
+@st.composite
+def weighted_trees(draw, max_nodes: int = 12, max_weight: int = 5):
+    """A random ordered weighted tree, shrink-friendly."""
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    weights = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=max_weight),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    # parent[i] in [0, i-1] for i >= 1
+    parents = [draw(st.integers(min_value=0, max_value=i - 1)) for i in range(1, n)]
+    tree = Tree("n0", weights[0])
+    for i in range(1, n):
+        tree.add_child(tree.nodes[parents[i - 1]], f"n{i}", weights[i])
+    return tree
+
+
+@st.composite
+def trees_with_limits(draw, max_nodes: int = 12, max_weight: int = 5):
+    tree = draw(weighted_trees(max_nodes=max_nodes, max_weight=max_weight))
+    limit = draw(st.integers(min_value=tree.max_node_weight(), max_value=14))
+    return tree, limit
+
+
+class TestOptimalityProperties:
+    @settings(max_examples=120, deadline=None)
+    @given(trees_with_limits(max_nodes=10))
+    def test_dhw_matches_brute_force(self, tree_limit):
+        tree, limit = tree_limit
+        optimal = brute_force_optimal(tree, limit)
+        assert optimal is not None
+        partitioning = get_algorithm("dhw").partition(tree, limit)
+        report = evaluate_partitioning(tree, partitioning, limit)
+        assert report.feasible
+        assert report.cardinality == optimal[0]
+        assert report.root_weight == optimal[1]
+
+    @settings(max_examples=80, deadline=None)
+    @given(trees_with_limits(max_nodes=9))
+    def test_no_heuristic_beats_dhw(self, tree_limit):
+        tree, limit = tree_limit
+        best = get_algorithm("dhw").partition(tree, limit).cardinality
+        for name in HEURISTICS:
+            card = get_algorithm(name).partition(tree, limit).cardinality
+            assert card >= best, name
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.data())
+    def test_fdw_exact_on_flat_trees(self, data):
+        n = data.draw(st.integers(min_value=0, max_value=8))
+        weights = data.draw(
+            st.lists(st.integers(1, 4), min_size=n + 1, max_size=n + 1)
+        )
+        tree = Tree("t", weights[0])
+        for i, w in enumerate(weights[1:]):
+            tree.add_child(tree.root, f"c{i}", w)
+        limit = data.draw(st.integers(min_value=max(weights), max_value=12))
+        from repro.partition.fdw import fdw_partition_flat
+
+        optimal = brute_force_optimal(tree, limit)
+        report = evaluate_partitioning(tree, fdw_partition_flat(tree, limit), limit)
+        assert report.cardinality == optimal[0]
+        assert report.root_weight == optimal[1]
+
+
+class TestFeasibilityProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(trees_with_limits(max_nodes=40))
+    def test_every_algorithm_valid_and_feasible(self, tree_limit):
+        tree, limit = tree_limit
+        for name in HEURISTICS + ("dhw",):
+            partitioning = get_algorithm(name).partition(tree, limit)
+            validate_partitioning(tree, partitioning)
+            report = evaluate_partitioning(tree, partitioning, limit)
+            assert report.feasible, name
+
+    @settings(max_examples=100, deadline=None)
+    @given(trees_with_limits(max_nodes=40))
+    def test_partition_weights_sum_to_total(self, tree_limit):
+        tree, limit = tree_limit
+        for name in ("ekm", "km", "dfs"):
+            partitioning = get_algorithm(name).partition(tree, limit)
+            weights = partition_weights(tree, partitioning)
+            assert sum(weights.values()) == tree.total_weight()
+
+    @settings(max_examples=100, deadline=None)
+    @given(trees_with_limits(max_nodes=40))
+    def test_cardinality_at_least_capacity_bound(self, tree_limit):
+        tree, limit = tree_limit
+        bound = -(-tree.total_weight() // limit)
+        for name in HEURISTICS:
+            assert get_algorithm(name).partition(tree, limit).cardinality >= bound
+
+
+class TestEvaluatorProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(trees_with_limits(max_nodes=30))
+    def test_assignment_roundtrip(self, tree_limit):
+        tree, limit = tree_limit
+        partitioning = get_algorithm("ekm").partition(tree, limit)
+        assignment = assignment_from_partitioning(tree, partitioning)
+        rederived = Partitioning(intervals_from_assignment(tree, assignment))
+        assert rederived == partitioning
+
+    @settings(max_examples=60, deadline=None)
+    @given(trees_with_limits(max_nodes=30))
+    def test_streaming_equals_batch(self, tree_limit):
+        """Serialize the random tree to XML-ish weights is not possible
+        (weights are arbitrary), so drive the loader's strategies directly
+        through the batch comparison on the partitioning level via the
+        tree's own structure: KM/RS/EKM streaming strategies are covered
+        in tests/bulkload; here we pin batch determinism instead."""
+        tree, limit = tree_limit
+        a = get_algorithm("ekm").partition(tree, limit)
+        b = get_algorithm("ekm").partition(tree, limit)
+        assert a == b

@@ -1,0 +1,33 @@
+"""Renderer tests."""
+
+from repro.partition import partition_tree
+from repro.partition.interval import Partitioning
+from repro.partition.render import render_partitioning
+
+
+class TestRender:
+    def test_marks_intervals_and_partitions(self, fig3_tree):
+        p = partition_tree(fig3_tree, 5, "ekm")
+        text = render_partitioning(fig3_tree, p, 5)
+        assert "a:3" in text
+        assert "◀ interval" in text
+        assert "3 partitions (K=5)" in text
+        # one line per node plus the summary
+        assert text.count("\n") == len(fig3_tree) + 1
+
+    def test_every_node_tagged(self, fig3_tree):
+        p = Partitioning([(0, 0), (3, 4)])
+        text = render_partitioning(fig3_tree, p)
+        lines = [l for l in text.splitlines() if "│" in l]
+        assert len(lines) == len(fig3_tree)
+        assert all(l.startswith("P") for l in lines)
+
+    def test_truncation(self, tiny_xmark):
+        p = partition_tree(tiny_xmark, 256, "km")
+        text = render_partitioning(tiny_xmark, p, 256, max_nodes=20)
+        assert "more nodes" in text
+
+    def test_singleton_interval_label(self, fig3_tree):
+        p = Partitioning([(0, 0), (1, 1)])
+        text = render_partitioning(fig3_tree, p)
+        assert "◀ interval (b)" in text

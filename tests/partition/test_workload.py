@@ -1,0 +1,89 @@
+"""Workload-aware Lukes clustering (Sec. 5 extension)."""
+
+from repro.partition import evaluate_partitioning, get_algorithm
+from repro.partition.lukes import lukes_partition
+from repro.partition.workload import (
+    profile_workload,
+    workload_aware_lukes,
+    workload_edge_weight,
+)
+from repro.xmlio import parse_tree
+
+DOC = (
+    "<lib>"
+    "<hot><a><x/><y/></a><a><x/></a></hot>"
+    "<cold><b/><b/><b/><b/><b/><b/></cold>"
+    "</lib>"
+)
+
+
+class TestProfiling:
+    def test_counts_only_traversed_edges(self):
+        tree = parse_tree(DOC)
+        counts = profile_workload(tree, ["/lib/hot/a"])
+        hot = tree.root.children[0]
+        assert counts[(tree.root.node_id, hot.node_id)] >= 1
+        cold = tree.root.children[1]
+        # the query never descends into <cold>
+        for child in cold.children:
+            assert counts.get((cold.node_id, child.node_id), 0) == 0
+
+    def test_edge_weight_function(self):
+        tree = parse_tree(DOC)
+        counts = profile_workload(tree, ["/lib/hot/a/x"])
+        weight = workload_edge_weight(counts, base=1)
+        hot = tree.root.children[0]
+        cold = tree.root.children[1]
+        assert weight(tree.root, hot) > weight(tree.root, cold)
+
+
+class TestWorkloadAwareLukes:
+    def test_value_at_least_unit_lukes_under_same_weights(self):
+        tree = parse_tree(DOC)
+        queries = ["/lib/hot/a/x", "/lib/hot/a"]
+        counts = profile_workload(tree, queries)
+        weight_fn = workload_edge_weight(counts)
+        aware_value, aware = workload_aware_lukes(tree, 5, queries)
+        # Re-evaluate the unit-weight layout under the workload weights:
+        # the workload-aware layout must score at least as high.
+        _, unit = lukes_partition(tree, 5)
+        from repro.partition.evaluate import assignment_from_partitioning
+
+        def value_of(partitioning):
+            assignment = assignment_from_partitioning(tree, partitioning)
+            total = 0
+            for node in tree:
+                if node.parent is None:
+                    continue
+                if assignment[node.node_id] == assignment[node.parent.node_id]:
+                    total += weight_fn(node.parent, node)
+            return total
+
+        assert aware_value == value_of(aware)
+        assert value_of(aware) >= value_of(unit)
+
+    def test_feasible(self):
+        tree = parse_tree(DOC)
+        _, partitioning = workload_aware_lukes(tree, 5, ["//x"])
+        report = evaluate_partitioning(tree, partitioning, 5)
+        assert report.feasible
+
+    def test_hot_path_kept_together(self, tiny_xmark):
+        """With a keyword-heavy workload, the workload-aware layout keeps
+        traversed regions more local than unit Lukes for those queries."""
+        queries = ["/site/regions/namerica/item"]
+        counts = profile_workload(tiny_xmark, queries)
+        weight_fn = workload_edge_weight(counts)
+        _, aware = workload_aware_lukes(tiny_xmark, 256, queries)
+        _, unit = lukes_partition(tiny_xmark, 256)
+        from repro.partition.evaluate import assignment_from_partitioning
+
+        def crossings(partitioning):
+            assignment = assignment_from_partitioning(tiny_xmark, partitioning)
+            total = 0
+            for (pid, cid), count in counts.items():
+                if assignment[pid] != assignment[cid]:
+                    total += count
+            return total
+
+        assert crossings(aware) <= crossings(unit)

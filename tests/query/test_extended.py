@@ -1,0 +1,150 @@
+"""Extended query features: attributes, kind tests, positions, comparisons."""
+
+import pytest
+
+from repro.errors import QuerySyntaxError
+from repro.partition.interval import Partitioning
+from repro.query import evaluate
+from repro.query.engine import string_value
+from repro.query.parser import parse_xpath
+from repro.query.ast import Axis, NodeTestKind, Position
+from repro.storage import DocumentStore
+from repro.xmlio import parse_tree
+
+DOC = (
+    '<site>'
+    '<person id="p0"><name>Alice</name><age>30</age></person>'
+    '<person id="p1"><name>Bob</name></person>'
+    '<person id="p2"><name>Carol</name><age>41</age></person>'
+    '<items><item n="1">first</item><item n="2">second</item>'
+    '<item n="3">third</item></items>'
+    '</site>'
+)
+
+
+@pytest.fixture(scope="module")
+def store():
+    tree = parse_tree(DOC)
+    st = DocumentStore.build(tree, Partitioning([(0, 0)]))
+    st.warm_up()
+    return st
+
+
+class TestAttributeAxis:
+    def test_attribute_step(self, store):
+        result = evaluate(store, "/site/person/@id")
+        assert [n.content for n in result] == ["p0", "p1", "p2"]
+
+    def test_attribute_wildcard(self, store):
+        result = evaluate(store, "/site/items/item/@*")
+        assert len(result) == 3
+
+    def test_explicit_attribute_axis(self, store):
+        result = evaluate(store, "/site/person/attribute::id")
+        assert len(result) == 3
+
+    def test_descendant_attributes(self, store):
+        result = evaluate(store, "//@n")
+        assert [n.content for n in result] == ["1", "2", "3"]
+
+    def test_attribute_existence_predicate(self, store):
+        result = evaluate(store, "/site/person[@id]")
+        assert len(result) == 3
+
+    def test_attribute_comparison(self, store):
+        result = evaluate(store, '/site/person[@id = "p1"]/name')
+        assert len(result) == 1
+        assert string_value(result[0]) == "Bob"
+
+    def test_attribute_inequality(self, store):
+        result = evaluate(store, '/site/person[@id != "p1"]')
+        assert len(result) == 2
+
+
+class TestKindTests:
+    def test_text_kind(self, store):
+        result = evaluate(store, "/site/items/item/text()")
+        assert [n.content for n in result] == ["first", "second", "third"]
+
+    def test_node_kind(self, store):
+        result = evaluate(store, "/site/person/node()")
+        # attributes + elements below persons
+        assert len(result) == 3 + 5
+
+    def test_string_value_of_element(self, store):
+        (person,) = evaluate(store, '/site/person[@id = "p0"]')
+        assert string_value(person) == "Alice30"
+
+
+class TestPositions:
+    def test_numeric_position(self, store):
+        result = evaluate(store, "/site/items/item[2]")
+        assert len(result) == 1
+        assert string_value(result[0]) == "second"
+
+    def test_last(self, store):
+        result = evaluate(store, "/site/items/item[last()]")
+        assert string_value(result[0]) == "third"
+
+    def test_out_of_range(self, store):
+        assert evaluate(store, "/site/items/item[9]") == []
+
+    def test_position_on_reverse_axis_is_proximity(self, store):
+        (name,) = evaluate(store, '/site/person[@id = "p2"]/name')
+        # nearest ancestor first
+        result = evaluate(store, '//name[ancestor::person[1]]')
+        assert len(result) == 3
+
+    def test_position_with_boolean_predicate(self, store):
+        result = evaluate(store, "/site/person[age][1]")
+        assert len(result) == 1
+        # positions are applied within the axis result; combined with the
+        # boolean filter only the first person with an age survives
+        assert string_value(result[0]).startswith("Alice")
+
+    def test_comparison_on_child_path(self, store):
+        result = evaluate(store, '/site/person[name = "Carol"]/@id')
+        assert [n.content for n in result] == ["p2"]
+
+
+class TestParserExtensions:
+    def test_attribute_token(self):
+        path = parse_xpath("a/@href")
+        step = path.steps[1]
+        assert step.axis is Axis.ATTRIBUTE
+        assert step.node_test.kind is NodeTestKind.ATTRIBUTE
+        assert step.node_test.name == "href"
+
+    def test_text_kind_token(self):
+        step = parse_xpath("a/text()").steps[1]
+        assert step.node_test.kind is NodeTestKind.TEXT
+
+    def test_position_ast(self):
+        step = parse_xpath("a[3]").steps[0]
+        assert step.predicates[0].expr == Position(3)
+        step = parse_xpath("a[last()]").steps[0]
+        assert step.predicates[0].expr == Position(-1)
+
+    def test_comparison_ast(self):
+        step = parse_xpath('a[@x = "1"]').steps[0]
+        comp = step.predicates[0].expr
+        assert comp.op == "="
+        assert comp.literal == "1"
+
+    def test_single_quoted_literal(self):
+        step = parse_xpath("a[b = 'two words']").steps[0]
+        assert step.predicates[0].expr.literal == "two words"
+
+    def test_rejects_unterminated_literal(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_xpath('a[b = "unterminated]')
+
+    def test_rejects_bare_at(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_xpath("a/@")
+
+    def test_roundtrip_str(self):
+        text = '/site/person[@id = "p1"]/name'
+        path = parse_xpath(text)
+        assert "person" in str(path)
+        assert "@id" in str(path)

@@ -1,0 +1,69 @@
+"""Extended XPathMark-style queries on the generated XMark document."""
+
+import pytest
+
+from repro.partition import get_algorithm
+from repro.partition.interval import Partitioning
+from repro.query import evaluate, run_query
+from repro.query.xpathmark import EXTENDED_QUERIES
+from repro.storage import DocumentStore
+
+
+@pytest.fixture(scope="module")
+def store(tiny_xmark):
+    st = DocumentStore.build(
+        tiny_xmark,
+        get_algorithm("ekm").partition(tiny_xmark, 256),
+    )
+    st.warm_up()
+    return st
+
+
+class TestExtendedQueries:
+    @pytest.mark.parametrize("qid,xpath", EXTENDED_QUERIES, ids=lambda v: v if isinstance(v, str) and v.startswith("E") else None)
+    def test_runs_and_returns(self, store, qid, xpath):
+        run = run_query(store, xpath)
+        assert run.cost > 0
+        # E1 may legitimately return one node; others should be non-empty
+        assert run.result_count >= (1 if qid == "E1" else 1), qid
+
+    def test_e1_selects_single_person_name(self, store):
+        result = evaluate(store, EXTENDED_QUERIES[0][1])
+        assert len(result) == 1
+        assert result[0].label == "name"
+
+    def test_e2_first_bidder_only(self, store, tiny_xmark):
+        increases = evaluate(store, EXTENDED_QUERIES[1][1])
+        all_increases = evaluate(store, "/site/open_auctions/open_auction/bidder/increase")
+        assert 0 < len(increases) <= len(all_increases)
+        # every result's bidder parent must be the first bidder
+        for node in increases:
+            bidder = node._node.parent
+            auction = bidder.parent
+            first_bidder = next(
+                c for c in auction.children if c.label == "bidder"
+            )
+            assert bidder is first_bidder
+
+    def test_e3_filters_auctions_without_bidders(self, store):
+        with_bidder = evaluate(store, EXTENDED_QUERIES[2][1])
+        everything = evaluate(store, "/site/open_auctions/open_auction/initial")
+        assert len(with_bidder) < len(everything)
+
+    def test_e8_returns_text_nodes(self, store):
+        from repro.tree.node import NodeKind
+
+        result = evaluate(store, EXTENDED_QUERIES[7][1])
+        assert result
+        assert all(n.kind is NodeKind.TEXT for n in result)
+
+    def test_layout_independence(self, tiny_xmark, store):
+        km_store = DocumentStore.build(
+            tiny_xmark, get_algorithm("km").partition(tiny_xmark, 256)
+        )
+        km_store.warm_up()
+        for qid, xpath in EXTENDED_QUERIES:
+            assert (
+                run_query(km_store, xpath).result_count
+                == run_query(store, xpath).result_count
+            ), qid

@@ -1,0 +1,117 @@
+"""XPath subset parser tests."""
+
+import pytest
+
+from repro.errors import QuerySyntaxError
+from repro.query.ast import Axis, BooleanExpr, LocationPath, STAR
+from repro.query.parser import parse_xpath
+
+
+class TestBasicPaths:
+    def test_absolute_child_chain(self):
+        path = parse_xpath("/site/regions/item")
+        assert path.absolute
+        assert [s.axis for s in path.steps] == [Axis.CHILD] * 3
+        assert [s.node_test.name for s in path.steps] == ["site", "regions", "item"]
+
+    def test_relative_path(self):
+        path = parse_xpath("a/b")
+        assert not path.absolute
+        assert len(path.steps) == 2
+
+    def test_wildcard(self):
+        path = parse_xpath("/site/*/item")
+        assert path.steps[1].node_test.name == STAR
+
+    def test_descendant_abbreviation(self):
+        path = parse_xpath("//keyword")
+        assert path.absolute
+        assert path.steps[0].axis is Axis.DESCENDANT
+        path = parse_xpath("/a//b")
+        assert path.steps[1].axis is Axis.DESCENDANT
+
+    def test_explicit_axes(self):
+        path = parse_xpath("/descendant-or-self::listitem/ancestor::x")
+        assert path.steps[0].axis is Axis.DESCENDANT_OR_SELF
+        assert path.steps[1].axis is Axis.ANCESTOR
+
+    def test_all_supported_axes(self):
+        for name, axis in (
+            ("child", Axis.CHILD),
+            ("self", Axis.SELF),
+            ("parent", Axis.PARENT),
+            ("ancestor-or-self", Axis.ANCESTOR_OR_SELF),
+            ("following-sibling", Axis.FOLLOWING_SIBLING),
+            ("preceding-sibling", Axis.PRECEDING_SIBLING),
+        ):
+            assert parse_xpath(f"{name}::x").steps[0].axis is axis
+
+    def test_hyphenated_names(self):
+        path = parse_xpath("/closed_auctions/closed_auction")
+        assert path.steps[1].node_test.name == "closed_auction"
+
+
+class TestPredicates:
+    def test_single_predicate(self):
+        path = parse_xpath("item[parent::namerica]")
+        (step,) = path.steps
+        assert len(step.predicates) == 1
+        inner = step.predicates[0].expr
+        assert isinstance(inner, LocationPath)
+        assert inner.steps[0].axis is Axis.PARENT
+
+    def test_or_predicate(self):
+        path = parse_xpath("item[parent::namerica or parent::samerica]")
+        expr = path.steps[0].predicates[0].expr
+        assert isinstance(expr, BooleanExpr)
+        assert expr.op == "or"
+        assert len(expr.operands) == 2
+
+    def test_and_or_precedence(self):
+        expr = parse_xpath("x[a and b or c]").steps[0].predicates[0].expr
+        assert isinstance(expr, BooleanExpr)
+        assert expr.op == "or"
+        assert isinstance(expr.operands[0], BooleanExpr)
+        assert expr.operands[0].op == "and"
+
+    def test_nested_path_predicate(self):
+        path = parse_xpath("a[b/c]")
+        inner = path.steps[0].predicates[0].expr
+        assert isinstance(inner, LocationPath)
+        assert len(inner.steps) == 2
+
+    def test_multiple_predicates(self):
+        path = parse_xpath("a[b][c]")
+        assert len(path.steps[0].predicates) == 2
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "/a[",
+            "a]",
+            "a[b",
+            "/a/",
+            "bad axis::x",
+            "unknown-axis::x",
+            "a b",
+            "$var",
+        ],
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(QuerySyntaxError):
+            parse_xpath(bad)
+
+    def test_double_slash_before_axis_rejected(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_xpath("//ancestor::x")
+
+    def test_paper_queries_all_parse(self):
+        from repro.query.xpathmark import XPATHMARK_QUERIES
+
+        for query in XPATHMARK_QUERIES:
+            path = parse_xpath(query.xpath)
+            assert path.absolute
+            assert str(path)  # renders without crashing

@@ -1,0 +1,83 @@
+"""XPathMark Q1–Q7 on a real generated XMark document, both layouts."""
+
+import pytest
+
+from repro.partition import get_algorithm
+from repro.query import XPATHMARK_QUERIES, evaluate, run_query
+from repro.storage import DocumentStore
+
+
+@pytest.fixture(scope="module")
+def stores(request):
+    from repro.datasets import xmark_document
+
+    tree = xmark_document(scale=0.004, seed=7)
+    out = {}
+    for name in ("km", "ekm"):
+        partitioning = get_algorithm(name).partition(tree, 256)
+        store = DocumentStore.build(tree, partitioning)
+        store.warm_up()
+        out[name] = store
+    return out
+
+
+class TestQueries:
+    @pytest.mark.parametrize("query", XPATHMARK_QUERIES, ids=lambda q: q.qid)
+    def test_nonempty_and_layout_independent(self, stores, query):
+        counts = {
+            name: run_query(store, query.xpath).result_count
+            for name, store in stores.items()
+        }
+        assert counts["km"] == counts["ekm"]
+        assert counts["km"] > 0, f"{query.qid} found nothing — generator drift?"
+
+    def test_q1_selects_items(self, stores):
+        result = evaluate(stores["ekm"], XPATHMARK_QUERIES[0].xpath)
+        assert all(n.label == "item" for n in result)
+
+    def test_q5_subset_of_q1(self, stores):
+        q1 = {n.node_id for n in evaluate(stores["ekm"], XPATHMARK_QUERIES[0].xpath)}
+        q5 = {n.node_id for n in evaluate(stores["ekm"], XPATHMARK_QUERIES[4].xpath)}
+        assert q5 < q1
+
+    def test_q3_superset_of_q2(self, stores):
+        q2 = {n.node_id for n in evaluate(stores["ekm"], XPATHMARK_QUERIES[1].xpath)}
+        q3 = {n.node_id for n in evaluate(stores["ekm"], XPATHMARK_QUERIES[2].xpath)}
+        assert q2 <= q3
+
+    def test_q4_equals_keywords_under_listitems(self, stores):
+        q4 = evaluate(stores["ekm"], XPATHMARK_QUERIES[3].xpath)
+        assert all(n.label == "keyword" for n in q4)
+
+    def test_q6_returns_listitems(self, stores):
+        q6 = evaluate(stores["ekm"], XPATHMARK_QUERIES[5].xpath)
+        assert q6 and all(n.label == "listitem" for n in q6)
+
+    def test_q7_returns_mails(self, stores):
+        q7 = evaluate(stores["ekm"], XPATHMARK_QUERIES[6].xpath)
+        assert q7 and all(n.label == "mail" for n in q7)
+
+
+class TestTable3Shape:
+    def test_ekm_wins_every_query(self, stores):
+        """The paper's Table 3 headline."""
+        for query in XPATHMARK_QUERIES:
+            km = run_query(stores["km"], query.xpath)
+            ekm = run_query(stores["ekm"], query.xpath)
+            assert ekm.cost < km.cost, query.qid
+
+    def test_km_fewer_bytes(self, stores):
+        """KM's small records pack pages slightly better (Table 3 row 1)."""
+        km_space = stores["km"].space_report().page_bytes
+        ekm_space = stores["ekm"].space_report().page_bytes
+        assert km_space <= ekm_space
+
+    def test_cross_ratio_lower_for_ekm(self, stores):
+        q1 = XPATHMARK_QUERIES[0]
+        km = run_query(stores["km"], q1.xpath)
+        ekm = run_query(stores["ekm"], q1.xpath)
+        assert ekm.cross_ratio < km.cross_ratio
+
+    def test_paper_metadata(self):
+        for query in XPATHMARK_QUERIES:
+            assert query.paper_speedup > 1.0

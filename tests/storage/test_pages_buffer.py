@@ -1,0 +1,117 @@
+"""Slotted pages, record manager packing, buffer pool LRU."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.buffer import BufferPool
+from repro.storage.constants import StorageConfig
+from repro.storage.manager import RecordManager
+from repro.storage.page import Page
+
+SMALL = StorageConfig(page_size=256, page_header=24, page_slot_entry=4)
+
+
+class TestPage:
+    def test_free_space_accounting(self):
+        page = Page(0, SMALL)
+        assert page.free_bytes == 256 - 24
+        page.put(1, b"x" * 100)
+        assert page.free_bytes == 256 - 24 - 100 - 4
+
+    def test_fits_includes_slot_entry(self):
+        page = Page(0, SMALL)
+        exactly = 256 - 24 - 4
+        assert page.fits(b"x" * exactly)
+        assert not page.fits(b"x" * (exactly + 1))
+
+    def test_put_overflow_rejected(self):
+        page = Page(0, SMALL)
+        with pytest.raises(StorageError):
+            page.put(1, b"x" * 500)
+
+    def test_duplicate_record_rejected(self):
+        page = Page(0, SMALL)
+        page.put(1, b"a")
+        with pytest.raises(StorageError):
+            page.put(1, b"b")
+
+    def test_get(self):
+        page = Page(0, SMALL)
+        page.put(5, b"blob")
+        assert page.get(5) == b"blob"
+        with pytest.raises(StorageError):
+            page.get(6)
+
+
+class TestRecordManager:
+    def test_first_fit_shares_pages(self):
+        manager = RecordManager(SMALL)
+        for rid in range(4):
+            manager.store(rid, b"x" * 50)
+        report = manager.space_report()
+        assert report.pages == 1
+        assert report.records == 4
+
+    def test_allocates_new_page_when_full(self):
+        manager = RecordManager(SMALL)
+        manager.store(0, b"x" * 200)
+        manager.store(1, b"x" * 200)
+        assert manager.space_report().pages == 2
+
+    def test_small_records_backfill(self):
+        manager = RecordManager(SMALL)
+        manager.store(0, b"x" * 200)
+        manager.store(1, b"x" * 200)
+        manager.store(2, b"x" * 10)  # fits back into page 0
+        assert manager.page_of_record[2] == 0
+
+    def test_space_report_utilization(self):
+        manager = RecordManager(SMALL)
+        manager.store(0, b"x" * 100)
+        report = manager.space_report()
+        assert report.page_bytes == 256
+        assert report.record_bytes == 100
+        assert report.utilization == pytest.approx(100 / 256)
+        assert report.kib == pytest.approx(0.25)
+
+
+class TestBufferPool:
+    def make_pages(self, count):
+        pages = {}
+        for i in range(count):
+            pages[i] = Page(i, SMALL)
+        return pages
+
+    def test_hit_miss_accounting(self):
+        pool = BufferPool(self.make_pages(3), capacity=2)
+        pool.fetch(0)
+        pool.fetch(0)
+        assert pool.stats.hits == 1
+        assert pool.stats.misses == 1
+        assert pool.stats.hit_ratio == 0.5
+
+    def test_lru_eviction(self):
+        pool = BufferPool(self.make_pages(3), capacity=2)
+        pool.fetch(0)
+        pool.fetch(1)
+        pool.fetch(2)  # evicts 0
+        assert pool.stats.evictions == 1
+        assert not pool.is_cached(0)
+        assert pool.is_cached(1)
+        pool.fetch(1)  # refresh 1
+        pool.fetch(0)  # evicts 2
+        assert not pool.is_cached(2)
+
+    def test_warm_up(self):
+        pool = BufferPool(self.make_pages(3), capacity=8)
+        pool.warm_up()
+        assert all(pool.is_cached(i) for i in range(3))
+
+    def test_unknown_page(self):
+        pool = BufferPool({}, capacity=1)
+        with pytest.raises(StorageError):
+            pool.fetch(9)
+
+    def test_capacity_validation(self):
+        with pytest.raises(StorageError):
+            BufferPool({}, capacity=0)

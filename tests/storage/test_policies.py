@@ -1,0 +1,76 @@
+"""Allocation policy tests (first-fit vs best-fit) and Sec. 3.3.6 DHW
+optimization equivalence."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.constants import StorageConfig
+from repro.storage.manager import RecordManager
+
+
+def config(policy):
+    return StorageConfig(
+        page_size=128, page_header=8, page_slot_entry=0, allocation_policy=policy
+    )
+
+
+class TestAllocationPolicies:
+    def test_best_fit_prefers_fullest_page(self):
+        manager = RecordManager(config("best_fit"))
+        manager.store(0, b"x" * 100)  # page 0: 20 free
+        manager.store(1, b"x" * 60)  # page 1: 60 free
+        manager.store(2, b"x" * 15)  # best fit -> page 0
+        assert manager.page_of_record[2] == 0
+
+    def test_first_fit_takes_earliest(self):
+        manager = RecordManager(config("first_fit"))
+        manager.store(0, b"x" * 60)  # page 0: 60 free
+        manager.store(1, b"x" * 100)  # page 1: 20 free
+        manager.store(2, b"x" * 15)  # first fit -> page 0
+        assert manager.page_of_record[2] == 0
+
+    def test_best_fit_never_uses_more_pages_here(self):
+        blobs = [100, 60, 15, 50, 40, 70, 10, 5, 110, 30]
+        managers = {p: RecordManager(config(p)) for p in ("first_fit", "best_fit")}
+        for policy, manager in managers.items():
+            for i, size in enumerate(blobs):
+                manager.store(i, b"x" * size)
+        assert (
+            managers["best_fit"].space_report().pages
+            <= managers["first_fit"].space_report().pages
+        )
+
+    def test_unknown_policy_rejected(self):
+        manager = RecordManager(config("random_fit"))
+        with pytest.raises(StorageError):
+            manager.store(0, b"x")
+
+
+class TestDHWEndpointOptimization:
+    def test_exclude_endpoints_stays_optimal(self):
+        """Sec. 3.3.6: leaving interval endpoints out of the downgrade
+        candidate list must not cost optimality."""
+        import random
+
+        from repro.datasets.random_trees import random_tree
+        from repro.partition import evaluate_partitioning
+        from repro.partition.brute import brute_force_optimal
+        from repro.partition.dhw import DHWPartitioner
+
+        rng = random.Random(31)
+        for _ in range(80):
+            tree = random_tree(rng.randint(2, 10), max_weight=5, rng=rng)
+            limit = rng.randint(tree.max_node_weight(), 12)
+            optimal = brute_force_optimal(tree, limit)
+            partitioning = DHWPartitioner(exclude_endpoints=True).partition(tree, limit)
+            report = evaluate_partitioning(tree, partitioning, limit)
+            assert report.feasible
+            assert report.cardinality == optimal[0]
+            assert report.root_weight == optimal[1]
+
+    def test_both_variants_agree_on_fig6(self, fig6_tree):
+        from repro.partition.dhw import DHWPartitioner
+
+        default = DHWPartitioner().partition(fig6_tree, 5)
+        optimized = DHWPartitioner(exclude_endpoints=True).partition(fig6_tree, 5)
+        assert default.cardinality == optimized.cardinality == 3

@@ -1,0 +1,68 @@
+"""Record codec: binary round-trips and capacity enforcement."""
+
+import pytest
+
+from repro.errors import RecordOverflowError, StorageError
+from repro.storage.record import NO_PARENT, Record, RecordCodec, RecordNode
+from repro.tree.node import NodeKind
+
+
+def sample_record() -> Record:
+    return Record(
+        record_id=7,
+        nodes=[
+            RecordNode(10, NodeKind.ELEMENT, label_id=0, parent_slot=NO_PARENT),
+            RecordNode(11, NodeKind.ATTRIBUTE, label_id=1, parent_slot=0, content=b"v1"),
+            RecordNode(12, NodeKind.TEXT, label_id=2, parent_slot=0, content="héllo".encode()),
+            RecordNode(13, NodeKind.ELEMENT, label_id=3, parent_slot=NO_PARENT),
+        ],
+    )
+
+
+class TestCodec:
+    def test_round_trip(self):
+        codec = RecordCodec()
+        record = sample_record()
+        blob = codec.encode(record)
+        decoded = codec.decode(7, blob)
+        assert decoded.record_id == 7
+        assert decoded.node_count == 4
+        for orig, back in zip(record.nodes, decoded.nodes):
+            assert (orig.node_id, orig.kind, orig.label_id, orig.parent_slot, orig.content) == (
+                back.node_id, back.kind, back.label_id, back.parent_slot, back.content
+            )
+
+    def test_fragment_roots(self):
+        record = sample_record()
+        assert [n.node_id for n in record.fragment_roots()] == [10, 13]
+        assert record.node_ids() == [10, 11, 12, 13]
+
+    def test_encoded_size_matches(self):
+        codec = RecordCodec(record_header=16)
+        record = sample_record()
+        blob = codec.encode(record)
+        assert codec.encoded_size(record) == 16 + len(blob)
+
+    def test_capacity_enforced(self):
+        codec = RecordCodec(capacity_bytes=16)
+        with pytest.raises(RecordOverflowError):
+            codec.encode(sample_record())
+
+    def test_decode_rejects_garbage(self):
+        codec = RecordCodec()
+        with pytest.raises(StorageError):
+            codec.decode(0, b"\x01")
+        blob = codec.encode(sample_record())
+        with pytest.raises(StorageError):
+            codec.decode(0, blob + b"junk")
+
+    def test_content_too_long_rejected(self):
+        codec = RecordCodec()
+        record = Record(0, [RecordNode(0, NodeKind.TEXT, 0, NO_PARENT, b"x" * 70_000)])
+        with pytest.raises(StorageError):
+            codec.encode(record)
+
+    def test_empty_record(self):
+        codec = RecordCodec()
+        blob = codec.encode(Record(1))
+        assert codec.decode(1, blob).node_count == 0

@@ -1,0 +1,196 @@
+"""Node-at-a-time updates: placement preferences, splits, invariants."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.partition import evaluate_partitioning, get_algorithm
+from repro.partition.interval import Partitioning
+from repro.storage import DocumentStore, StorageConfig, StoreUpdater
+from repro.tree.node import NodeKind
+from repro.xmlio import parse_tree
+
+LIMIT = 16
+
+
+def small_store():
+    tree = parse_tree("<a><b>xx</b><c/><d/></a>")
+    config = StorageConfig(record_limit=LIMIT)
+    store = DocumentStore.build(tree, Partitioning([(0, 0)]), config)
+    return store
+
+
+def assert_invariants(updater: StoreUpdater):
+    store = updater.store
+    partitioning = updater.current_partitioning()
+    report = evaluate_partitioning(store.tree, partitioning, updater.limit)
+    assert report.feasible, "updates broke feasibility"
+    # record weights bookkeeping matches the evaluator
+    from repro.partition.evaluate import partition_weights, assignment_from_partitioning
+
+    assignment = assignment_from_partitioning(store.tree, partitioning)
+    recomputed = {}
+    for node in store.tree:
+        rid = store.record_of[node.node_id]
+        recomputed[rid] = recomputed.get(rid, 0) + node.weight
+    for rid, weight in recomputed.items():
+        assert store.record_weights[rid] == weight
+        assert weight <= updater.limit
+    return report
+
+
+class TestInsertPlacement:
+    def test_fits_with_parent(self):
+        store = small_store()
+        updater = StoreUpdater(store)
+        nid = updater.insert_node(0, "new", kind=NodeKind.ELEMENT)
+        assert store.record_of[nid] == store.record_of[0]
+        assert updater.stats.placed_with_parent == 1
+        assert_invariants(updater)
+
+    def test_insert_at_position(self):
+        store = small_store()
+        updater = StoreUpdater(store)
+        nid = updater.insert_node(0, "first", position=0)
+        root = store.tree.root
+        assert root.children[0].node_id == nid
+        assert [c.label for c in root.children] == ["first", "b", "c", "d"]
+        assert_invariants(updater)
+
+    def test_document_order_recomputed(self):
+        store = small_store()
+        updater = StoreUpdater(store)
+        nid = updater.insert_node(0, "first", position=0)
+        assert store.order_rank(nid) == 1  # right after the root
+        assert store.order_rank(store.tree.root.node_id) == 0
+
+    def test_overflow_goes_to_sibling_record(self):
+        tree = parse_tree("<a><b/><c/><d/></a>")
+        config = StorageConfig(record_limit=4)
+        # (c,d) share a record; root partition = {a, b} weight 2
+        store = DocumentStore.build(tree, Partitioning([(0, 0), (2, 3)]), config)
+        updater = StoreUpdater(store)
+        # Fill the root record so a new child of a cannot join it.
+        updater.insert_node(0, "x1")
+        updater.insert_node(0, "x2")
+        assert store.record_weights[store.record_of[0]] == 4
+        # Next child of a, inserted adjacent to c: joins (c,d)'s record.
+        nid = updater.insert_node(0, "y", position=2)
+        assert store.record_of[nid] == store.record_of[2]
+        assert updater.stats.placed_with_sibling == 1
+        assert_invariants(updater)
+
+    def test_split_when_everything_full(self):
+        store = small_store()  # total weight 6 in one record, K=16
+        updater = StoreUpdater(store)
+        for i in range(25):
+            updater.insert_node(0, f"n{i}")
+        report = assert_invariants(updater)
+        assert report.cardinality >= 2  # at least one split or new record
+        assert updater.stats.record_splits + updater.stats.new_records >= 1
+
+    def test_many_inserts_remain_feasible(self):
+        store = small_store()
+        updater = StoreUpdater(store)
+        import random
+
+        rng = random.Random(3)
+        ids = [0, 1, 2, 3]
+        for i in range(120):
+            parent = rng.choice(ids)
+            nid = updater.insert_node(
+                parent,
+                f"e{i}",
+                kind=rng.choice((NodeKind.ELEMENT, NodeKind.TEXT)),
+                content="t" * rng.randint(0, 30),
+                position=rng.randint(
+                    0, len(store.tree.node(parent).children)
+                ),
+            )
+            ids.append(nid)
+        report = assert_invariants(updater)
+        assert report.cardinality > 1
+
+    def test_rejects_oversized_node(self):
+        updater = StoreUpdater(small_store())
+        with pytest.raises(StorageError):
+            updater.insert_node(0, "huge", kind=NodeKind.TEXT, content="x" * 1000)
+
+
+class TestContentUpdates:
+    def test_grow_in_place(self):
+        store = small_store()
+        updater = StoreUpdater(store)
+        text_id = 2  # the "xx" text node under b
+        assert store.tree.node(text_id).kind is NodeKind.TEXT
+        updater.update_content(text_id, "a much longer text value")
+        assert store.tree.node(text_id).content == "a much longer text value"
+        assert_invariants(updater)
+
+    def test_shrink(self):
+        store = small_store()
+        updater = StoreUpdater(store)
+        before = store.record_weights[store.record_of[2]]
+        updater.update_content(2, "")
+        assert store.record_weights[store.record_of[2]] < before
+        assert_invariants(updater)
+
+    def test_growth_triggers_split(self):
+        store = small_store()
+        updater = StoreUpdater(store)
+        updater.update_content(2, "x" * 100)  # 1 + ceil(100/8) = 14 slots
+        report = assert_invariants(updater)
+        assert report.cardinality >= 2
+        assert updater.stats.record_splits >= 1
+
+    def test_rejects_non_text(self):
+        updater = StoreUpdater(small_store())
+        with pytest.raises(StorageError):
+            updater.update_content(0, "nope")  # element
+
+
+class TestFlush:
+    def test_flush_reencodes_records(self):
+        store = small_store()
+        updater = StoreUpdater(store)
+        nid = updater.insert_node(0, "fresh", kind=NodeKind.TEXT, content="hello")
+        updater.flush()
+        record = store.fetch_record(store.record_of[nid])
+        entry = next(n for n in record.nodes if n.node_id == nid)
+        assert entry.content == b"hello"
+
+    def test_flush_handles_new_and_migrated_records(self):
+        store = small_store()
+        updater = StoreUpdater(store)
+        for i in range(30):
+            updater.insert_node(0, f"n{i}", kind=NodeKind.TEXT, content="abcdef")
+        updater.flush()
+        # every record decodes and together they hold every node
+        seen = []
+        for rid in range(store.record_count):
+            seen.extend(store.fetch_record(rid).node_ids())
+        assert sorted(seen) == list(range(len(store.tree)))
+
+    def test_space_report_consistent_after_flush(self):
+        store = small_store()
+        updater = StoreUpdater(store)
+        for i in range(10):
+            updater.insert_node(0, f"n{i}")
+        updater.flush()
+        report = store.space_report()
+        assert report.records == store.record_count
+
+
+class TestQueryAfterUpdates:
+    def test_queries_see_inserted_nodes(self):
+        from repro.query import evaluate
+
+        store = small_store()
+        updater = StoreUpdater(store)
+        updater.insert_node(0, "zzz", position=0)
+        updater.flush()
+        result = evaluate(store, "/a/zzz")
+        assert len(result) == 1
+        # document order respected despite the out-of-order node id
+        all_children = evaluate(store, "/a/*")
+        labels = [n.label for n in all_children]
+        assert labels == ["zzz", "b", "c", "d"]

@@ -1,0 +1,79 @@
+"""The user-facing ``repro`` command line."""
+
+import pytest
+
+from repro.cli import main
+from repro.datasets import xmark_document
+from repro.xmlio import write_xml
+
+
+@pytest.fixture(scope="module")
+def doc_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "doc.xml"
+    write_xml(xmark_document(scale=0.002, seed=4), path)
+    return str(path)
+
+
+class TestPartitionCommand:
+    def test_basic(self, doc_path, capsys):
+        assert main(["partition", doc_path]) == 0
+        out = capsys.readouterr().out
+        assert "partitions" in out
+        assert "ekm" in out
+
+    def test_render(self, doc_path, capsys):
+        assert main(["partition", doc_path, "--render", "--render-nodes", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "◀ interval" in out
+
+    def test_other_algorithm(self, doc_path, capsys):
+        assert main(["partition", doc_path, "--algorithm", "km"]) == 0
+        assert "km:" in capsys.readouterr().out
+
+    def test_unknown_algorithm_fails_cleanly(self, doc_path, capsys):
+        assert main(["partition", doc_path, "--algorithm", "nope"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_missing_file(self, capsys):
+        assert main(["partition", "/no/such/file.xml"]) == 1
+
+
+class TestImportCommand:
+    def test_basic(self, doc_path, capsys):
+        assert main(["import", doc_path]) == 0
+        out = capsys.readouterr().out
+        assert "imported" in out
+        assert "records" in out
+
+    def test_with_spill(self, doc_path, capsys):
+        assert main(["import", doc_path, "--spill-threshold", "1024"]) == 0
+        out = capsys.readouterr().out
+        assert "spills" in out
+
+
+class TestQueryCommand:
+    def test_counts_and_costs(self, doc_path, capsys):
+        assert main(["query", doc_path, "//keyword"]) == 0
+        out = capsys.readouterr().out
+        assert "results" in out
+        assert "cross-record" in out
+
+    def test_show_results(self, doc_path, capsys):
+        assert main(["query", doc_path, "//keyword", "--show", "3"]) == 0
+        assert "<keyword>" in capsys.readouterr().out
+
+    def test_bad_xpath(self, doc_path, capsys):
+        assert main(["query", doc_path, "///"]) == 1
+
+
+class TestCompareCommand:
+    def test_lists_algorithms(self, doc_path, capsys):
+        assert main(["compare", doc_path]) == 0
+        out = capsys.readouterr().out
+        for name in ("ghdw", "ekm", "km", "bfs"):
+            assert name in out
+        assert "dhw" not in out  # skipped by default
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,65 @@
+"""Error hierarchy contract: everything derives from ReproError and the
+messages carry actionable context."""
+
+import pytest
+
+from repro.errors import (
+    InfeasiblePartitioningError,
+    InvalidPartitioningError,
+    QueryEvaluationError,
+    QuerySyntaxError,
+    RecordOverflowError,
+    ReproError,
+    StorageError,
+    TreeError,
+    XmlFormatError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            TreeError,
+            InfeasiblePartitioningError,
+            InvalidPartitioningError,
+            XmlFormatError,
+            StorageError,
+            RecordOverflowError,
+            QuerySyntaxError,
+            QueryEvaluationError,
+        ],
+    )
+    def test_all_derive_from_base(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_record_overflow_is_storage_error(self):
+        assert issubclass(RecordOverflowError, StorageError)
+
+    def test_infeasible_carries_node_id(self):
+        err = InfeasiblePartitioningError("too heavy", node_id=42)
+        assert err.node_id == 42
+        assert "too heavy" in str(err)
+
+    def test_infeasible_node_id_optional(self):
+        assert InfeasiblePartitioningError("x").node_id is None
+
+
+class TestOneCatchAll:
+    def test_library_raises_only_repro_errors(self, fig3_tree):
+        """A caller catching ReproError sees every library failure mode."""
+        from repro.partition import get_algorithm, validate_partitioning
+        from repro.partition.interval import Partitioning
+        from repro.query.parser import parse_xpath
+        from repro.xmlio import parse_tree
+
+        cases = [
+            lambda: get_algorithm("missing"),
+            lambda: get_algorithm("ekm").partition(fig3_tree, 1),
+            lambda: validate_partitioning(fig3_tree, Partitioning([])),
+            lambda: parse_xpath("///["),
+            lambda: parse_tree("<broken>"),
+        ]
+        for case in cases:
+            with pytest.raises(ReproError):
+                case()

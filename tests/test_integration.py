@@ -1,0 +1,96 @@
+"""End-to-end integration: generate → serialize → stream-import → store →
+query, with every stage cross-checked against its batch counterpart.
+
+This is the full Natix-shaped pipeline the paper describes: a document
+arrives as text, is bulk-loaded into weight-limited records, and queries
+then navigate the partitioned store.
+"""
+
+import pytest
+
+from repro.bulkload import bulk_import
+from repro.datasets import xmark_document
+from repro.partition import evaluate_partitioning, get_algorithm
+from repro.query import XPATHMARK_QUERIES, evaluate, run_query
+from repro.storage import DocumentStore
+from repro.xmlio import parse_tree, tree_to_xml
+
+LIMIT = 256
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    tree = xmark_document(scale=0.003, seed=99)
+    xml = tree_to_xml(tree)
+    result = bulk_import(xml, algorithm="ekm", limit=LIMIT, spill_threshold=4096)
+    store = DocumentStore.build(result.tree, result.partitioning)
+    store.warm_up()
+    return tree, xml, result, store
+
+
+class TestPipeline:
+    def test_import_preserves_document(self, pipeline):
+        tree, xml, result, _ = pipeline
+        assert len(result.tree) == len(tree)
+        assert result.tree.total_weight() == tree.total_weight()
+
+    def test_partitioning_fits_records(self, pipeline):
+        tree, _, result, _ = pipeline
+        report = evaluate_partitioning(result.tree, result.partitioning, LIMIT)
+        assert report.feasible
+        assert report.max_partition_weight <= LIMIT
+
+    def test_store_holds_every_node_exactly_once(self, pipeline):
+        _, _, result, store = pipeline
+        seen: list[int] = []
+        for rid in range(store.record_count):
+            seen.extend(store.fetch_record(rid).node_ids())
+        assert sorted(seen) == list(range(len(result.tree)))
+
+    def test_record_bytes_reflect_slot_model(self, pipeline):
+        _, _, result, store = pipeline
+        space = store.space_report()
+        # Serialized bytes should be within 3x of the slot-model estimate
+        # (11B fixed entries vs 8B metadata slots, plus headers).
+        slots_bytes = result.tree.total_weight() * store.config.slot_size
+        assert 0.5 * slots_bytes < space.record_bytes < 3 * slots_bytes
+
+    def test_queries_match_naive_evaluation(self, pipeline):
+        tree, _, _, store = pipeline
+        from repro.tree.traversal import iter_preorder
+
+        naive_keywords = [
+            n.node_id for n in iter_preorder(tree) if n.label == "keyword"
+        ]
+        result = evaluate(store, "//keyword")
+        assert [n.node_id for n in result] == naive_keywords
+
+    def test_all_xpathmark_queries_run(self, pipeline):
+        _, _, _, store = pipeline
+        for query in XPATHMARK_QUERIES:
+            run = run_query(store, query.xpath)
+            assert run.cost > 0
+
+    def test_spilled_layout_still_correct_for_queries(self, pipeline):
+        """Partitioning quality affects cost, never results."""
+        tree, xml, _, spilled_store = pipeline
+        batch = get_algorithm("ekm").partition(tree, LIMIT)
+        batch_store = DocumentStore.build(tree, batch)
+        batch_store.warm_up()
+        for query in XPATHMARK_QUERIES[:3]:
+            a = run_query(spilled_store, query.xpath)
+            b = run_query(batch_store, query.xpath)
+            assert a.result_count == b.result_count
+
+
+class TestFileBasedFlow:
+    def test_from_disk(self, tmp_path):
+        from repro.xmlio import write_xml
+
+        tree = xmark_document(scale=0.002, seed=5)
+        path = tmp_path / "doc.xml"
+        write_xml(tree, path)
+        result = bulk_import(str(path), algorithm="rs", limit=LIMIT)
+        assert len(result.tree) == len(tree)
+        reparsed = parse_tree(str(path))
+        assert reparsed.total_weight() == tree.total_weight()

@@ -1,0 +1,72 @@
+"""Left-child/right-sibling view tests (the EKM substrate)."""
+
+from repro.tree import tree_from_spec
+from repro.tree.binary import (
+    binary_children,
+    binary_parent,
+    binary_subtree_weights,
+    first_child,
+    iter_binary_postorder,
+    next_sibling,
+)
+
+
+class TestAccessors:
+    def test_fig8_binary_shape(self, fig6_tree):
+        # Paper Fig. 8 is the binary representation of the Fig. 6 tree:
+        # a's left child is b; b's right child is c; c's left child is d,
+        # c's right child is f; d's right child is e.
+        a, b, c, d, e, f = (fig6_tree.node(i) for i in range(6))
+        assert first_child(a) is b
+        assert next_sibling(a) is None
+        assert first_child(b) is None
+        assert next_sibling(b) is c
+        assert first_child(c) is d
+        assert next_sibling(c) is f
+        assert first_child(d) is None
+        assert next_sibling(d) is e
+
+    def test_binary_children(self, fig6_tree):
+        c = fig6_tree.node(2)
+        assert [n.label for n in binary_children(c)] == ["d", "f"]
+        leaf = fig6_tree.node(5)
+        assert binary_children(leaf) == []
+
+    def test_binary_parent_inverse(self, fig3_tree):
+        for node in fig3_tree:
+            for child in binary_children(node):
+                assert binary_parent(child) is node
+
+
+class TestBinaryPostorder:
+    def test_visits_every_node_once(self, fig3_tree):
+        seen = [n.node_id for n in iter_binary_postorder(fig3_tree)]
+        assert sorted(seen) == list(range(len(fig3_tree)))
+
+    def test_children_before_binary_parent(self, fig3_tree):
+        position = {
+            n.node_id: i for i, n in enumerate(iter_binary_postorder(fig3_tree))
+        }
+        for node in fig3_tree:
+            for child in binary_children(node):
+                assert position[child.node_id] < position[node.node_id]
+
+
+class TestBinaryWeights:
+    def test_root_weight_is_total(self, fig3_tree):
+        weights = binary_subtree_weights(fig3_tree)
+        assert weights[0] == fig3_tree.total_weight()
+
+    def test_includes_right_siblings(self, fig3_tree):
+        weights = binary_subtree_weights(fig3_tree)
+        # binary subtree of b = b + c-subtree + f + g + h = 2+5+1+1+2
+        assert weights[1] == 11
+        # binary subtree of d = d + e
+        assert weights[3] == 4
+
+    def test_flat_tree(self):
+        tree = tree_from_spec(("r", 1, [("x", 2), ("y", 3), ("z", 4)]))
+        weights = binary_subtree_weights(tree)
+        assert weights[1] == 9  # x + y + z
+        assert weights[2] == 7  # y + z
+        assert weights[3] == 4  # z

@@ -1,0 +1,90 @@
+"""Builder helpers: flat, chain, uniform, random, pathological shapes."""
+
+import pytest
+
+from repro.datasets.random_trees import (
+    comb_tree,
+    heavy_child_tree,
+    layered_trap_tree,
+    random_flat_tree,
+    random_tree,
+    star_tree,
+)
+from repro.errors import TreeError
+from repro.tree.builders import build_tree, chain_tree, flat_tree, uniform_tree
+
+
+class TestBasicBuilders:
+    def test_flat_tree(self):
+        tree = flat_tree(3, [1, 2, 3])
+        assert len(tree) == 4
+        assert tree.root.weight == 3
+        assert [c.weight for c in tree.root.children] == [1, 2, 3]
+        assert all(c.is_leaf for c in tree.root.children)
+
+    def test_build_tree_labels(self):
+        tree = build_tree(1, [5, 5], root_label="x")
+        assert tree.root.label == "x"
+        assert [c.label for c in tree.root.children] == ["c1", "c2"]
+
+    def test_chain_tree(self):
+        tree = chain_tree([1, 2, 3])
+        assert len(tree) == 3
+        node = tree.root
+        depth = 0
+        while node.children:
+            assert len(node.children) == 1
+            node = node.children[0]
+            depth += 1
+        assert depth == 2
+
+    def test_chain_tree_empty_rejected(self):
+        with pytest.raises(TreeError):
+            chain_tree([])
+
+    def test_uniform_tree_counts(self):
+        tree = uniform_tree(depth=3, fanout=2)
+        assert len(tree) == 2**4 - 1
+        tree.validate()
+
+
+class TestRandomAndPathological:
+    def test_random_tree_deterministic_per_seed(self):
+        t1 = random_tree(50, seed=9)
+        t2 = random_tree(50, seed=9)
+        assert [n.weight for n in t1] == [n.weight for n in t2]
+        assert [n.parent.node_id if n.parent else -1 for n in t1] == [
+            n.parent.node_id if n.parent else -1 for n in t2
+        ]
+
+    def test_random_tree_valid(self):
+        for seed in range(5):
+            tree = random_tree(100, seed=seed, attach_bias=seed / 5)
+            tree.validate()
+            assert len(tree) == 100
+
+    def test_random_flat_tree_is_flat(self):
+        tree = random_flat_tree(30, seed=1)
+        assert all(c.is_leaf for c in tree.root.children)
+
+    def test_star_tree(self):
+        tree = star_tree(100, child_weight=2)
+        assert len(tree) == 101
+        assert tree.total_weight() == 201
+
+    def test_comb_tree_depth(self):
+        from repro.tree.measure import node_depths
+
+        tree = comb_tree(10)
+        assert max(node_depths(tree)) == 10
+
+    def test_heavy_child_tree(self):
+        tree = heavy_child_tree(light_children=6, heavy_weight=50)
+        weights = sorted(c.weight for c in tree.root.children)
+        assert weights[-1] == 50
+        assert weights[:-1] == [1] * 6
+
+    def test_layered_trap_tree_valid(self):
+        tree = layered_trap_tree(levels=4, limit=5)
+        tree.validate()
+        assert tree.max_node_weight() <= 5

@@ -1,0 +1,50 @@
+"""Measurement helpers: subtree weights, depths, stats."""
+
+from repro.tree import subtree_weights, tree_from_spec, tree_stats
+from repro.tree.measure import max_fanout, node_depths
+
+
+class TestSubtreeWeights:
+    def test_fig3_values(self, fig3_tree):
+        weights = subtree_weights(fig3_tree)
+        # a=14 (total), b=2, c=5, d=2, e=2, f=1, g=1, h=2
+        assert weights == [14, 2, 5, 2, 2, 1, 1, 2]
+
+    def test_leaf_equals_own_weight(self, fig3_tree):
+        weights = subtree_weights(fig3_tree)
+        for node in fig3_tree:
+            if node.is_leaf:
+                assert weights[node.node_id] == node.weight
+
+    def test_parent_sums_children(self, fig3_tree):
+        weights = subtree_weights(fig3_tree)
+        for node in fig3_tree:
+            expected = node.weight + sum(weights[c.node_id] for c in node.children)
+            assert weights[node.node_id] == expected
+
+
+class TestDepthsAndStats:
+    def test_node_depths(self, fig3_tree):
+        depths = node_depths(fig3_tree)
+        assert depths[0] == 0
+        assert depths[1] == 1  # b
+        assert depths[3] == 2  # d
+
+    def test_max_fanout(self, fig3_tree):
+        assert max_fanout(fig3_tree) == 5
+
+    def test_tree_stats(self, fig3_tree):
+        stats = tree_stats(fig3_tree)
+        assert stats.nodes == 8
+        assert stats.total_weight == 14
+        assert stats.height == 2
+        assert stats.max_fanout == 5
+        assert stats.leaves == 6
+        assert stats.max_node_weight == 3
+        assert "nodes=8" in str(stats)
+
+    def test_single_node_stats(self):
+        stats = tree_stats(tree_from_spec(("x", 4)))
+        assert stats.nodes == 1
+        assert stats.height == 0
+        assert stats.leaves == 1

@@ -1,0 +1,124 @@
+"""Tests for the core tree data structures."""
+
+import pytest
+
+from repro.errors import TreeError
+from repro.tree import Tree, TreeNode, NodeKind, tree_from_spec
+
+
+class TestTreeNode:
+    def test_weight_must_be_positive(self):
+        with pytest.raises(TreeError):
+            TreeNode(0, "x", 0)
+        with pytest.raises(TreeError):
+            TreeNode(0, "x", -3)
+
+    def test_root_properties(self):
+        tree = Tree("root", 7)
+        assert tree.root.is_root
+        assert tree.root.is_leaf
+        assert tree.root.weight == 7
+        assert tree.root.node_id == 0
+        assert tree.root.next_sibling() is None
+        assert tree.root.prev_sibling() is None
+
+    def test_sibling_navigation(self):
+        tree = Tree("r", 1)
+        a = tree.add_child(tree.root, "a", 1)
+        b = tree.add_child(tree.root, "b", 1)
+        c = tree.add_child(tree.root, "c", 1)
+        assert a.next_sibling() is b
+        assert b.next_sibling() is c
+        assert c.next_sibling() is None
+        assert c.prev_sibling() is b
+        assert a.prev_sibling() is None
+        assert [x.index for x in (a, b, c)] == [0, 1, 2]
+
+
+class TestTree:
+    def test_add_child_assigns_dense_ids(self):
+        tree = Tree("r", 1)
+        for i in range(5):
+            tree.add_child(tree.root, f"c{i}", 1)
+        assert [n.node_id for n in tree] == list(range(6))
+        assert len(tree) == 6
+
+    def test_add_child_rejects_foreign_parent(self):
+        t1 = Tree("r", 1)
+        t2 = Tree("r", 1)
+        with pytest.raises(TreeError):
+            t1.add_child(t2.root, "x", 1)
+
+    def test_total_and_subtree_weight(self, fig3_tree):
+        assert fig3_tree.total_weight() == 14
+        c = fig3_tree.node(2)
+        assert c.label == "c"
+        assert fig3_tree.subtree_weight(c) == 5  # paper: W_T(c) = 5
+        assert fig3_tree.subtree_weight(fig3_tree.root) == 14
+
+    def test_subtree_weight_cache_invalidated_on_mutation(self):
+        tree = Tree("r", 1)
+        a = tree.add_child(tree.root, "a", 2)
+        assert tree.subtree_weight(tree.root) == 3
+        tree.add_child(a, "b", 4)
+        assert tree.subtree_weight(tree.root) == 7
+
+    def test_interval_nodes(self, fig3_tree):
+        # (b, f) = {b, c, f} per the paper's example
+        b, f = fig3_tree.node(1), fig3_tree.node(5)
+        labels = [n.label for n in fig3_tree.interval_nodes(b, f)]
+        assert labels == ["b", "c", "f"]
+
+    def test_interval_nodes_rejects_non_siblings(self, fig3_tree):
+        b, d = fig3_tree.node(1), fig3_tree.node(3)
+        with pytest.raises(TreeError):
+            fig3_tree.interval_nodes(b, d)
+
+    def test_interval_nodes_rejects_reversed(self, fig3_tree):
+        b, f = fig3_tree.node(1), fig3_tree.node(5)
+        with pytest.raises(TreeError):
+            fig3_tree.interval_nodes(f, b)
+
+    def test_root_interval_is_singleton(self, fig3_tree):
+        root = fig3_tree.root
+        assert fig3_tree.interval_nodes(root, root) == [root]
+
+    def test_validate_accepts_well_formed(self, fig3_tree):
+        fig3_tree.validate()
+
+    def test_validate_detects_stale_index(self, fig3_tree):
+        fig3_tree.node(1).index = 3
+        with pytest.raises(TreeError):
+            fig3_tree.validate()
+
+    def test_copy_is_deep_and_equal(self, fig3_tree):
+        clone = fig3_tree.copy()
+        assert len(clone) == len(fig3_tree)
+        assert [n.label for n in clone] == [n.label for n in fig3_tree]
+        assert [n.weight for n in clone] == [n.weight for n in fig3_tree]
+        clone.add_child(clone.root, "new", 1)
+        assert len(clone) == len(fig3_tree) + 1  # original untouched
+
+    def test_weights_and_max(self, fig3_tree):
+        assert fig3_tree.max_node_weight() == 3
+        assert fig3_tree.weights()[0] == 3
+
+    def test_node_kind_default(self):
+        tree = Tree("r", 1)
+        assert tree.root.kind is NodeKind.ELEMENT
+
+
+class TestSpecRoundTrip:
+    def test_spec_from_tree_round_trips(self, fig3_tree):
+        from repro.tree.builders import spec_from_tree
+
+        spec = spec_from_tree(fig3_tree)
+        rebuilt = tree_from_spec(spec)
+        assert [n.label for n in rebuilt] == [n.label for n in fig3_tree]
+        assert [n.weight for n in rebuilt] == [n.weight for n in fig3_tree]
+
+    def test_bad_spec_rejected(self):
+        with pytest.raises(TreeError):
+            tree_from_spec(("just-a-label",))
+        with pytest.raises(TreeError):
+            tree_from_spec("nope")

@@ -1,0 +1,62 @@
+"""Traversal order tests, including very deep trees (no recursion)."""
+
+from repro.datasets.random_trees import comb_tree
+from repro.tree import iter_levelorder, iter_postorder, iter_preorder, tree_from_spec
+from repro.tree.builders import chain_tree
+from repro.tree.traversal import iter_ancestors, iter_descendants
+
+
+def labels(nodes):
+    return [n.label for n in nodes]
+
+
+class TestOrders:
+    def test_preorder(self, fig3_tree):
+        assert labels(iter_preorder(fig3_tree)) == ["a", "b", "c", "d", "e", "f", "g", "h"]
+
+    def test_postorder(self, fig3_tree):
+        assert labels(iter_postorder(fig3_tree)) == ["b", "d", "e", "c", "f", "g", "h", "a"]
+
+    def test_levelorder(self, fig3_tree):
+        assert labels(iter_levelorder(fig3_tree)) == ["a", "b", "c", "f", "g", "h", "d", "e"]
+
+    def test_single_node(self):
+        tree = tree_from_spec(("only", 1))
+        for it in (iter_preorder, iter_postorder, iter_levelorder):
+            assert labels(it(tree)) == ["only"]
+
+    def test_subtree_traversal_from_node(self, fig3_tree):
+        c = fig3_tree.node(2)
+        assert labels(iter_preorder(c)) == ["c", "d", "e"]
+        assert labels(iter_postorder(c)) == ["d", "e", "c"]
+
+    def test_descendants_excludes_self(self, fig3_tree):
+        c = fig3_tree.node(2)
+        assert labels(iter_descendants(c)) == ["d", "e"]
+
+    def test_ancestors(self, fig3_tree):
+        d = fig3_tree.node(3)
+        assert labels(iter_ancestors(d)) == ["c", "a"]
+
+
+class TestDeepTrees:
+    def test_deep_chain_does_not_recurse(self):
+        tree = chain_tree([1] * 50_000)
+        assert sum(1 for _ in iter_preorder(tree)) == 50_000
+        assert sum(1 for _ in iter_postorder(tree)) == 50_000
+
+    def test_comb_postorder_visits_all(self):
+        tree = comb_tree(teeth=5_000)
+        seen = list(iter_postorder(tree))
+        assert len(seen) == len(tree)
+        # Postorder: every child appears before its parent.
+        position = {n.node_id: i for i, n in enumerate(seen)}
+        for node in tree:
+            if node.parent is not None:
+                assert position[node.node_id] < position[node.parent.node_id]
+
+    def test_preorder_parents_first(self, fig3_tree):
+        position = {n.node_id: i for i, n in enumerate(iter_preorder(fig3_tree))}
+        for node in fig3_tree:
+            if node.parent is not None:
+                assert position[node.parent.node_id] < position[node.node_id]

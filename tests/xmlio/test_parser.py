@@ -1,0 +1,122 @@
+"""Streaming parser and weighted-tree construction tests."""
+
+import io
+
+import pytest
+
+from repro.errors import XmlFormatError
+from repro.tree.node import NodeKind
+from repro.xmlio import iter_events, parse_tree
+from repro.xmlio.events import Characters, EndDocument, EndElement, StartDocument, StartElement
+from repro.xmlio.parser import tree_from_events
+from repro.xmlio.weights import SlotWeightModel
+
+
+SIMPLE = '<a x="1"><b>hello</b><c/></a>'
+
+
+class TestIterEvents:
+    def test_event_sequence(self):
+        events = list(iter_events(SIMPLE))
+        assert isinstance(events[0], StartDocument)
+        assert isinstance(events[-1], EndDocument)
+        kinds = [type(e).__name__ for e in events[1:-1]]
+        assert kinds == [
+            "StartElement",
+            "StartElement",
+            "Characters",
+            "EndElement",
+            "StartElement",
+            "EndElement",
+            "EndElement",
+        ]
+
+    def test_attributes_in_document_order(self):
+        events = list(iter_events('<a b="1" a="2" c="3"/>'))
+        start = events[1]
+        assert start.attributes == (("b", "1"), ("a", "2"), ("c", "3"))
+
+    def test_accepts_bytes_path_and_stream(self, tmp_path):
+        path = tmp_path / "doc.xml"
+        path.write_text(SIMPLE)
+        for source in (SIMPLE, SIMPLE.encode(), str(path), path, io.BytesIO(SIMPLE.encode())):
+            tree = parse_tree(source)
+            assert len(tree) == 5
+
+    def test_malformed_raises(self):
+        with pytest.raises(XmlFormatError):
+            list(iter_events("<a><b></a>"))
+
+    def test_unsupported_source(self):
+        with pytest.raises(XmlFormatError):
+            list(iter_events(12345))  # type: ignore[arg-type]
+
+    def test_large_document_streams(self):
+        body = "<r>" + "<x>t</x>" * 20_000 + "</r>"
+        count = sum(1 for e in iter_events(body) if isinstance(e, StartElement))
+        assert count == 20_001
+
+
+class TestParseTree:
+    def test_structure_and_kinds(self):
+        tree = parse_tree(SIMPLE)
+        kinds = [(n.label, n.kind) for n in tree]
+        assert kinds == [
+            ("a", NodeKind.ELEMENT),
+            ("x", NodeKind.ATTRIBUTE),
+            ("b", NodeKind.ELEMENT),
+            ("#text", NodeKind.TEXT),
+            ("c", NodeKind.ELEMENT),
+        ]
+
+    def test_weights_follow_slot_model(self):
+        tree = parse_tree("<a>12345678X</a>")  # 9 bytes of text
+        text = tree.nodes[1]
+        assert text.weight == 1 + 2  # metadata + ceil(9/8)
+
+    def test_whitespace_stripped_by_default(self):
+        tree = parse_tree("<a>\n  <b/>\n</a>")
+        assert len(tree) == 2
+
+    def test_whitespace_kept_on_request(self):
+        tree = parse_tree("<a>\n  <b/>\n</a>", strip_whitespace=False)
+        assert len(tree) == 4
+        assert tree.nodes[1].kind is NodeKind.TEXT
+
+    def test_adjacent_character_runs_merge(self):
+        events = [
+            StartDocument(),
+            StartElement("a", ()),
+            Characters("one "),
+            Characters("two"),
+            EndElement("a"),
+            EndDocument(),
+        ]
+        tree = tree_from_events(events)
+        assert len(tree) == 2
+        assert tree.nodes[1].content == "one two"
+
+    def test_entities_and_unicode(self):
+        tree = parse_tree("<a>&lt;tag&gt; &amp; ümläut</a>")
+        assert tree.nodes[1].content == "<tag> & ümläut"
+        # weight counts UTF-8 bytes, not code points
+        assert tree.nodes[1].weight == 1 + -(-len("<tag> & ümläut".encode()) // 8)
+
+    def test_custom_weight_model(self):
+        wm = SlotWeightModel(slot_size=4)
+        tree = parse_tree("<a>12345678</a>", weight_model=wm)
+        assert tree.nodes[1].weight == 1 + 2  # ceil(8/4)
+
+    def test_empty_document_rejected(self):
+        with pytest.raises(XmlFormatError):
+            parse_tree("   ")
+
+    def test_unclosed_stream_rejected(self):
+        events = [StartDocument(), StartElement("a", ()), EndDocument()]
+        with pytest.raises(XmlFormatError):
+            tree_from_events(events)
+
+    def test_stray_end_rejected(self):
+        events = [StartDocument(), StartElement("a", ()), EndElement("a"), EndElement("a")]
+        with pytest.raises(XmlFormatError):
+            tree_from_events(events)

@@ -1,0 +1,58 @@
+"""Serializer round-trip tests."""
+
+import io
+
+from repro.xmlio import parse_tree, tree_to_xml, write_xml
+
+
+ROUND_TRIPS = [
+    "<a/>",
+    '<a x="1" y="two"/>',
+    "<a><b>text</b><c/><d>more</d></a>",
+    "<a>mixed <b>bold</b> tail</a>",
+    '<site><regions><item id="i0">desc</item></regions></site>',
+    "<a>&lt;escaped&gt; &amp; fine</a>",
+    '<a attr="with &quot;quotes&quot;"/>',
+]
+
+
+class TestRoundTrip:
+    def test_parse_serialize_parse_fixed_points(self):
+        for doc in ROUND_TRIPS:
+            tree = parse_tree(doc)
+            text = tree_to_xml(tree, declaration=False)
+            again = parse_tree(text)
+            assert [(n.label, n.kind, n.weight, n.content) for n in again] == [
+                (n.label, n.kind, n.weight, n.content) for n in tree
+            ], doc
+
+    def test_generated_corpus_round_trips(self, tiny_xmark):
+        text = tree_to_xml(tiny_xmark)
+        again = parse_tree(text)
+        assert len(again) == len(tiny_xmark)
+        assert [n.weight for n in again] == [n.weight for n in tiny_xmark]
+        assert again.total_weight() == tiny_xmark.total_weight()
+
+    def test_declaration_prefix(self):
+        tree = parse_tree("<a/>")
+        assert tree_to_xml(tree).startswith("<?xml")
+        assert not tree_to_xml(tree, declaration=False).startswith("<?xml")
+
+    def test_write_to_stream_and_path(self, tmp_path):
+        tree = parse_tree("<a><b>x</b></a>")
+        buffer = io.StringIO()
+        write_xml(tree, buffer)
+        assert "<a>" in buffer.getvalue()
+        path = tmp_path / "out.xml"
+        write_xml(tree, path)
+        assert parse_tree(str(path)).total_weight() == tree.total_weight()
+
+    def test_deep_tree_serializes_iteratively(self):
+        from repro.tree.builders import chain_tree
+        from repro.tree.node import NodeKind
+
+        tree = chain_tree([1] * 10_000)
+        for node in tree:
+            node.kind = NodeKind.ELEMENT
+        text = tree_to_xml(tree, declaration=False)
+        assert len(parse_tree(text)) == 10_000

@@ -1,0 +1,42 @@
+"""Slot weight model tests (paper Sec. 6.1)."""
+
+from repro.tree.node import NodeKind
+from repro.xmlio.weights import DEFAULT_SLOT_SIZE, PAPER_LIMIT, SlotWeightModel
+
+
+class TestSlotWeightModel:
+    def test_paper_configuration(self):
+        assert DEFAULT_SLOT_SIZE == 8
+        assert PAPER_LIMIT == 256
+        wm = SlotWeightModel()
+        assert wm.bytes_for_weight(PAPER_LIMIT) == 2048  # 2 KB storage units
+
+    def test_element_weight_is_one_slot(self):
+        wm = SlotWeightModel()
+        assert wm.element_weight() == 1
+        assert wm.weight(NodeKind.ELEMENT, "ignored") == 1
+
+    def test_text_weight_rounds_up(self):
+        wm = SlotWeightModel()
+        assert wm.text_weight("") == 1
+        assert wm.text_weight("a") == 2
+        assert wm.text_weight("12345678") == 2
+        assert wm.text_weight("123456789") == 3
+
+    def test_attribute_weight(self):
+        wm = SlotWeightModel()
+        assert wm.attribute_weight("v") == 2
+        assert wm.attribute_weight("x" * 16) == 3
+
+    def test_utf8_length_counts(self):
+        wm = SlotWeightModel()
+        assert wm.content_slots("é" * 8) == 2  # 16 bytes
+
+    def test_custom_slot_size(self):
+        wm = SlotWeightModel(slot_size=16)
+        assert wm.text_weight("x" * 16) == 2
+        assert wm.text_weight("x" * 17) == 3
+
+    def test_other_kind_has_no_content_cost(self):
+        wm = SlotWeightModel()
+        assert wm.weight(NodeKind.OTHER, "long content here") == 1
