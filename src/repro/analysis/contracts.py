@@ -1,0 +1,144 @@
+"""Runtime contract checking for partitioning algorithms.
+
+The static passes catch whole classes of bugs, but the paper's central
+guarantees are *semantic*: every registered algorithm must emit a
+partitioning that (1) is structurally valid — disjoint sibling intervals
+including the root interval ``(t,t)``, (2) covers every node of the tree
+exactly once through the partition forest, (3) respects the capacity
+``K`` on every partition, and (4) leaves the input tree untouched.
+
+:func:`verify_partition_contract` asserts all four through the *existing*
+evaluator (:mod:`repro.partition.evaluate` stays the single source of
+truth for partition-forest semantics — the contract layer adds no second
+interpretation that could drift). It is wired into
+``Partitioner.partition(..., check=True)`` and enabled globally with
+``REPRO_CHECK_INVARIANTS=1`` so whole benchmark and test runs execute in
+checked mode.
+
+Mutation detection works by structural fingerprint: a hash of every
+node's identity, payload and links taken before the algorithm runs and
+compared after. O(n) per check, no copy of the tree.
+"""
+
+from __future__ import annotations
+
+import os
+import zlib
+from dataclasses import dataclass
+
+from repro.errors import ContractViolationError
+from repro.partition.evaluate import (
+    assignment_from_partitioning,
+    partition_weights,
+    validate_partitioning,
+)
+from repro.partition.interval import Partitioning, SiblingInterval
+from repro.tree.node import Tree
+
+ENV_FLAG = "REPRO_CHECK_INVARIANTS"
+
+_FALSY = frozenset({"", "0", "false", "no", "off"})
+
+
+def contracts_enabled() -> bool:
+    """Is checked mode requested via ``REPRO_CHECK_INVARIANTS``?"""
+    return os.environ.get(ENV_FLAG, "").strip().lower() not in _FALSY
+
+
+def tree_fingerprint(tree: Tree) -> int:
+    """Order-sensitive structural hash of the whole tree.
+
+    Covers node identity, payload and all links (parent, child order,
+    weights), so any mutation an algorithm could slip in — reweighting,
+    reparenting, reordering siblings, appending nodes — changes the
+    value. Accumulated with CRC32 rather than ``hash()`` so fingerprints
+    are stable across processes (``hash()`` is salted per interpreter),
+    which lets tests and debugging sessions compare them.
+    """
+    acc = zlib.crc32(str(len(tree.nodes)).encode("ascii"))
+    for node in tree.nodes:
+        parent_id = -1 if node.parent is None else node.parent.node_id
+        record = (
+            f"{node.node_id}|{node.label}|{node.weight}|{int(node.kind)}|"
+            f"{node.content or ''}|{parent_id}|{node.index}|{len(node.children)}\n"
+        )
+        acc = zlib.crc32(record.encode("utf-8"), acc)
+    return acc
+
+
+@dataclass(frozen=True)
+class ContractReport:
+    """What the contract checker established about one result."""
+
+    algorithm: str
+    cardinality: int
+    max_partition_weight: int
+    limit: int
+    nodes_covered: int
+
+
+def verify_partition_contract(
+    tree: Tree,
+    partitioning: Partitioning,
+    limit: int,
+    algorithm: str = "<unknown>",
+    fingerprint_before: int | None = None,
+) -> ContractReport:
+    """Assert the full partitioning contract; raise on any breach.
+
+    Raises :class:`~repro.errors.ContractViolationError` with the
+    offending algorithm and detail. Returns a :class:`ContractReport`
+    when everything holds, so callers can log checked-mode evidence.
+    """
+
+    def breach(detail: str) -> ContractViolationError:
+        return ContractViolationError(
+            f"algorithm {algorithm!r} violated the partitioning contract: {detail}",
+            algorithm=algorithm,
+        )
+
+    # (4) input immutability
+    if fingerprint_before is not None and tree_fingerprint(tree) != fingerprint_before:
+        raise breach("input tree was mutated during partitioning")
+
+    # (1) structural validity (root interval, sibling order, disjointness)
+    try:
+        validate_partitioning(tree, partitioning)
+    except Exception as exc:
+        raise breach(f"invalid structure: {exc}") from exc
+
+    # (2) coverage: every node lands in exactly one partition
+    try:
+        assignment = assignment_from_partitioning(tree, partitioning)
+    except Exception as exc:
+        raise breach(f"node coverage failed: {exc}") from exc
+    uncovered = [nid for nid, rid in enumerate(assignment) if rid < 0]
+    if uncovered:
+        raise breach(f"{len(uncovered)} nodes not covered (first: {uncovered[:5]})")
+
+    # (3) capacity and mass conservation through the shared evaluator
+    weights = partition_weights(tree, partitioning)
+    overweight = {iv: w for iv, w in weights.items() if w > limit}
+    if overweight:
+        worst_iv, worst = max(overweight.items(), key=lambda kv: kv[1])
+        raise breach(
+            f"{len(overweight)} partitions exceed K={limit} "
+            f"(worst: interval {worst_iv} at weight {worst})"
+        )
+    root_iv = SiblingInterval(tree.root.node_id, tree.root.node_id)
+    if root_iv not in weights:
+        raise breach("result lacks the root interval (t,t)")
+    total = sum(weights.values())
+    if total != tree.total_weight():
+        raise breach(
+            f"partition weights sum to {total}, tree weighs {tree.total_weight()} "
+            "(double-counted or dropped subtrees)"
+        )
+
+    return ContractReport(
+        algorithm=algorithm,
+        cardinality=partitioning.cardinality,
+        max_partition_weight=max(weights.values()) if weights else 0,
+        limit=limit,
+        nodes_covered=len(assignment),
+    )

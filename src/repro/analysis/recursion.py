@@ -1,0 +1,160 @@
+"""Unbounded-recursion detection over the static call graph.
+
+Python's default stack tops out around a thousand frames, so any call
+cycle whose depth tracks *input size* — tree depth, sibling count, query
+nesting — is a latent crash on exactly the degenerate documents the
+partitioning algorithms exist to handle (deep chains for DHW, huge
+fan-outs for FDW). This module finds every cycle:
+
+* build the digraph of non-stack-safe call edges
+  (:class:`~repro.analysis.callgraph.CallEdge`; trampolined generator
+  instantiations are excluded — see the callgraph module docstring);
+* compute strongly connected components with an **iterative** Tarjan
+  (the detector must not itself be depth-limited by the graph it scans);
+* every SCC with more than one member, or with a self-edge, is a
+  recursion cycle.
+
+A cycle is *suppressed* only when every member function carries an
+``# repro-lint: allow-recursion`` pragma on its ``def`` line — the
+annotation asserts the recursion depth is bounded by construction (e.g.
+the XPath parser's explicit nesting cap), and requiring it on every
+member keeps a partially-annotated cycle visible.
+
+Cycles are additionally classified **hot-path** when some member lives in
+the tree/partition/query/storage/bulkload/xmlio subsystems whose inputs
+are user-supplied documents; those are the ones that turn into crashes in
+production rather than in a test helper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.analysis.callgraph import CallGraph
+
+#: module prefixes whose call depth is driven by user-supplied documents
+HOT_PATH_PREFIXES = (
+    "repro.tree",
+    "repro.partition",
+    "repro.query",
+    "repro.storage",
+    "repro.bulkload",
+    "repro.xmlio",
+    "repro.datasets",
+)
+
+
+@dataclass(frozen=True)
+class RecursionCycle:
+    """One strongly connected component of the call graph."""
+
+    #: member qualnames, sorted for determinism
+    members: tuple[str, ...]
+    #: representative file:line (the lexically first member's def site)
+    path: str
+    lineno: int
+    #: every member carries an ``allow-recursion`` pragma
+    suppressed: bool
+    #: some member belongs to a document-driven subsystem
+    hot_path: bool
+
+    def describe(self) -> str:
+        if len(self.members) == 1:
+            shape = f"`{_short(self.members[0])}` calls itself"
+        else:
+            ring = " -> ".join(_short(m) for m in self.members)
+            shape = f"mutual recursion {ring} -> {_short(self.members[0])}"
+        flavor = "hot-path " if self.hot_path else ""
+        return f"{flavor}recursion cycle: {shape}"
+
+
+def _short(qualname: str) -> str:
+    """Trim the shared ``repro.`` prefix for readable cycle listings."""
+    return qualname[6:] if qualname.startswith("repro.") else qualname
+
+
+def _tarjan_sccs(vertices: Iterable[str], adjacency: dict[str, list[str]]) -> list[list[str]]:
+    """Strongly connected components, iteratively (no Python recursion)."""
+    index_of: dict[str, int] = {}
+    lowlink: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    sccs: list[list[str]] = []
+    counter = 0
+
+    for root in vertices:
+        if root in index_of:
+            continue
+        # work stack of (vertex, iterator position into its successors)
+        work: list[tuple[str, int]] = [(root, 0)]
+        while work:
+            vertex, pos = work[-1]
+            if pos == 0:
+                index_of[vertex] = lowlink[vertex] = counter
+                counter += 1
+                stack.append(vertex)
+                on_stack.add(vertex)
+            successors = adjacency.get(vertex, [])
+            advanced = False
+            while pos < len(successors):
+                succ = successors[pos]
+                pos += 1
+                if succ not in index_of:
+                    work[-1] = (vertex, pos)
+                    work.append((succ, 0))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[vertex] = min(lowlink[vertex], index_of[succ])
+            if advanced:
+                continue
+            work.pop()
+            if lowlink[vertex] == index_of[vertex]:
+                component: list[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == vertex:
+                        break
+                sccs.append(component)
+            if work:
+                parent, _ = work[-1]
+                lowlink[parent] = min(lowlink[parent], lowlink[vertex])
+    return sccs
+
+
+def find_recursion_cycles(graph: CallGraph) -> list[RecursionCycle]:
+    """All recursion cycles of ``graph``, sorted by location."""
+    adjacency: dict[str, list[str]] = {}
+    self_edges: set[str] = set()
+    for edge in graph.edges:
+        if edge.stack_safe:
+            continue
+        if edge.caller not in graph.functions or edge.callee not in graph.functions:
+            continue
+        adjacency.setdefault(edge.caller, []).append(edge.callee)
+        if edge.caller == edge.callee:
+            self_edges.add(edge.caller)
+
+    cycles: list[RecursionCycle] = []
+    for component in _tarjan_sccs(sorted(graph.functions), adjacency):
+        if len(component) == 1 and component[0] not in self_edges:
+            continue
+        members = tuple(sorted(component))
+        infos = [graph.functions[m] for m in members]
+        anchor = min(infos, key=lambda f: (str(f.path), f.lineno))
+        cycles.append(
+            RecursionCycle(
+                members=members,
+                path=str(anchor.path),
+                lineno=anchor.lineno,
+                suppressed=all(f.allow_recursion for f in infos),
+                hot_path=any(
+                    f.module.startswith(HOT_PATH_PREFIXES) for f in infos
+                ),
+            )
+        )
+    cycles.sort(key=lambda c: (c.path, c.lineno))
+    return cycles

@@ -1,0 +1,301 @@
+"""The repo-specific lint passes shipped with ``repro-lint``.
+
+Codes are stable (used in ``# repro-lint: skip=CODE`` pragmas and
+``--select``/``--ignore``):
+
+======  ================================================================
+REC001  unbounded recursion cycle reachable on document-driven paths
+BAN001  bare ``except:`` swallows ``KeyboardInterrupt``/``SystemExit``
+BAN002  ``sys.setrecursionlimit`` outside ``repro.analysis``
+BAN003  float arithmetic on slot weights/limits in partitioner modules
+PRT001  partitioner mutates the input tree
+PRT002  partitioner overrides ``partition`` instead of ``_partition``
+======  ================================================================
+
+The partitioner passes identify "partitioner modules" syntactically — a
+module defining a class whose base list names ``Partitioner`` (resolved
+to :class:`repro.partition.base.Partitioner` when the base module is part
+of the analyzed set, matched by name otherwise, so fixture snippets lint
+the same way the real tree does).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.callgraph import ClassInfo, SourceFile, _dotted_name
+from repro.analysis.passes import LintContext, LintPass, Violation, register_lint_pass
+from repro.analysis.recursion import find_recursion_cycles
+
+#: TreeNode structural attributes a partitioner must never assign
+_TREE_MUTATION_ATTRS = frozenset(
+    {"weight", "parent", "children", "index", "label", "kind", "content", "nodes"}
+)
+#: list-mutating methods (flagged when called on ``.children`` / ``.nodes``)
+_LIST_MUTATORS = frozenset(
+    {"append", "insert", "extend", "pop", "remove", "clear", "sort", "reverse"}
+)
+#: Tree methods that mutate structure
+_TREE_MUTATION_CALLS = frozenset({"add_child", "insert_child"})
+#: identifier fragments that mark slot-weight arithmetic
+_WEIGHT_NAME_FRAGMENTS = ("weight", "limit", "slot", "capac")
+
+PARTITIONER_BASE = "repro.partition.base.Partitioner"
+
+
+def _is_partitioner_class(cls: ClassInfo) -> bool:
+    if PARTITIONER_BASE in cls.bases:
+        return True
+    return any(
+        base == "Partitioner" or base.endswith(".Partitioner") or base.endswith("Partitioner")
+        for base in cls.base_names
+    )
+
+
+def _partitioner_classes(ctx: LintContext, source: SourceFile) -> list[ClassInfo]:
+    return [
+        cls
+        for cls in ctx.callgraph.classes.values()
+        if cls.module == source.module and _is_partitioner_class(cls)
+    ]
+
+
+def _mentions_weight(node: ast.AST) -> bool:
+    for child in ast.walk(node):
+        name: Optional[str] = None
+        if isinstance(child, ast.Name):
+            name = child.id
+        elif isinstance(child, ast.Attribute):
+            name = child.attr
+        elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            name = child.name
+        if name is not None and any(
+            frag in name.lower() for frag in _WEIGHT_NAME_FRAGMENTS
+        ):
+            return True
+    return False
+
+
+@register_lint_pass
+class RecursionCyclePass(LintPass):
+    """Report every non-suppressed recursion cycle of the call graph."""
+
+    code = "REC001"
+    name = "recursion-cycle"
+    description = (
+        "self- or mutual-recursion whose depth can track input size; "
+        "convert to explicit-stack iteration, a generator trampoline, or "
+        "annotate every member with `# repro-lint: allow-recursion` after "
+        "bounding the depth by construction"
+    )
+
+    def run(self, ctx: LintContext) -> Iterator[Violation]:
+        for cycle in find_recursion_cycles(ctx.callgraph):
+            if cycle.suppressed:
+                continue
+            yield Violation(
+                path=cycle.path,
+                lineno=cycle.lineno,
+                code=self.code,
+                message=cycle.describe(),
+            )
+
+
+@register_lint_pass
+class BareExceptPass(LintPass):
+    """``except:`` catches ``SystemExit``/``KeyboardInterrupt`` too."""
+
+    code = "BAN001"
+    name = "bare-except"
+    description = "bare `except:` clause; catch `ReproError` or `Exception`"
+
+    def run(self, ctx: LintContext) -> Iterator[Violation]:
+        for source in ctx.files:
+            for node in ast.walk(source.tree):
+                if isinstance(node, ast.ExceptHandler) and node.type is None:
+                    yield Violation(
+                        path=str(source.path),
+                        lineno=node.lineno,
+                        code=self.code,
+                        message="bare `except:` swallows interrupts; name the exception",
+                    )
+
+
+@register_lint_pass
+class RecursionLimitPass(LintPass):
+    """Raising the interpreter recursion limit hides unbounded recursion
+    instead of fixing it — the analyzer package itself is the only place
+    allowed to reason about the limit."""
+
+    code = "BAN002"
+    name = "recursion-limit"
+    description = "`sys.setrecursionlimit` outside repro.analysis"
+
+    def run(self, ctx: LintContext) -> Iterator[Violation]:
+        for source in ctx.files:
+            if source.module.startswith("repro.analysis"):
+                continue
+            for node in ast.walk(source.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                dotted = _dotted_name(node.func)
+                if dotted is not None and dotted.endswith("setrecursionlimit"):
+                    yield Violation(
+                        path=str(source.path),
+                        lineno=node.lineno,
+                        code=self.code,
+                        message=(
+                            "sys.setrecursionlimit masks unbounded recursion; "
+                            "use explicit-stack iteration instead"
+                        ),
+                    )
+
+
+@register_lint_pass
+class FloatWeightPass(LintPass):
+    """Slot weights are positive integers (paper Sec. 6.1); float
+    arithmetic silently breaks feasibility comparisons at page-capacity
+    boundaries."""
+
+    code = "BAN003"
+    name = "float-weight"
+    description = (
+        "true division or float literals applied to weights/limits in a "
+        "partitioner module; use integer arithmetic (`//`)"
+    )
+
+    def run(self, ctx: LintContext) -> Iterator[Violation]:
+        for source in ctx.files:
+            if not (
+                _partitioner_classes(ctx, source)
+                or source.module == "repro.partition.flatdp"
+            ):
+                continue
+            for node in ast.walk(source.tree):
+                if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+                    if _mentions_weight(node.left) or _mentions_weight(node.right):
+                        yield Violation(
+                            path=str(source.path),
+                            lineno=node.lineno,
+                            code=self.code,
+                            message=(
+                                "true division on slot weights produces floats; "
+                                "use `//` (weights are integral slot counts)"
+                            ),
+                        )
+                elif isinstance(node, (ast.BinOp, ast.Compare)):
+                    operands = (
+                        [node.left, node.right]
+                        if isinstance(node, ast.BinOp)
+                        else [node.left, *node.comparators]
+                    )
+                    has_float = any(
+                        isinstance(op, ast.Constant) and isinstance(op.value, float)
+                        for op in operands
+                    )
+                    if has_float and any(_mentions_weight(op) for op in operands):
+                        yield Violation(
+                            path=str(source.path),
+                            lineno=node.lineno,
+                            code=self.code,
+                            message="float literal in slot-weight arithmetic",
+                        )
+
+
+@register_lint_pass
+class PartitionerMutatesTreePass(LintPass):
+    """Partitioners receive the document tree by reference and must treat
+    it as read-only: every algorithm (and the contract checker) assumes
+    the tree observed after ``partition()`` is the tree that was passed
+    in. This pass flags tree/node mutation syntax anywhere in a module
+    that defines a partitioner."""
+
+    code = "PRT001"
+    name = "partitioner-mutates-tree"
+    description = (
+        "tree mutation (`add_child`/`insert_child`, node attribute "
+        "assignment, `.children`/`.nodes` list mutation) in a partitioner module"
+    )
+
+    def run(self, ctx: LintContext) -> Iterator[Violation]:
+        for source in ctx.files:
+            if not _partitioner_classes(ctx, source):
+                continue
+            yield from self._scan(source)
+
+    def _scan(self, source: SourceFile) -> Iterator[Violation]:
+        path = str(source.path)
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                func = node.func
+                if func.attr in _TREE_MUTATION_CALLS:
+                    yield Violation(
+                        path=path,
+                        lineno=node.lineno,
+                        code=self.code,
+                        message=f"partitioner calls tree-mutating `{func.attr}()`",
+                    )
+                elif (
+                    func.attr in _LIST_MUTATORS
+                    and isinstance(func.value, ast.Attribute)
+                    and func.value.attr in ("children", "nodes")
+                ):
+                    yield Violation(
+                        path=path,
+                        lineno=node.lineno,
+                        code=self.code,
+                        message=(
+                            f"partitioner mutates `.{func.value.attr}` via "
+                            f"`.{func.attr}()`"
+                        ),
+                    )
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and target.attr in _TREE_MUTATION_ATTRS
+                        and not (
+                            isinstance(target.value, ast.Name)
+                            and target.value.id == "self"
+                        )
+                    ):
+                        yield Violation(
+                            path=path,
+                            lineno=node.lineno,
+                            code=self.code,
+                            message=(
+                                f"partitioner assigns node attribute `.{target.attr}`"
+                            ),
+                        )
+
+
+@register_lint_pass
+class PartitionerOverridesPartitionPass(LintPass):
+    """The public ``partition()`` wrapper owns the shared infeasibility
+    pre-check and the runtime contract instrumentation; algorithms hook
+    in through ``_partition()`` only."""
+
+    code = "PRT002"
+    name = "partitioner-overrides-partition"
+    description = (
+        "Partitioner subclass overrides `partition` (bypasses feasibility "
+        "pre-check and invariant contracts); implement `_partition` instead"
+    )
+
+    def run(self, ctx: LintContext) -> Iterator[Violation]:
+        for cls in ctx.callgraph.classes.values():
+            if not _is_partitioner_class(cls) or "partition" not in cls.methods:
+                continue
+            method = ctx.callgraph.functions[cls.methods["partition"]]
+            yield Violation(
+                path=str(method.path),
+                lineno=method.lineno,
+                code=self.code,
+                message=(
+                    f"`{cls.name}` overrides `partition`; the base wrapper is the "
+                    "single entry point for feasibility checks and contracts — "
+                    "implement `_partition`"
+                ),
+            )

@@ -96,13 +96,29 @@ class _XMarkGenerator:
                 doc.leaf(text, rng.choice(("bold", "emph")), words(rng, rng.randint(1, 3)))
             doc.text(text, sentence(rng, 3, 10))
 
-    def parlist(self, parent: TreeNode, depth: int = 0) -> None:
+    def parlist(self, parent: TreeNode, depth: int = 0, max_depth: int = 1) -> None:
+        """Nested ``parlist``/``listitem`` blocks, expanded iteratively.
+
+        The explicit work stack bounds nesting at ``max_depth`` however
+        the probabilities fall, so scaled generation can never approach
+        the interpreter stack limit. Frames are ``(parlist element,
+        listitems still to emit, depth)``; expansion is depth-first so
+        the RNG draw order (and therefore every seeded document) is
+        identical to the natural recursive formulation.
+        """
         doc, rng = self.doc, self.rng
         par = doc.element(parent, "parlist")
-        for _ in range(rng.randint(2, 4)):
-            listitem = doc.element(par, "listitem")
-            if depth == 0 and rng.random() < 0.2:
-                self.parlist(listitem, depth=1)
+        stack: list[tuple[TreeNode, int, int]] = [(par, rng.randint(2, 4), depth)]
+        while stack:
+            par_el, remaining, d = stack[-1]
+            if remaining == 0:
+                stack.pop()
+                continue
+            stack[-1] = (par_el, remaining - 1, d)
+            listitem = doc.element(par_el, "listitem")
+            if d < max_depth and rng.random() < 0.2:
+                nested = doc.element(listitem, "parlist")
+                stack.append((nested, rng.randint(2, 4), d + 1))
             else:
                 self.text_block(listitem)
 

@@ -49,3 +49,17 @@ class QuerySyntaxError(ReproError):
 
 class QueryEvaluationError(ReproError):
     """Runtime failure while evaluating a query against a store."""
+
+
+class ContractViolationError(ReproError):
+    """A partitioning algorithm broke its invariant contract.
+
+    Raised by :mod:`repro.analysis.contracts` in checked mode
+    (``REPRO_CHECK_INVARIANTS=1`` or ``partition(..., check=True)``) when
+    an algorithm emits an infeasible/invalid partitioning or mutates its
+    input tree.
+    """
+
+    def __init__(self, message: str, algorithm: str | None = None):
+        super().__init__(message)
+        self.algorithm = algorithm

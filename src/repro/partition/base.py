@@ -4,12 +4,21 @@ Every algorithm is a :class:`Partitioner` subclass with a unique ``name``.
 Modules register a default instance via :func:`register`, which makes the
 algorithm available to the benchmark harness, the bulkloader and the CLI
 through :func:`get_algorithm` / :func:`partition_tree`.
+
+The public :meth:`Partitioner.partition` wrapper is also the hook for
+**runtime contract checking**: with ``check=True`` (or globally via the
+``REPRO_CHECK_INVARIANTS`` environment variable) every result is verified
+against the full sibling-partitioning contract — structural validity,
+node coverage, capacity ``<= K`` and input immutability — through
+:mod:`repro.analysis.contracts` before it is returned. Benchmarks and the
+test suite run whole sessions in checked mode this way; see
+``docs/ANALYSIS.md``.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Callable
+from typing import Callable, Optional
 
 from repro.errors import InfeasiblePartitioningError, ReproError
 from repro.partition.interval import Partitioning
@@ -34,7 +43,9 @@ class Partitioner(abc.ABC):
     #: can the algorithm emit partitions before seeing the whole document?
     main_memory_friendly: bool = False
 
-    def partition(self, tree: Tree, limit: int) -> Partitioning:
+    def partition(
+        self, tree: Tree, limit: int, *, check: Optional[bool] = None
+    ) -> Partitioning:
         """Compute a feasible tree sibling partitioning of ``tree``.
 
         Parameters
@@ -43,11 +54,21 @@ class Partitioner(abc.ABC):
             The document tree.
         limit:
             The weight limit ``K`` (storage unit capacity in slots).
+        check:
+            Run the result through the runtime invariant contract
+            (:func:`repro.analysis.contracts.verify_partition_contract`).
+            ``None`` (the default) defers to the
+            ``REPRO_CHECK_INVARIANTS`` environment variable, so whole
+            benchmark/test sessions can be switched into checked mode
+            without touching call sites.
 
         Raises
         ------
         InfeasiblePartitioningError
             If some node weighs more than ``limit``.
+        ContractViolationError
+            In checked mode, if the algorithm's output breaks the
+            sibling-partitioning contract or the input tree was mutated.
         """
         if limit < 1:
             raise ReproError(f"weight limit must be positive, got {limit}")
@@ -57,7 +78,20 @@ class Partitioner(abc.ABC):
                     f"node {node.node_id} ({node.label!r}) weighs {node.weight} > K={limit}",
                     node_id=node.node_id,
                 )
-        return self._partition(tree, limit)
+        if check is None:
+            from repro.analysis.contracts import contracts_enabled
+
+            check = contracts_enabled()
+        if not check:
+            return self._partition(tree, limit)
+        from repro.analysis.contracts import tree_fingerprint, verify_partition_contract
+
+        fingerprint = tree_fingerprint(tree)
+        result = self._partition(tree, limit)
+        verify_partition_contract(
+            tree, result, limit, algorithm=self.name, fingerprint_before=fingerprint
+        )
+        return result
 
     @abc.abstractmethod
     def _partition(self, tree: Tree, limit: int) -> Partitioning:
@@ -91,10 +125,13 @@ def get_algorithm(name: str) -> Partitioner:
     return factory()
 
 
-def partition_tree(tree: Tree, limit: int, algorithm: str = "ekm") -> Partitioning:
+def partition_tree(
+    tree: Tree, limit: int, algorithm: str = "ekm", *, check: Optional[bool] = None
+) -> Partitioning:
     """One-call convenience API: partition ``tree`` with a named algorithm.
 
     The default is EKM, the paper's recommendation (and Natix' default
-    since this work): near-optimal quality at heuristic speed.
+    since this work): near-optimal quality at heuristic speed. ``check``
+    is forwarded to :meth:`Partitioner.partition`.
     """
-    return get_algorithm(algorithm).partition(tree, limit)
+    return get_algorithm(algorithm).partition(tree, limit, check=check)

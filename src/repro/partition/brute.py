@@ -42,13 +42,24 @@ def _run_choices(children: list[TreeNode]) -> list[tuple[SiblingInterval, ...]]:
     return choices[0]
 
 
-def _run_choice_count(k: int) -> int:
+def _run_choice_count(k: int, cap: Optional[int] = None) -> int:
     """Number of run-set choices for ``k`` children, without materializing
-    them (the guard must run *before* the exponential expansion)."""
+    them (the guard must run *before* the exponential expansion).
+
+    With ``cap`` set, intermediate counts saturate at ``cap + 1``: the
+    caller only needs to know whether the space exceeds the cap, and
+    saturation keeps the guard O(k) small-integer work instead of O(k²)
+    bignum additions on huge sibling groups.
+    """
     counts = [0] * (k + 1)
     counts[k] = 1
     for i in range(k - 1, -1, -1):
-        counts[i] = counts[i + 1] + sum(counts[j + 1] for j in range(i, k))
+        total = counts[i + 1] + sum(counts[j + 1] for j in range(i, k))
+        if cap is not None and total > cap:
+            # counts only grow toward index 0, so the final answer exceeds
+            # the cap too — stop the O(k²) recurrence right here.
+            return cap + 1
+        counts[i] = total
     return counts[0]
 
 
@@ -65,7 +76,7 @@ def enumerate_partitionings(
     parents = [node for node in tree if node.children]
     total = 1
     for node in parents:
-        total *= _run_choice_count(len(node.children))
+        total *= _run_choice_count(len(node.children), cap=max_count)
         if total > max_count:
             raise ReproError(
                 f"more than {max_count} partitionings; brute force is for small trees"

@@ -94,7 +94,41 @@ def _axis_nodes(context: StoredNode, axis: Axis):
         raise QueryEvaluationError(f"unsupported axis {axis}")
 
 
-def _apply_step(contexts: list[StoredNode], step: Step) -> list[StoredNode]:
+# ---------------------------------------------------------------------------
+# Trampolined evaluation core.
+#
+# Location paths and predicate expressions nest mutually: a step's
+# predicate may contain a comparison whose operand is another path, whose
+# steps carry further predicates, and so on. Written as plain functions
+# that shape is mutual recursion whose depth tracks the *query*, so a
+# hostile or generated expression could exhaust the interpreter stack.
+# Instead, each evaluation routine below is a generator "task" that
+# `yield`s the sub-task it needs a result from; `_run` drives the task
+# tree with an explicit stack. Yielding a freshly created generator only
+# instantiates it — no Python frame is pushed until `_run` decides to —
+# so evaluation depth is bounded by heap, not by the C stack.
+# (`repro-lint` recognizes this pattern: a call that is the immediate
+# operand of a `yield` inside a generator is stack-safe by construction.)
+# ---------------------------------------------------------------------------
+
+
+def _run(task):
+    """Drive a task tree to completion with an explicit frame stack."""
+    stack = [task]
+    value = None
+    while stack:
+        try:
+            sub = stack[-1].send(value)
+        except StopIteration as stop:
+            stack.pop()
+            value = stop.value
+        else:
+            stack.append(sub)
+            value = None
+    return value
+
+
+def _apply_step_task(contexts: list[StoredNode], step: Step):
     seen: set[int] = set()
     out: list[StoredNode] = []
     boolean_preds = [
@@ -116,11 +150,20 @@ def _apply_step(contexts: list[StoredNode], step: Step) -> list[StoredNode]:
         for node in matched:
             if node.node_id in seen:
                 continue
-            if all(_predicate_holds(node, pred) for pred in boolean_preds):
+            holds = True
+            for pred in boolean_preds:
+                holds = yield _expr_holds_task(node, pred.expr)
+                if not holds:
+                    break
+            if holds:
                 seen.add(node.node_id)
                 out.append(node)
     out.sort(key=lambda n: n.store.order_rank(n.node_id))  # document order
     return out
+
+
+def _apply_step(contexts: list[StoredNode], step: Step) -> list[StoredNode]:
+    return _run(_apply_step_task(contexts, step))
 
 
 def string_value(node: StoredNode) -> str:
@@ -136,23 +179,31 @@ def string_value(node: StoredNode) -> str:
 
 
 def _predicate_holds(node: StoredNode, predicate: Predicate) -> bool:
-    return _expr_holds(node, predicate.expr)
+    return _run(_expr_holds_task(node, predicate.expr))
 
 
-def _expr_holds(node: StoredNode, expr: PredicateExpr) -> bool:
+def _expr_holds_task(node: StoredNode, expr: PredicateExpr):
     if isinstance(expr, BooleanExpr):
-        if expr.op == "or":
-            return any(_expr_holds(node, operand) for operand in expr.operands)
-        return all(_expr_holds(node, operand) for operand in expr.operands)
+        for operand in expr.operands:
+            holds = yield _expr_holds_task(node, operand)
+            if expr.op == "or" and holds:
+                return True
+            if expr.op != "or" and not holds:
+                return False
+        return expr.op != "or"
     if isinstance(expr, Comparison):
-        selected = _evaluate_path([node], expr.path, _source_of(node))
+        selected = yield _evaluate_path_task([node], expr.path, _source_of(node))
         values = (string_value(n) for n in selected)
         if expr.op == "=":
             return any(v == expr.literal for v in values)
         return any(v != expr.literal for v in values)
     if isinstance(expr, LocationPath):
-        return bool(_evaluate_path([node], expr, _source_of(node)))
+        return bool((yield _evaluate_path_task([node], expr, _source_of(node))))
     raise QueryEvaluationError(f"unsupported predicate expression {expr!r}")
+
+
+def _expr_holds(node: StoredNode, expr: PredicateExpr) -> bool:
+    return _run(_expr_holds_task(node, expr))
 
 
 def _source_of(node):
@@ -160,9 +211,7 @@ def _source_of(node):
     return getattr(node, "navigator", None) or node.store
 
 
-def _evaluate_path(
-    contexts: list[StoredNode], path: LocationPath, source
-) -> list[StoredNode]:
+def _evaluate_path_task(contexts: list[StoredNode], path: LocationPath, source):
     if path.absolute:
         root = source.root()
         store = getattr(source, "store", source)
@@ -171,11 +220,17 @@ def _evaluate_path(
     for step in path.steps:
         if not current:
             return []
-        current = _apply_step(current, step)
+        current = yield _apply_step_task(current, step)
     # A bare "/" selects the virtual root; report the document element.
     if path.absolute and not path.steps:
         return [source.root()]
     return current
+
+
+def _evaluate_path(
+    contexts: list[StoredNode], path: LocationPath, source
+) -> list[StoredNode]:
+    return _run(_evaluate_path_task(contexts, path, source))
 
 
 class _VirtualRoot:

@@ -13,6 +13,14 @@ Grammar (abbreviated syntax is normalized during parsing)::
 
 ``//`` before a step is normalized to the ``descendant`` axis; ``@name``
 to the ``attribute`` axis.
+
+The parser is recursive descent; the ``path -> step -> predicate ->
+or -> and -> comparison -> path`` ring recurses once per predicate
+nesting level. Every traversal of that ring passes through
+:meth:`_Parser.parse_predicate_expr`, which enforces ``MAX_NESTING`` so
+the recursion depth is bounded by construction however deep a (possibly
+hostile) expression nests — the ``allow-recursion`` pragmas below record
+exactly that argument for ``repro-lint``.
 """
 
 from __future__ import annotations
@@ -70,11 +78,17 @@ def _tokenize(text: str) -> list[tuple[str, str]]:
     return tokens
 
 
+#: hard cap on predicate nesting depth (the only unbounded dimension of
+#: the grammar); ~10 frames per level stays far below CPython's limit
+MAX_NESTING = 50
+
+
 class _Parser:
     def __init__(self, text: str):
         self.text = text
         self.tokens = _tokenize(text)
         self.pos = 0
+        self.nesting = 0
 
     def peek(self, offset: int = 0) -> Optional[tuple[str, str]]:
         index = self.pos + offset
@@ -92,7 +106,7 @@ class _Parser:
         return token
 
     # path := ("/" | "//")? relative
-    def parse_path(self) -> LocationPath:
+    def parse_path(self) -> LocationPath:  # repro-lint: allow-recursion (nesting capped in parse_predicate_expr)
         token = self.peek()
         absolute = False
         double = False
@@ -112,7 +126,7 @@ class _Parser:
             steps.append(self.parse_step(descendant=double))
         return LocationPath(steps=tuple(steps), absolute=absolute)
 
-    def parse_step(self, descendant: bool) -> Step:
+    def parse_step(self, descendant: bool) -> Step:  # repro-lint: allow-recursion (nesting capped in parse_predicate_expr)
         axis: Optional[Axis] = None
         token = self.peek()
         if token is None:
@@ -176,7 +190,18 @@ class _Parser:
 
     # predicate bodies ---------------------------------------------------
 
-    def parse_predicate_expr(self) -> PredicateExpr:
+    def parse_predicate_expr(self) -> PredicateExpr:  # repro-lint: allow-recursion (enforces MAX_NESTING)
+        self.nesting += 1
+        try:
+            return self._parse_predicate_expr_inner()
+        finally:
+            self.nesting -= 1
+
+    def _parse_predicate_expr_inner(self) -> PredicateExpr:  # repro-lint: allow-recursion (guarded by MAX_NESTING above)
+        if self.nesting > MAX_NESTING:
+            raise QuerySyntaxError(
+                f"expression nests more than {MAX_NESTING} predicate levels: {self.text!r}"
+            )
         token = self.peek()
         if token is not None and token[0] == "number":
             self.take()
@@ -194,7 +219,7 @@ class _Parser:
             return Position(-1)
         return self.parse_or()
 
-    def parse_or(self) -> PredicateExpr:
+    def parse_or(self) -> PredicateExpr:  # repro-lint: allow-recursion (nesting capped in parse_predicate_expr)
         operands = [self.parse_and()]
         while self._keyword("or"):
             operands.append(self.parse_and())
@@ -202,7 +227,7 @@ class _Parser:
             return operands[0]
         return BooleanExpr("or", tuple(operands))
 
-    def parse_and(self) -> PredicateExpr:
+    def parse_and(self) -> PredicateExpr:  # repro-lint: allow-recursion (nesting capped in parse_predicate_expr)
         operands = [self.parse_comparison()]
         while self._keyword("and"):
             operands.append(self.parse_comparison())
@@ -210,7 +235,7 @@ class _Parser:
             return operands[0]
         return BooleanExpr("and", tuple(operands))
 
-    def parse_comparison(self) -> PredicateExpr:
+    def parse_comparison(self) -> PredicateExpr:  # repro-lint: allow-recursion (nesting capped in parse_predicate_expr)
         path = self.parse_path()
         token = self.peek()
         if token is not None and token[0] in ("eq", "neq"):

@@ -46,13 +46,11 @@ def _unpack(spec: Spec) -> tuple[str, int, Sequence[Spec]]:
 
 
 def spec_from_tree(tree: Tree) -> tuple:
-    """Inverse of :func:`tree_from_spec` (children lists always present)."""
+    """Inverse of :func:`tree_from_spec` (children lists always present).
 
-    def build(node: TreeNode) -> tuple:
-        return (node.label, node.weight, [build(c) for c in node.children])
-
-    # Recursion is fine here only for shallow trees; use an explicit
-    # post-order construction for robustness.
+    Built bottom-up over an iterative postorder so arbitrarily deep trees
+    round-trip without touching the interpreter recursion limit.
+    """
     built: dict[int, tuple] = {}
     from repro.tree.traversal import iter_postorder
 

@@ -1,0 +1,44 @@
+"""Shared helpers for the analyzer test suite."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.callgraph import build_callgraph, load_source_files
+
+FIXTURES = Path(__file__).parent / "fixtures"
+#: src/repro of this checkout — the lint-clean gate target
+REPO_SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+@pytest.fixture
+def fixtures_dir() -> Path:
+    return FIXTURES
+
+
+def seed_lines(path: Path) -> dict[str, int]:
+    """Map ``seed:<TAG>`` markers of a fixture to their 1-based line numbers."""
+    tags: dict[str, int] = {}
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        if "seed:" in line:
+            tag = line.split("seed:", 1)[1].split()[0]
+            tags[tag] = lineno
+    return tags
+
+
+def analyze(tmp_path: Path, **modules: str):
+    """Write ``name=source`` modules into ``tmp_path`` and build the graph.
+
+    ``tmp_path`` has no ``__init__.py``, so module names are the bare
+    stems; tests that need dotted packages lay out directories manually.
+    """
+    paths = []
+    for name, source in modules.items():
+        target = tmp_path / f"{name}.py"
+        target.write_text(textwrap.dedent(source))
+        paths.append(target)
+    files = load_source_files(paths)
+    return files, build_callgraph(files)

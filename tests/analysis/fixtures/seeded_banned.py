@@ -1,0 +1,14 @@
+"""Fixture: banned patterns. Analyzed by repro-lint tests, never imported."""
+
+import sys
+
+
+def fragile_parse(text):
+    try:
+        return int(text)
+    except:  # seed:BAN001
+        return None
+
+
+def bump_stack():
+    sys.setrecursionlimit(1_000_000)  # seed:BAN002

@@ -1,0 +1,27 @@
+"""Fixture: a partitioner module violating the read-only-tree contract.
+
+Analyzed by repro-lint tests, never imported (the imports below are only
+read by the analyzer's alias table).
+"""
+
+from repro.partition.base import Partitioner
+from repro.partition.interval import Partitioning
+
+
+class CheatingPartitioner(Partitioner):
+    """Seeds PRT001 (three shapes), PRT002 and BAN003."""
+
+    name = "cheat"
+
+    def partition(self, tree, limit):  # seed:PRT002
+        return self._partition(tree, limit)
+
+    def _partition(self, tree, limit):
+        node = tree.root
+        node.weight = 0  # seed:PRT001-assign
+        tree.add_child(node, "extra", 1)  # seed:PRT001-call
+        node.children.pop()  # seed:PRT001-list
+        half = node.weight / 2  # seed:BAN003-div
+        if limit > 2.5:  # seed:BAN003-float
+            half += 1
+        return Partitioning([(0, 0)])

@@ -1,0 +1,27 @@
+"""Fixture: seeded recursion cycles. Analyzed by repro-lint tests, never imported."""
+
+
+def countdown(n):  # seed:REC001-self
+    if n <= 0:
+        return 0
+    return countdown(n - 1)
+
+
+def ping(n):  # seed:REC001-mutual
+    if n == 0:
+        return "ping"
+    return pong(n - 1)
+
+
+def pong(n):
+    if n == 0:
+        return "pong"
+    return ping(n - 1)
+
+
+def bounded(n):
+    """Not a violation: no cycle, depth bounded by the loop."""
+    total = 0
+    for i in range(n):
+        total += i
+    return total

@@ -1,0 +1,29 @@
+"""The gate: the shipped source tree must lint clean.
+
+Every change to ``src/repro`` runs under the analyzer via this test —
+a new unbounded recursion cycle, banned pattern or partitioner-contract
+violation anywhere in the package fails the suite.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import cli
+from repro.analysis.passes import run_lint
+
+from tests.analysis.conftest import REPO_SRC
+
+
+def test_source_tree_exists():
+    assert (REPO_SRC / "__init__.py").is_file()
+
+
+def test_repro_lint_src_repro_is_clean():
+    result = run_lint([REPO_SRC])
+    assert result.passes_run >= 6
+    assert result.files_checked >= 50
+    assert result.clean, "\n" + "\n".join(v.render() for v in result.violations)
+
+
+def test_cli_gate_exits_zero(capsys):
+    assert cli.main([str(REPO_SRC)]) == cli.EXIT_CLEAN
+    assert "clean" in capsys.readouterr().out

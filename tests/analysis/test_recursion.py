@@ -1,0 +1,170 @@
+"""Recursion-cycle detection: SCCs, suppression, exemptions, hot paths."""
+
+from __future__ import annotations
+
+from repro.analysis.recursion import find_recursion_cycles
+
+from tests.analysis.conftest import analyze
+
+
+def cycles_of(tmp_path, **modules):
+    _, graph = analyze(tmp_path, **modules)
+    return find_recursion_cycles(graph)
+
+
+class TestDetection:
+    def test_self_recursion(self, tmp_path):
+        (cycle,) = cycles_of(
+            tmp_path,
+            mod="""
+            def down(n):
+                return down(n - 1)
+            """,
+        )
+        assert cycle.members == ("mod.down",)
+        assert "calls itself" in cycle.describe()
+
+    def test_mutual_recursion_ring(self, tmp_path):
+        (cycle,) = cycles_of(
+            tmp_path,
+            mod="""
+            def ping(n):
+                return pong(n - 1)
+
+            def pong(n):
+                return ping(n - 1)
+            """,
+        )
+        assert cycle.members == ("mod.ping", "mod.pong")
+        assert "mutual recursion" in cycle.describe()
+
+    def test_acyclic_chain_is_clean(self, tmp_path):
+        assert (
+            cycles_of(
+                tmp_path,
+                mod="""
+                def a():
+                    return b()
+
+                def b():
+                    return c()
+
+                def c():
+                    return 0
+                """,
+            )
+            == []
+        )
+
+    def test_cross_module_cycle(self, tmp_path):
+        (cycle,) = cycles_of(
+            tmp_path,
+            alpha="""
+            from beta import back
+
+            def forth(n):
+                return back(n)
+            """,
+            beta="""
+            from alpha import forth
+
+            def back(n):
+                return forth(n - 1)
+            """,
+        )
+        assert cycle.members == ("alpha.forth", "beta.back")
+
+    def test_huge_scc_does_not_exhaust_detector(self, tmp_path):
+        """The iterative Tarjan must survive a 2000-deep call chain that
+        closes into one giant SCC — the detector may not itself be
+        limited by the recursion depth it diagnoses."""
+        n = 2000
+        parts = [f"def f{i}(n):\n    return f{(i + 1) % n}(n - 1)\n" for i in range(n)]
+        (cycle,) = cycles_of(tmp_path, mod="\n".join(parts))
+        assert len(cycle.members) == n
+
+
+class TestSuppression:
+    def test_all_members_pragmad_suppresses(self, tmp_path):
+        (cycle,) = cycles_of(
+            tmp_path,
+            mod="""
+            def ping(n):  # repro-lint: allow-recursion
+                return pong(n - 1)
+
+            def pong(n):  # repro-lint: allow-recursion
+                return ping(n - 1)
+            """,
+        )
+        assert cycle.suppressed
+
+    def test_partially_pragmad_cycle_stays_visible(self, tmp_path):
+        (cycle,) = cycles_of(
+            tmp_path,
+            mod="""
+            def ping(n):  # repro-lint: allow-recursion
+                return pong(n - 1)
+
+            def pong(n):
+                return ping(n - 1)
+            """,
+        )
+        assert not cycle.suppressed
+
+
+class TestTrampolineExemption:
+    def test_trampolined_ring_is_not_a_cycle(self, tmp_path):
+        assert (
+            cycles_of(
+                tmp_path,
+                mod="""
+                def eval_task(node):
+                    sub = yield step_task(node)
+                    return sub
+
+                def step_task(node):
+                    sub = yield eval_task(node)
+                    return sub
+                """,
+            )
+            == []
+        )
+
+    def test_yield_from_ring_is_still_a_cycle(self, tmp_path):
+        (cycle,) = cycles_of(
+            tmp_path,
+            mod="""
+            def eval_task(node):
+                yield from step_task(node)
+
+            def step_task(node):
+                yield from eval_task(node)
+            """,
+        )
+        assert cycle.members == ("mod.eval_task", "mod.step_task")
+
+
+class TestHotPathClassification:
+    def test_repro_tree_module_is_hot(self, tmp_path):
+        pkg = tmp_path / "repro" / "tree"
+        pkg.mkdir(parents=True)
+        (tmp_path / "repro" / "__init__.py").write_text("")
+        (pkg / "__init__.py").write_text("")
+        (pkg / "deep.py").write_text("def walk(n):\n    return walk(n - 1)\n")
+        from repro.analysis.callgraph import build_callgraph, load_source_files
+
+        (cycle,) = find_recursion_cycles(
+            build_callgraph(load_source_files([pkg / "deep.py"]))
+        )
+        assert cycle.hot_path
+        assert cycle.describe().startswith("hot-path ")
+
+    def test_plain_module_is_not_hot(self, tmp_path):
+        (cycle,) = cycles_of(
+            tmp_path,
+            helper="""
+            def walk(n):
+                return walk(n - 1)
+            """,
+        )
+        assert not cycle.hot_path

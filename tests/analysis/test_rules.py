@@ -1,0 +1,188 @@
+"""The shipped lint passes against the seeded-violation fixtures."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis import cli
+from repro.analysis.passes import available_passes, run_lint
+
+from tests.analysis.conftest import FIXTURES, seed_lines
+
+
+@pytest.fixture(scope="module")
+def fixture_result():
+    return run_lint([FIXTURES])
+
+
+def found(result, code, filename):
+    return [
+        v
+        for v in result.violations
+        if v.code == code and v.path.endswith(filename)
+    ]
+
+
+class TestSeededViolations:
+    def test_fixtures_are_not_clean(self, fixture_result):
+        assert not fixture_result.clean
+        assert len(fixture_result.violations) >= 3
+
+    def test_recursion_cycles_reported_at_def_lines(self, fixture_result):
+        tags = seed_lines(FIXTURES / "seeded_recursion.py")
+        hits = found(fixture_result, "REC001", "seeded_recursion.py")
+        assert {v.lineno for v in hits} == {
+            tags["REC001-self"],
+            tags["REC001-mutual"],
+        }
+
+    def test_bare_except_reported(self, fixture_result):
+        tags = seed_lines(FIXTURES / "seeded_banned.py")
+        (hit,) = found(fixture_result, "BAN001", "seeded_banned.py")
+        assert hit.lineno == tags["BAN001"]
+
+    def test_setrecursionlimit_reported(self, fixture_result):
+        tags = seed_lines(FIXTURES / "seeded_banned.py")
+        (hit,) = found(fixture_result, "BAN002", "seeded_banned.py")
+        assert hit.lineno == tags["BAN002"]
+
+    def test_float_weight_arithmetic_reported(self, fixture_result):
+        tags = seed_lines(FIXTURES / "seeded_mutation.py")
+        hits = found(fixture_result, "BAN003", "seeded_mutation.py")
+        assert {v.lineno for v in hits} == {
+            tags["BAN003-div"],
+            tags["BAN003-float"],
+        }
+
+    def test_tree_mutation_reported_in_all_three_shapes(self, fixture_result):
+        tags = seed_lines(FIXTURES / "seeded_mutation.py")
+        hits = found(fixture_result, "PRT001", "seeded_mutation.py")
+        assert {v.lineno for v in hits} == {
+            tags["PRT001-assign"],
+            tags["PRT001-call"],
+            tags["PRT001-list"],
+        }
+
+    def test_partition_override_reported(self, fixture_result):
+        tags = seed_lines(FIXTURES / "seeded_mutation.py")
+        (hit,) = found(fixture_result, "PRT002", "seeded_mutation.py")
+        assert hit.lineno == tags["PRT002"]
+        assert "_partition" in hit.message
+
+    def test_render_is_file_line_code_message(self, fixture_result):
+        for violation in fixture_result.violations:
+            rendered = violation.render()
+            assert rendered.startswith(f"{violation.path}:{violation.lineno}: ")
+            assert f" {violation.code} " in rendered
+
+
+class TestSkipPragma:
+    def test_skip_with_matching_code(self, tmp_path):
+        target = tmp_path / "skipper.py"
+        target.write_text(
+            textwrap.dedent(
+                """
+                def f(x):
+                    try:
+                        return int(x)
+                    except:  # repro-lint: skip=BAN001
+                        return None
+                """
+            )
+        )
+        assert run_lint([target]).clean
+
+    def test_skip_without_codes_suppresses_everything(self, tmp_path):
+        target = tmp_path / "skipper.py"
+        target.write_text(
+            textwrap.dedent(
+                """
+                def f(x):
+                    try:
+                        return int(x)
+                    except:  # repro-lint: skip
+                        return None
+                """
+            )
+        )
+        assert run_lint([target]).clean
+
+    def test_skip_with_other_code_does_not_suppress(self, tmp_path):
+        target = tmp_path / "skipper.py"
+        target.write_text(
+            textwrap.dedent(
+                """
+                def f(x):
+                    try:
+                        return int(x)
+                    except:  # repro-lint: skip=REC001
+                        return None
+                """
+            )
+        )
+        result = run_lint([target])
+        assert [v.code for v in result.violations] == ["BAN001"]
+
+
+class TestSelection:
+    def test_select_runs_only_named_passes(self):
+        result = run_lint([FIXTURES], select=["REC001"])
+        assert result.passes_run == 1
+        assert {v.code for v in result.violations} == {"REC001"}
+
+    def test_ignore_drops_named_passes(self):
+        result = run_lint([FIXTURES], ignore=["REC001"])
+        assert "REC001" not in {v.code for v in result.violations}
+
+    def test_every_registered_pass_has_unique_code(self):
+        codes = [cls.code for cls in available_passes()]
+        assert len(codes) == len(set(codes))
+        assert {"REC001", "BAN001", "BAN002", "BAN003", "PRT001", "PRT002"} <= set(codes)
+
+
+class TestCli:
+    def test_violations_exit_code_and_text_output(self, capsys):
+        assert cli.main([str(FIXTURES)]) == cli.EXIT_VIOLATIONS
+        out = capsys.readouterr().out
+        assert "seeded_banned.py" in out
+        assert "BAN001" in out
+        assert "violation(s)" in out
+
+    def test_json_format(self, capsys):
+        assert cli.main(["--format", "json", str(FIXTURES)]) == cli.EXIT_VIOLATIONS
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["files_checked"] >= 3
+        codes = {v["code"] for v in payload["violations"]}
+        assert "REC001" in codes
+        sample = payload["violations"][0]
+        assert set(sample) == {"path", "line", "code", "message"}
+
+    def test_select_filter(self, capsys):
+        assert cli.main(["--select", "BAN001", str(FIXTURES)]) == cli.EXIT_VIOLATIONS
+        out = capsys.readouterr().out
+        assert "BAN001" in out
+        assert "REC001" not in out
+
+    def test_unknown_code_is_usage_error_not_vacuous_pass(self, capsys):
+        assert cli.main(["--select", "NOPE99", str(FIXTURES)]) == cli.EXIT_ERROR
+        err = capsys.readouterr().err
+        assert "NOPE99" in err and "REC001" in err
+        assert cli.main(["--ignore", "TYPO", str(FIXTURES)]) == cli.EXIT_ERROR
+
+    def test_no_paths_is_usage_error(self, capsys):
+        assert cli.main([]) == cli.EXIT_ERROR
+        assert "no paths" in capsys.readouterr().err
+
+    def test_list_passes(self, capsys):
+        assert cli.main(["--list-passes"]) == cli.EXIT_CLEAN
+        out = capsys.readouterr().out
+        for code in ("REC001", "BAN001", "BAN002", "BAN003", "PRT001", "PRT002"):
+            assert code in out
+
+    def test_clean_directory_exits_zero(self, tmp_path, capsys):
+        (tmp_path / "fine.py").write_text("def f():\n    return 1\n")
+        assert cli.main([str(tmp_path)]) == cli.EXIT_CLEAN
+        assert "clean" in capsys.readouterr().out
