@@ -1,0 +1,38 @@
+# Verification pipeline for the repro codebase.
+#
+#   make verify    # everything below, in order
+#   make lint      # repro-lint (+ ruff/mypy when installed)
+#   make test      # tier-1 pytest suite
+#   make bench     # benchmark harness smoke (--quick) + baseline check
+#
+# ruff and mypy are optional deep-net linters (pyproject [lint] extra);
+# verify skips them with a notice when the environment lacks them, so
+# the target works in the minimal container and in a dev checkout alike.
+
+export PYTHONPATH := src
+
+PYTHON ?= python
+
+.PHONY: verify lint test bench
+
+verify: lint test bench
+	@echo "verify: OK"
+
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks; \
+	else \
+		echo "lint: ruff not installed, skipping"; \
+	fi
+	@if command -v mypy >/dev/null 2>&1; then \
+		mypy; \
+	else \
+		echo "lint: mypy not installed, skipping"; \
+	fi
+	$(PYTHON) -m repro.analysis.cli src/repro
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench:
+	$(PYTHON) benchmarks/harness.py --quick --check --output /dev/null

@@ -10,6 +10,7 @@ BAN002  ``sys.setrecursionlimit`` outside ``repro.analysis``
 BAN003  float arithmetic on slot weights/limits in partitioner modules
 PRT001  partitioner mutates the input tree
 PRT002  partitioner overrides ``partition`` instead of ``_partition``
+OBS001  manual wall-clock timing outside ``repro.telemetry``
 ======  ================================================================
 
 The partitioner passes identify "partitioner modules" syntactically — a
@@ -40,6 +41,19 @@ _LIST_MUTATORS = frozenset(
 _TREE_MUTATION_CALLS = frozenset({"add_child", "insert_child"})
 #: identifier fragments that mark slot-weight arithmetic
 _WEIGHT_NAME_FRAGMENTS = ("weight", "limit", "slot", "capac")
+#: ``time``-module clock functions whose use constitutes manual timing
+_TIMING_FUNCS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "monotonic",
+        "monotonic_ns",
+        "process_time",
+        "process_time_ns",
+    }
+)
 
 PARTITIONER_BASE = "repro.partition.base.Partitioner"
 
@@ -299,3 +313,73 @@ class PartitionerOverridesPartitionPass(LintPass):
                     "implement `_partition`"
                 ),
             )
+
+
+@register_lint_pass
+class ManualTimingPass(LintPass):
+    """All wall-clock measurement belongs to :mod:`repro.telemetry`:
+    spans nest, survive exceptions, name their measurements and land in
+    one registry, while scattered ``perf_counter()`` pairs produce
+    anonymous numbers no experiment can aggregate. Only the telemetry
+    package itself may read the clock."""
+
+    code = "OBS001"
+    name = "manual-timing"
+    description = (
+        "direct `time.time()`/`perf_counter()`-style clock call outside "
+        "repro.telemetry; wrap the timed region in `telemetry.span(...)` "
+        "and read `.elapsed`"
+    )
+
+    def run(self, ctx: LintContext) -> Iterator[Violation]:
+        for source in ctx.files:
+            if source.module.startswith("repro.telemetry"):
+                continue
+            module_aliases, func_aliases = self._timing_bindings(source.tree)
+            if not module_aliases and not func_aliases:
+                continue
+            for node in ast.walk(source.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = self._timing_call(node.func, module_aliases, func_aliases)
+                if name is not None:
+                    yield Violation(
+                        path=str(source.path),
+                        lineno=node.lineno,
+                        code=self.code,
+                        message=(
+                            f"manual timing via `{name}()`; use "
+                            "`with telemetry.span(...) as sp:` and `sp.elapsed`"
+                        ),
+                    )
+
+    @staticmethod
+    def _timing_bindings(tree: ast.AST) -> tuple[set[str], dict[str, str]]:
+        """Names the module binds to the ``time`` module / its clocks."""
+        module_aliases: set[str] = set()
+        func_aliases: dict[str, str] = {}  # local name -> canonical clock name
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "time":
+                        module_aliases.add(alias.asname or "time")
+            elif isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name in _TIMING_FUNCS:
+                        func_aliases[alias.asname or alias.name] = alias.name
+        return module_aliases, func_aliases
+
+    @staticmethod
+    def _timing_call(
+        func: ast.expr, module_aliases: set[str], func_aliases: dict[str, str]
+    ) -> Optional[str]:
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in module_aliases
+            and func.attr in _TIMING_FUNCS
+        ):
+            return f"{func.value.id}.{func.attr}"
+        if isinstance(func, ast.Name) and func.id in func_aliases:
+            return func.id
+        return None

@@ -16,10 +16,10 @@
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
+from repro import telemetry
 from repro.bench.report import render_table
 from repro.bulkload import BulkLoader
 from repro.datasets.registry import generate_document
@@ -49,9 +49,9 @@ def run_k_sweep(
     for limit in limits:
         row = KSweepRow(limit=limit, lower_bound=capacity_lower_bound(tree, limit))
         for name in algorithms:
-            start = time.perf_counter()
-            partitioning = get_algorithm(name).partition(tree, limit)
-            row.seconds[name] = time.perf_counter() - start
+            with telemetry.span("bench.partition", algorithm=name) as sp:
+                partitioning = get_algorithm(name).partition(tree, limit)
+            row.seconds[name] = sp.elapsed
             report = evaluate_partitioning(tree, partitioning, limit)
             assert report.feasible
             row.partitions[name] = report.cardinality

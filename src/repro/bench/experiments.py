@@ -8,10 +8,10 @@ matching the paper's "pure main-memory implementation" protocol).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
+from repro import telemetry
 from repro.bench.report import render_table
 from repro.datasets.registry import PAPER_DOCUMENTS, DocumentSpec
 from repro.partition import evaluate_partitioning, get_algorithm
@@ -60,9 +60,9 @@ def run_partitioning_experiment(
         )
         for name in algorithms:
             partitioner = get_algorithm(name)
-            start = time.perf_counter()
-            partitioning = partitioner.partition(tree, limit)
-            seconds = time.perf_counter() - start
+            with telemetry.span("bench.partition", algorithm=name) as sp:
+                partitioning = partitioner.partition(tree, limit)
+            seconds = sp.elapsed
             report = evaluate_partitioning(tree, partitioning, limit)
             if not report.feasible:
                 raise AssertionError(f"{name} produced infeasible result on {spec.name}")

@@ -33,6 +33,9 @@ class QueryExperimentResult:
     partitions: dict[str, int] = field(default_factory=dict)
     space_kib: dict[str, float] = field(default_factory=dict)
     runs: dict[str, dict[str, QueryRun]] = field(default_factory=dict)  # qid -> algo -> run
+    #: per-algorithm buffer-pool counters over the whole query workload
+    #: (see BufferStats.as_dict); zeroed by warm_up, so purely workload
+    buffer_stats: dict[str, dict[str, float]] = field(default_factory=dict)
 
     def speedup(self, qid: str, baseline: str = "km", contender: str = "ekm") -> float:
         base = self.runs[qid][baseline].cost
@@ -72,6 +75,8 @@ def run_query_experiment(
             raise AssertionError(
                 f"layouts disagree on {query.qid} result count: {counts}"
             )
+    for name in algorithms:
+        result.buffer_stats[name] = stores[name].buffer.stats.as_dict()
     return result
 
 

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
+from repro import telemetry
 from repro.errors import InfeasiblePartitioningError, ReproError, XmlFormatError
 from repro.bulkload.strategies import (
     ChildSummary,
@@ -105,10 +106,21 @@ class BulkLoader:
         return self.load_events(iter_events(source))
 
     def load_events(self, events: Iterable[ParseEvent]) -> ImportResult:
-        state = _LoadState(self)
-        for event in events:
-            state.handle(event)
-        return state.finish()
+        with telemetry.span("bulkload.import", algorithm=self.algorithm):
+            state = _LoadState(self)
+            for event in events:
+                state.handle(event)
+            result = state.finish()
+        if telemetry.enabled():
+            telemetry.count("bulkload.runs")
+            telemetry.count("bulkload.events", result.events)
+            telemetry.count("bulkload.spills", result.spills)
+            telemetry.count("bulkload.partitions", result.emitted_partitions)
+            telemetry.count("bulkload.nodes", len(result.tree))
+            telemetry.gauge_max(
+                "bulkload.peak_resident_weight", result.peak_resident_weight
+            )
+        return result
 
 
 def bulk_import(

@@ -6,19 +6,27 @@ Installed as ``repro`` (see pyproject)::
     repro import doc.xml --algorithm ekm --spill-threshold 2048
     repro query doc.xml "//keyword" --algorithm ekm
     repro compare doc.xml --limit 256
+    repro stats doc.xml --algorithm ekm --query "//keyword" [--json]
 
 ``repro compare`` runs every registered heuristic on the document and
-prints a Table-1-style summary; ``repro-bench`` (the separate entry
-point) regenerates the paper's experiments on the synthetic corpus.
+prints a Table-1-style summary; ``repro stats`` (also installed as
+``repro-stats``) runs a full partition/import/store/query pipeline under
+an enabled telemetry registry and dumps every metric it collected;
+``repro-bench`` (the separate entry point) regenerates the paper's
+experiments on the synthetic corpus.
+
+All wall-clock timing goes through :mod:`repro.telemetry` spans — manual
+``time.perf_counter()`` arithmetic is flagged by ``repro-lint`` (OBS001).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-import time
 from typing import Optional, Sequence
 
+from repro import telemetry
 from repro.bulkload import BulkLoader
 from repro.errors import ReproError
 from repro.partition import available_algorithms, evaluate_partitioning, get_algorithm
@@ -37,9 +45,9 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
 
 def cmd_partition(args: argparse.Namespace) -> int:
     tree = parse_tree(args.document)
-    start = time.perf_counter()
-    partitioning = get_algorithm(args.algorithm).partition(tree, args.limit)
-    elapsed = time.perf_counter() - start
+    with telemetry.span("cli.partition", algorithm=args.algorithm) as sp:
+        partitioning = get_algorithm(args.algorithm).partition(tree, args.limit)
+    elapsed = sp.elapsed
     report = evaluate_partitioning(tree, partitioning, args.limit)
     analysis = analyze_partitioning(tree, partitioning, args.limit)
     print(f"document: {args.document} ({len(tree)} nodes, weight {report.total_weight})")
@@ -63,9 +71,9 @@ def cmd_import(args: argparse.Namespace) -> int:
         limit=args.limit,
         spill_threshold=args.spill_threshold,
     )
-    start = time.perf_counter()
-    result = loader.load(args.document)
-    elapsed = time.perf_counter() - start
+    with telemetry.span("cli.import", algorithm=args.algorithm) as sp:
+        result = loader.load(args.document)
+    elapsed = sp.elapsed
     store = DocumentStore.build(result.tree, result.partitioning)
     space = store.space_report()
     print(
@@ -117,15 +125,58 @@ def cmd_compare(args: argparse.Namespace) -> int:
     for name in available_algorithms():
         if name in skip:
             continue
-        start = time.perf_counter()
-        partitioning = get_algorithm(name).partition(tree, args.limit)
-        elapsed = time.perf_counter() - start
+        with telemetry.span("cli.compare", algorithm=name) as sp:
+            partitioning = get_algorithm(name).partition(tree, args.limit)
         analysis = analyze_partitioning(tree, partitioning, args.limit)
         print(
             f"{name:10s} {partitioning.cardinality:10d} "
-            f"{analysis.navigation_crossings:10d} {elapsed:9.3f}"
+            f"{analysis.navigation_crossings:10d} {sp.elapsed:9.3f}"
         )
     return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Run the whole pipeline under a fresh telemetry registry and dump
+    everything that was measured."""
+    with telemetry.capture() as reg:
+        tree = parse_tree(args.document)
+        partitioning = get_algorithm(args.algorithm).partition(tree, args.limit)
+        store = DocumentStore.build(tree, partitioning)
+        store.warm_up()
+        if args.query:
+            run_query(store, args.query)
+        if args.with_import:
+            from repro.xmlio.serialize import tree_to_xml
+
+            loader = BulkLoader(algorithm=args.algorithm, limit=args.limit)
+            loader.load(tree_to_xml(tree))
+        if args.jsonl:
+            telemetry.export_jsonl(sys.stdout, reg)
+        elif args.json:
+            payload = telemetry.snapshot(reg)
+            payload["environment"] = telemetry.environment_fingerprint()
+            json.dump(payload, sys.stdout, indent=2, sort_keys=True)
+            print()
+        else:
+            print(telemetry.format_metrics(reg))
+    return 0
+
+
+def _add_stats_arguments(parser: argparse.ArgumentParser) -> None:
+    _add_common(parser)
+    parser.add_argument(
+        "--query", default=None, help="also run this XPath query against the store"
+    )
+    parser.add_argument(
+        "--with-import",
+        action="store_true",
+        help="also stream-import the document (bulkload metrics)",
+    )
+    fmt = parser.add_mutually_exclusive_group()
+    fmt.add_argument("--json", action="store_true", help="print a JSON snapshot")
+    fmt.add_argument(
+        "--jsonl", action="store_true", help="print a JSON-lines metric export"
+    )
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -161,10 +212,36 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     p.add_argument("--with-dhw", action="store_true", help="include the slow optimal algorithm")
     p.set_defaults(func=cmd_compare)
 
+    p = sub.add_parser(
+        "stats", help="run the pipeline with telemetry on and dump every metric"
+    )
+    _add_stats_arguments(p)
+    p.set_defaults(func=cmd_stats)
+
     args = parser.parse_args(argv)
     # `query` puts xpath after document; reorder handled by argparse
     try:
         return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+def stats_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for the ``repro-stats`` console script (equivalent to
+    ``repro stats ...``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-stats",
+        description="Run the partitioning pipeline with telemetry enabled "
+        "and dump every collected metric.",
+    )
+    _add_stats_arguments(parser)
+    args = parser.parse_args(argv)
+    try:
+        return cmd_stats(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -13,6 +13,13 @@ node coverage, capacity ``<= K`` and input immutability — through
 :mod:`repro.analysis.contracts` before it is returned. Benchmarks and the
 test suite run whole sessions in checked mode this way; see
 ``docs/ANALYSIS.md``.
+
+The wrapper is likewise the **telemetry hook** (``docs/TELEMETRY.md``):
+every call runs inside a ``partition.<name>`` trace span, and with
+telemetry enabled it emits per-algorithm counters (runs, nodes,
+partitions produced) and the root weight of the result. Contract
+verification happens *outside* the span so checked-mode sessions do not
+pollute the measured algorithm wall time.
 """
 
 from __future__ import annotations
@@ -20,6 +27,7 @@ from __future__ import annotations
 import abc
 from typing import Callable, Optional
 
+from repro import telemetry
 from repro.errors import InfeasiblePartitioningError, ReproError
 from repro.partition.interval import Partitioning
 from repro.tree.node import Tree
@@ -82,16 +90,38 @@ class Partitioner(abc.ABC):
             from repro.analysis.contracts import contracts_enabled
 
             check = contracts_enabled()
-        if not check:
-            return self._partition(tree, limit)
-        from repro.analysis.contracts import tree_fingerprint, verify_partition_contract
+        fingerprint = None
+        if check:
+            from repro.analysis.contracts import tree_fingerprint
 
-        fingerprint = tree_fingerprint(tree)
-        result = self._partition(tree, limit)
-        verify_partition_contract(
-            tree, result, limit, algorithm=self.name, fingerprint_before=fingerprint
-        )
+            fingerprint = tree_fingerprint(tree)
+        with telemetry.span(f"partition.{self.name}") as sp:
+            result = self._partition(tree, limit)
+        if check:
+            from repro.analysis.contracts import verify_partition_contract
+
+            verify_partition_contract(
+                tree, result, limit, algorithm=self.name, fingerprint_before=fingerprint
+            )
+        if telemetry.enabled():
+            self._emit_telemetry(tree, result, sp)
         return result
+
+    def _emit_telemetry(self, tree: Tree, result: Partitioning, sp: telemetry.Span) -> None:
+        """Record the per-algorithm metric set (telemetry is enabled).
+
+        The ``partition.<name>`` wall-time histogram is fed by the span
+        itself; this adds the produced-output counters. The root-weight
+        pass is O(n) and runs after the span closed, so it never skews
+        the timing it documents.
+        """
+        from repro.partition.evaluate import root_weight
+
+        prefix = f"partition.{self.name}"
+        telemetry.count(f"{prefix}.runs")
+        telemetry.count(f"{prefix}.nodes", len(tree))
+        telemetry.count(f"{prefix}.partitions", result.cardinality)
+        telemetry.gauge_set(f"{prefix}.root_weight", root_weight(tree, result))
 
     @abc.abstractmethod
     def _partition(self, tree: Tree, limit: int) -> Partitioning:

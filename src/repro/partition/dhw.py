@@ -33,6 +33,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro import telemetry
 from repro.partition.base import Partitioner, register
 from repro.partition.flatdp import (
     CARD,
@@ -78,6 +79,11 @@ class DHWPartitioner(Partitioner):
         self.stats = DHWStats()
 
     def _partition(self, tree: Tree, limit: int) -> Partitioning:
+        # Stats also feed telemetry (DP cells touched / Q-chains used per
+        # run), so collect them whenever a measurement session is active.
+        collect = self.collect_stats or telemetry.enabled()
+        cells_before = self.stats.dp_cells
+        used_before = self.stats.nearly_optimal_used
         n = len(tree)
         opt_entries: list[Optional[Entry]] = [None] * n
         near_entries: list[Optional[Entry]] = [None] * n
@@ -115,7 +121,7 @@ class DHWPartitioner(Partitioner):
                         near_entries[nid] = near
                         deltas[nid] = limit + 1 - near[ROOTWEIGHT]
                         assert deltas[nid] > 0
-            if self.collect_stats:
+            if collect:
                 self.stats.dp_cells += dp.cells_computed
                 self.stats.inner_nodes += 1
                 if near_entries[nid] is not None:
@@ -133,7 +139,7 @@ class DHWPartitioner(Partitioner):
             node = tree.node(nid)
             entry = near_entries[nid] if use_near else opt_entries[nid]
             assert entry is not None
-            if use_near and self.collect_stats:
+            if use_near and collect:
                 self.stats.nearly_optimal_used += 1
             near_children: set[int] = set()
             for begin, end, nearly in chain_intervals(entry):
@@ -145,4 +151,9 @@ class DHWPartitioner(Partitioner):
                 near_children.update(nearly)
             for idx, child in enumerate(node.children):
                 stack.append((child.node_id, idx in near_children))
+        telemetry.count("partition.dhw.dp_cells", self.stats.dp_cells - cells_before)
+        telemetry.count(
+            "partition.dhw.nearly_optimal_used",
+            self.stats.nearly_optimal_used - used_before,
+        )
         return Partitioning(intervals)

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import telemetry
 from repro.partition.base import Partitioner, register
 from repro.partition.flatdp import CARD, INF, ROOTWEIGHT, FlatDP, chain_intervals, leaf_entry
 from repro.partition.interval import Partitioning, SiblingInterval
@@ -45,6 +46,9 @@ class GHDWPartitioner(Partitioner):
         self.stats = GHDWStats()
 
     def _partition(self, tree: Tree, limit: int) -> Partitioning:
+        # Stats also feed telemetry (DP cells touched per run).
+        collect = self.collect_stats or telemetry.enabled()
+        cells_before = self.stats.dp_cells
         n = len(tree)
         entries = [None] * n  # optimal-chain entry per node
         intervals = {SiblingInterval(tree.root.node_id, tree.root.node_id)}
@@ -63,11 +67,12 @@ class GHDWPartitioner(Partitioner):
                         node.children[begin].node_id, node.children[end].node_id
                     )
                 )
-            if self.collect_stats:
+            if collect:
                 self.stats.dp_cells += dp.cells_computed
                 self.stats.inner_nodes += 1
                 distinct_s: set[int] = set()
                 for col in dp.needed:
                     distinct_s |= col
                 self.stats.s_values_per_node.append(len(distinct_s))
+        telemetry.count("partition.ghdw.dp_cells", self.stats.dp_cells - cells_before)
         return Partitioning(intervals)

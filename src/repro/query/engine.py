@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import telemetry
 from repro.errors import QueryEvaluationError
 from repro.query.ast import (
     Axis,
@@ -315,8 +316,16 @@ def run_query(
     the paper's protocol)."""
     config = config or store.config
     store.stats.reset()
-    results = evaluate(store, xpath)
+    with telemetry.span("query.run", xpath=xpath):
+        results = evaluate(store, xpath)
     stats = store.stats
+    if telemetry.enabled():
+        telemetry.count("query.runs")
+        telemetry.count("query.results", len(results))
+        telemetry.count("query.nodes_visited", stats.node_visits)
+        telemetry.count("query.steps.intra", stats.intra_steps)
+        telemetry.count("query.steps.cross", stats.cross_steps)
+        telemetry.count("query.page_faults", stats.page_faults)
     return QueryRun(
         xpath=xpath,
         result_count=len(results),

@@ -5,6 +5,24 @@ that there is no page fault during query evaluation"; the pool still
 matters because it is where cross-record navigation pays its lookup, and
 because a smaller pool (ablation A4-style experiments) lets the cost
 model show the fault penalty.
+
+Accounting lives in two places that always agree:
+
+* the per-pool :class:`BufferStats` (cheap, always on, what the cost
+  model and the Table-3 protocol read), and
+* the shared telemetry registry (``storage.buffer.hits`` / ``.misses``
+  / ``.evictions``), mirrored per access while telemetry is enabled so
+  one measurement session aggregates across every pool it touched.
+
+**Reset semantics** (tested in ``tests/storage/test_pages_buffer.py``):
+counters are cumulative for the lifetime of the pool. ``clear()``
+empties the cache but leaves the counters untouched (dropping pages on
+purpose is not an eviction); ``warm_up()`` preloads pages *without*
+charging hits/misses/evictions — preloading is protocol, not workload —
+and records the pages it touched in ``stats.warmups``. The only way the
+counters return to zero is an explicit ``stats.reset()`` (which
+:meth:`~repro.storage.store.DocumentStore.warm_up` performs as part of
+the paper's measure-after-preload protocol).
 """
 
 from __future__ import annotations
@@ -12,15 +30,24 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass
 
+from repro import telemetry
 from repro.errors import StorageError
 from repro.storage.page import Page
 
 
 @dataclass
 class BufferStats:
+    """Cumulative access counters of one :class:`BufferPool`.
+
+    ``hits``/``misses``/``evictions`` count workload accesses only;
+    ``warmups`` counts pages loaded by :meth:`BufferPool.warm_up`.
+    Nothing resets these implicitly — see the module docstring.
+    """
+
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    warmups: int = 0
 
     @property
     def accesses(self) -> int:
@@ -34,6 +61,24 @@ class BufferStats:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.warmups = 0
+
+    def as_dict(self) -> dict[str, float]:
+        """JSON-safe view (used by ``benchmarks/harness.py`` baselines)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "warmups": self.warmups,
+            "hit_ratio": self.hit_ratio,
+        }
+
+
+#: shared-registry metric names the pool mirrors into
+_HITS = "storage.buffer.hits"
+_MISSES = "storage.buffer.misses"
+_EVICTIONS = "storage.buffer.evictions"
+_WARMUPS = "storage.buffer.warmups"
 
 
 class BufferPool:
@@ -52,9 +97,13 @@ class BufferPool:
         page = self._cached.get(page_id)
         if page is not None:
             self.stats.hits += 1
+            if telemetry.enabled():
+                telemetry.count(_HITS)
             self._cached.move_to_end(page_id)
             return page
         self.stats.misses += 1
+        if telemetry.enabled():
+            telemetry.count(_MISSES)
         try:
             page = self._disk[page_id]
         except KeyError:
@@ -63,15 +112,30 @@ class BufferPool:
         if len(self._cached) > self.capacity:
             self._cached.popitem(last=False)
             self.stats.evictions += 1
+            if telemetry.enabled():
+                telemetry.count(_EVICTIONS)
         return page
 
     def is_cached(self, page_id: int) -> bool:
         return page_id in self._cached
 
     def warm_up(self) -> None:
-        """Touch every page once (the paper preloads before measuring)."""
+        """Touch every page once (the paper preloads before measuring).
+
+        Preloading charges no hits/misses/evictions — it is not
+        workload; the page count goes to ``stats.warmups`` instead.
+        """
         for page_id in self._disk:
-            self.fetch(page_id)
+            if page_id not in self._cached:
+                self._cached[page_id] = self._disk[page_id]
+                if len(self._cached) > self.capacity:
+                    self._cached.popitem(last=False)
+            else:
+                self._cached.move_to_end(page_id)
+            self.stats.warmups += 1
+        if telemetry.enabled():
+            telemetry.count(_WARMUPS, len(self._disk))
 
     def clear(self) -> None:
+        """Drop all cached pages; the counters survive (see module doc)."""
         self._cached.clear()

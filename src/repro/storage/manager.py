@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import telemetry
 from repro.errors import StorageError
 from repro.storage.constants import StorageConfig
 from repro.storage.page import Page
@@ -50,9 +51,14 @@ class RecordManager:
         if page is None:
             page = Page(len(self.pages), self.config)
             self.pages[page.page_id] = page
+            if telemetry.enabled():
+                telemetry.count("storage.pages.allocated")
         page.put(record_id, blob)
         self.page_of_record[record_id] = page.page_id
         self._record_bytes += len(blob)
+        if telemetry.enabled():
+            telemetry.count("storage.records.written")
+            telemetry.count("storage.record_bytes.written", len(blob))
         return page.page_id
 
     def _find_page(self, blob: bytes):
@@ -80,6 +86,9 @@ class RecordManager:
             old_page.put(record_id, blob)
             self.page_of_record[record_id] = old_page.page_id
             self._record_bytes += len(blob)
+            if telemetry.enabled():
+                telemetry.count("storage.records.rewritten")
+                telemetry.count("storage.record_bytes.written", len(blob))
             return old_page.page_id
         del self.page_of_record[record_id]
         return self.store(record_id, blob)

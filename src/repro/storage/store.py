@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator, Optional
 
+from repro import telemetry
 from repro.errors import StorageError
 from repro.partition.evaluate import assignment_from_partitioning
 from repro.partition.interval import Partitioning
@@ -83,9 +84,10 @@ class DocumentStore:
             capacity_bytes=None,  # weight feasibility is checked upstream
         )
         self.manager = RecordManager(config)
-        records = self._build_records()
-        for record in records:
-            self.manager.store(record.record_id, self.codec.encode(record))
+        with telemetry.span("storage.build"):
+            records = self._build_records()
+            for record in records:
+                self.manager.store(record.record_id, self.codec.encode(record))
         self.record_count = len(records)
         self.buffer = BufferPool(self.manager.pages, config.buffer_pages)
 
@@ -149,7 +151,14 @@ class DocumentStore:
     # -- accounting ------------------------------------------------------
 
     def warm_up(self) -> None:
-        """Preload the buffer and zero the counters (Table 3 protocol)."""
+        """Preload the buffer and zero the counters (Table 3 protocol).
+
+        This is the one sanctioned implicit reset: the paper measures
+        *after* preloading, so both the navigation counters and the
+        pool's workload counters start from zero here. The pool's own
+        :meth:`~repro.storage.buffer.BufferPool.warm_up` never charges
+        workload counters by itself (see its module docstring).
+        """
         self.buffer.warm_up()
         self.stats.reset()
         self.buffer.stats.reset()

@@ -1,0 +1,91 @@
+"""repro.telemetry — instrumentation, tracing and perf baselines.
+
+The measurement substrate of the repo (see ``docs/TELEMETRY.md``):
+
+* a metrics core (:class:`Counter` / :class:`Gauge` / :class:`Histogram`
+  in a :class:`MetricRegistry`) with a **no-op fast path** while
+  disabled,
+* nestable, thread-local, exception-safe trace :class:`Span`s,
+* pluggable sinks (in-memory registry, streaming
+  :class:`JsonLinesSink`) and schema-versioned exports
+  (:func:`snapshot`, :func:`export_jsonl`, :func:`load_jsonl`),
+* an environment fingerprint for baseline files
+  (:func:`environment_fingerprint`).
+
+Instrumentation hooks live in the hot layers themselves —
+``Partitioner.partition``, the storage engine's buffer pool and record
+manager, ``bulkload.BulkLoader`` and ``query.run_query`` — and all
+route through the helpers here (``count`` / ``observe`` / ``gauge_set``
+/ ``gauge_max`` / ``span``). Manual ``time.time()`` timing outside this
+package is rejected by ``repro-lint`` rule OBS001.
+
+Enable with ``REPRO_TELEMETRY=1``, or::
+
+    from repro import telemetry
+
+    with telemetry.capture() as reg:
+        partition_tree(tree, 256, "ekm")
+    print(telemetry.format_metrics(reg))
+"""
+
+from repro.telemetry.core import (
+    Counter,
+    Gauge,
+    Histogram,
+    JsonLinesSink,
+    MetricRegistry,
+    Sink,
+    Span,
+    SpanRecord,
+    capture,
+    count,
+    current_span,
+    disable,
+    enable,
+    enabled,
+    enabled_scope,
+    gauge_max,
+    gauge_set,
+    observe,
+    registry,
+    set_registry,
+    span,
+)
+from repro.telemetry.env import environment_fingerprint
+from repro.telemetry.export import (
+    SCHEMA,
+    export_jsonl,
+    format_metrics,
+    load_jsonl,
+    snapshot,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonLinesSink",
+    "MetricRegistry",
+    "SCHEMA",
+    "Sink",
+    "Span",
+    "SpanRecord",
+    "capture",
+    "count",
+    "current_span",
+    "disable",
+    "enable",
+    "enabled",
+    "enabled_scope",
+    "environment_fingerprint",
+    "export_jsonl",
+    "format_metrics",
+    "gauge_max",
+    "gauge_set",
+    "load_jsonl",
+    "observe",
+    "registry",
+    "set_registry",
+    "snapshot",
+    "span",
+]

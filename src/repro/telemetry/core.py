@@ -1,0 +1,445 @@
+"""Low-overhead metrics and tracing core.
+
+Three metric kinds live in a :class:`MetricRegistry`:
+
+* :class:`Counter` — monotonically increasing totals (events, cells,
+  page hits),
+* :class:`Gauge` — last/maximum observed values (peak resident weight,
+  root weight of the last partitioning),
+* :class:`Histogram` — count/total/min/max summaries of repeated
+  observations; every finished span feeds one automatically.
+
+Trace :class:`Span`s nest through a **thread-local** stack, so
+concurrent sessions never interleave paths. A span always measures its
+wall time (``.elapsed`` is available to the caller either way) but only
+*records* — registry histogram, trace buffer, sinks — while telemetry is
+enabled.
+
+The whole module is built around a **no-op fast path**: one module-level
+boolean, checked first by every helper. With telemetry disabled (the
+default) an instrumented hot loop pays a single attribute load and a
+falsy branch per hook — the property the disabled-overhead guard in the
+test suite and the ``overhead`` scenario of ``benchmarks/harness.py``
+pin down.
+
+Enable globally with ``REPRO_TELEMETRY=1`` in the environment, or
+programmatically via :func:`enable` / :func:`enabled_scope` /
+:func:`capture`. Recording sinks are pluggable: the in-memory registry
+is always on; attach a :class:`JsonLinesSink` to stream completed spans
+as JSON lines (see :mod:`repro.telemetry.export` for whole-registry
+exports).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Any, Iterator, Optional, Protocol, TextIO
+
+
+def _env_enabled() -> bool:
+    return os.environ.get("REPRO_TELEMETRY", "").strip().lower() not in (
+        "",
+        "0",
+        "false",
+        "off",
+        "no",
+    )
+
+
+#: global on/off switch — the no-op fast path checks this first
+_enabled: bool = _env_enabled()
+
+
+def enabled() -> bool:
+    """Is telemetry currently recording?"""
+    return _enabled
+
+
+def enable() -> None:
+    """Turn recording on for the whole process."""
+    global _enabled
+    _enabled = True
+
+
+def disable() -> None:
+    """Turn recording off (hooks fall back to the no-op fast path)."""
+    global _enabled
+    _enabled = False
+
+
+@contextmanager
+def enabled_scope(on: bool = True) -> Iterator[None]:
+    """Temporarily force telemetry on (or off); restores the prior state."""
+    global _enabled
+    previous = _enabled
+    _enabled = on
+    try:
+        yield
+    finally:
+        _enabled = previous
+
+
+# ---------------------------------------------------------------------------
+# Metric primitives
+# ---------------------------------------------------------------------------
+
+
+class Counter:
+    """A monotonically increasing integer total."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class Gauge:
+    """A point-in-time value; tracks the maximum it ever held."""
+
+    __slots__ = ("name", "value", "max")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: float = 0
+        self.max: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value > self.max:
+            self.max = value
+
+    def set_max(self, value: float) -> None:
+        """Keep only the high-water mark (``value`` if it is a new peak)."""
+        if value > self.max:
+            self.max = value
+        self.value = self.max
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({self.name!r}, {self.value}, max={self.max})"
+
+
+class Histogram:
+    """Streaming count/total/min/max/last summary of observations.
+
+    Deliberately reservoir-free: constant memory per metric, enough for
+    mean / extrema, which is what the benchmark baseline records.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "last")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total: float = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.last: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.last = value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "last": self.last,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram({self.name!r}, n={self.count}, mean={self.mean:.6g})"
+
+
+# ---------------------------------------------------------------------------
+# Spans and sinks
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One completed span, as handed to the registry and the sinks."""
+
+    name: str
+    #: slash-joined nesting path, e.g. ``cli.partition/partition.ekm``
+    path: str
+    seconds: float
+    depth: int
+    error: Optional[str] = None
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "name": self.name,
+            "path": self.path,
+            "seconds": self.seconds,
+            "depth": self.depth,
+        }
+        if self.error is not None:
+            out["error"] = self.error
+        if self.attrs:
+            out["attrs"] = self.attrs
+        return out
+
+
+class Sink(Protocol):
+    """Anything that wants completed spans pushed to it."""
+
+    def emit(self, record: SpanRecord) -> None: ...  # pragma: no cover
+
+
+class JsonLinesSink:
+    """Streams every completed span as one JSON object per line."""
+
+    def __init__(self, stream: TextIO):
+        self.stream = stream
+        self.emitted = 0
+
+    def emit(self, record: SpanRecord) -> None:
+        import json
+
+        self.stream.write(json.dumps({"kind": "span", **record.as_dict()}) + "\n")
+        self.emitted += 1
+
+
+class MetricRegistry:
+    """In-memory sink: all metrics plus a bounded trace of spans."""
+
+    def __init__(self, max_trace: int = 10_000):
+        self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
+        self.histograms: dict[str, Histogram] = {}
+        self.trace: list[SpanRecord] = []
+        self.max_trace = max_trace
+        self.dropped_spans = 0
+        self.sinks: list[Sink] = []
+
+    # get-or-create accessors ------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        metric = self.counters.get(name)
+        if metric is None:
+            metric = self.counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self.gauges.get(name)
+        if metric is None:
+            metric = self.gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(self, name: str) -> Histogram:
+        metric = self.histograms.get(name)
+        if metric is None:
+            metric = self.histograms[name] = Histogram(name)
+        return metric
+
+    # span intake ------------------------------------------------------------
+
+    def record_span(self, record: SpanRecord) -> None:
+        """Fold a finished span into the duration histogram ``span.<name>``,
+        keep it in the (bounded) trace, and fan it out to the sinks."""
+        self.histogram(f"span.{record.name}").observe(record.seconds)
+        if len(self.trace) < self.max_trace:
+            self.trace.append(record)
+        else:
+            self.dropped_spans += 1
+        for sink in self.sinks:
+            sink.emit(record)
+
+    def add_sink(self, sink: Sink) -> None:
+        self.sinks.append(sink)
+
+    def remove_sink(self, sink: Sink) -> None:
+        self.sinks.remove(sink)
+
+    # lifecycle --------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Drop every metric and the trace (sinks stay attached)."""
+        self.counters.clear()
+        self.gauges.clear()
+        self.histograms.clear()
+        self.trace.clear()
+        self.dropped_spans = 0
+
+    @property
+    def empty(self) -> bool:
+        return not (self.counters or self.gauges or self.histograms or self.trace)
+
+
+#: the process-wide default registry (swappable for tests / CLI sessions)
+_registry = MetricRegistry()
+
+
+def registry() -> MetricRegistry:
+    """The registry hooks currently record into."""
+    return _registry
+
+
+def set_registry(new: MetricRegistry) -> MetricRegistry:
+    """Swap the global registry; returns the previous one."""
+    global _registry
+    previous = _registry
+    _registry = new
+    return previous
+
+
+@contextmanager
+def capture(enabled_: bool = True) -> Iterator[MetricRegistry]:
+    """A measurement session: fresh registry + telemetry on (by default).
+
+    Restores both the previous registry and the previous enabled state,
+    so tests and CLI commands can measure without leaking global state::
+
+        with telemetry.capture() as reg:
+            partition_tree(tree, 256, "ekm")
+        print(reg.counters["partition.ekm.runs"].value)
+    """
+    fresh = MetricRegistry()
+    previous = set_registry(fresh)
+    with enabled_scope(enabled_):
+        try:
+            yield fresh
+        finally:
+            set_registry(previous)
+
+
+# ---------------------------------------------------------------------------
+# Module-level helpers — the instrumentation surface used by hooks.
+# Each begins with the disabled fast path.
+# ---------------------------------------------------------------------------
+
+
+def count(name: str, n: int = 1) -> None:
+    """Increment counter ``name`` by ``n`` (no-op while disabled)."""
+    if not _enabled:
+        return
+    _registry.counter(name).inc(n)
+
+
+def observe(name: str, value: float) -> None:
+    """Feed ``value`` into histogram ``name`` (no-op while disabled)."""
+    if not _enabled:
+        return
+    _registry.histogram(name).observe(value)
+
+
+def gauge_set(name: str, value: float) -> None:
+    """Set gauge ``name`` (no-op while disabled)."""
+    if not _enabled:
+        return
+    _registry.gauge(name).set(value)
+
+
+def gauge_max(name: str, value: float) -> None:
+    """Raise gauge ``name`` to ``value`` if it is a new peak (no-op while
+    disabled)."""
+    if not _enabled:
+        return
+    _registry.gauge(name).set_max(value)
+
+
+# thread-local span stack
+_tls = threading.local()
+
+
+def _span_stack() -> list["Span"]:
+    stack = getattr(_tls, "stack", None)
+    if stack is None:
+        stack = _tls.stack = []
+    return stack
+
+
+def current_span() -> Optional["Span"]:
+    """The innermost open span on this thread, if any is being recorded."""
+    stack = getattr(_tls, "stack", None)
+    return stack[-1] if stack else None
+
+
+class Span:
+    """A nestable timed section, used as a context manager.
+
+    Always measures wall time — ``.elapsed`` is valid after exit whether
+    or not telemetry records anything — so callers that need the duration
+    (CLI output, benchmark tables) never fall back to manual
+    ``time.perf_counter()`` pairs (which ``repro-lint`` rule OBS001
+    forbids outside this package).
+
+    Exception-safe: the thread-local stack is unwound in ``__exit__``
+    even when the body raises, and the resulting :class:`SpanRecord`
+    carries the exception class name in ``error``. Exceptions are never
+    swallowed.
+    """
+
+    __slots__ = ("name", "attrs", "path", "depth", "elapsed", "_recording", "_start")
+
+    def __init__(self, name: str, attrs: dict[str, Any]):
+        self.name = name
+        self.attrs = attrs
+        self.path = name
+        self.depth = 0
+        self.elapsed: float = 0.0
+        self._recording = False
+        self._start: float = 0.0
+
+    def __enter__(self) -> "Span":
+        self._recording = _enabled
+        if self._recording:
+            stack = _span_stack()
+            if stack:
+                parent = stack[-1]
+                self.path = f"{parent.path}/{self.name}"
+                self.depth = len(stack)
+            stack.append(self)
+        self._start = perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.elapsed = perf_counter() - self._start
+        if self._recording:
+            stack = _span_stack()
+            # Unwind defensively: this span may not be on top if an inner
+            # span escaped its `with` block through an exception.
+            while stack:
+                top = stack.pop()
+                if top is self:
+                    break
+            _registry.record_span(
+                SpanRecord(
+                    name=self.name,
+                    path=self.path,
+                    seconds=self.elapsed,
+                    depth=self.depth,
+                    error=exc_type.__name__ if exc_type is not None else None,
+                    attrs=self.attrs,
+                )
+            )
+        return False  # never swallow exceptions
+
+
+def span(name: str, **attrs: Any) -> Span:
+    """Open a trace span: ``with telemetry.span("query.run") as sp: ...``."""
+    return Span(name, attrs)

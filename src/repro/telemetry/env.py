@@ -1,0 +1,29 @@
+"""Environment fingerprinting for perf baselines.
+
+``BENCH_*.json`` numbers are only comparable between runs on comparable
+machines; the fingerprint written next to every baseline records enough
+of the execution environment to judge whether a diff is signal or a
+hardware change.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+from datetime import datetime, timezone
+from typing import Any
+
+
+def environment_fingerprint() -> dict[str, Any]:
+    """Describe the machine and interpreter producing a measurement."""
+    from repro import __version__  # local import: keep module import cycle-free
+
+    return {
+        "repro_version": __version__,
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count() or 1,
+        "timestamp_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+    }

@@ -1,0 +1,41 @@
+"""Seeded OBS001 violations: manual timing outside repro.telemetry.
+
+Not importable as part of the real package — this fixture only feeds the
+analyzer tests (see README.md in this directory).
+"""
+
+import time
+import time as clock
+from time import monotonic
+from time import perf_counter as pc
+from time import sleep  # timing-adjacent but not a clock: never flagged
+
+
+def timed_partition(run):
+    start = time.perf_counter()  # seed:OBS001-module
+    run()
+    return time.perf_counter() - start  # seed:OBS001-module2
+
+
+def timed_via_alias(run):
+    start = clock.time()  # seed:OBS001-alias
+    run()
+    return clock.time() - start  # seed:OBS001-alias2
+
+
+def timed_via_from_import(run):
+    start = pc()  # seed:OBS001-from
+    run()
+    sleep(0.0)
+    return monotonic() - start  # seed:OBS001-from2
+
+
+def sanctioned(run):
+    start = time.perf_counter()  # repro-lint: skip=OBS001
+    run()
+    return start
+
+
+def not_the_stdlib_clock(obj):
+    # attribute named like a clock on a non-`time` receiver: not flagged
+    return obj.perf_counter() + obj.time()

@@ -72,6 +72,66 @@ class TestSeededViolations:
         assert hit.lineno == tags["PRT002"]
         assert "_partition" in hit.message
 
+    def test_manual_timing_reported_in_all_import_shapes(self, fixture_result):
+        tags = seed_lines(FIXTURES / "seeded_timing.py")
+        hits = found(fixture_result, "OBS001", "seeded_timing.py")
+        assert {v.lineno for v in hits} == {
+            tags["OBS001-module"],
+            tags["OBS001-module2"],
+            tags["OBS001-alias"],
+            tags["OBS001-alias2"],
+            tags["OBS001-from"],
+            tags["OBS001-from2"],
+        }
+        assert all("telemetry.span" in v.message for v in hits)
+
+    def test_manual_timing_skip_pragma_and_lookalikes(self, fixture_result):
+        hits = found(fixture_result, "OBS001", "seeded_timing.py")
+        source = (FIXTURES / "seeded_timing.py").read_text().splitlines()
+        flagged = {source[v.lineno - 1] for v in hits}
+        for line in flagged:
+            assert "skip=OBS001" not in line
+            assert "obj." not in line
+            assert "sleep" not in line
+
+    def test_telemetry_package_is_exempt(self, tmp_path):
+        package = tmp_path / "repro" / "telemetry"
+        package.mkdir(parents=True)
+        (tmp_path / "repro" / "__init__.py").write_text("")
+        (package / "__init__.py").write_text("")
+        (package / "core.py").write_text(
+            textwrap.dedent(
+                """
+                from time import perf_counter
+
+                def now():
+                    return perf_counter()
+                """
+            )
+        )
+        result = run_lint([package / "core.py"], select=["OBS001"])
+        assert result.clean
+
+    def test_non_telemetry_module_in_package_is_flagged(self, tmp_path):
+        package = tmp_path / "repro" / "bench"
+        package.mkdir(parents=True)
+        (tmp_path / "repro" / "__init__.py").write_text("")
+        (package / "__init__.py").write_text("")
+        (package / "timingish.py").write_text(
+            textwrap.dedent(
+                """
+                import time
+
+                def probe():
+                    return time.monotonic()
+                """
+            )
+        )
+        result = run_lint([package / "timingish.py"], select=["OBS001"])
+        assert len(result.violations) == 1
+        assert result.violations[0].code == "OBS001"
+        assert "time.monotonic" in result.violations[0].message
+
     def test_render_is_file_line_code_message(self, fixture_result):
         for violation in fixture_result.violations:
             rendered = violation.render()

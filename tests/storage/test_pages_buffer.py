@@ -115,3 +115,99 @@ class TestBufferPool:
     def test_capacity_validation(self):
         with pytest.raises(StorageError):
             BufferPool({}, capacity=0)
+
+
+class TestBufferStatsResetSemantics:
+    """Counters are cumulative per pool lifetime (see buffer module doc)."""
+
+    def make_pool(self, pages=3, capacity=8):
+        return BufferPool(
+            {i: Page(i, SMALL) for i in range(pages)}, capacity=capacity
+        )
+
+    def test_clear_preserves_counters(self):
+        pool = self.make_pool()
+        pool.fetch(0)
+        pool.fetch(0)
+        pool.clear()
+        assert not pool.is_cached(0)
+        assert pool.stats.misses == 1
+        assert pool.stats.hits == 1
+        assert pool.stats.evictions == 0  # deliberate drop is not an eviction
+
+    def test_refetch_after_clear_keeps_accumulating(self):
+        pool = self.make_pool()
+        pool.fetch(0)
+        pool.clear()
+        pool.fetch(0)  # cold again: a second miss on the same lifetime
+        assert pool.stats.misses == 2
+        assert pool.stats.hits == 0
+
+    def test_warm_up_charges_no_workload_counters(self):
+        pool = self.make_pool(pages=3)
+        pool.warm_up()
+        assert pool.stats.hits == 0
+        assert pool.stats.misses == 0
+        assert pool.stats.evictions == 0
+        assert pool.stats.warmups == 3
+
+    def test_warm_up_after_traffic_preserves_counters(self):
+        pool = self.make_pool(pages=3)
+        pool.fetch(0)
+        pool.fetch(0)
+        pool.warm_up()
+        assert pool.stats.hits == 1
+        assert pool.stats.misses == 1
+        assert pool.stats.warmups == 3
+
+    def test_only_explicit_reset_zeroes(self):
+        pool = self.make_pool()
+        pool.fetch(0)
+        pool.fetch(0)
+        pool.warm_up()
+        pool.stats.reset()
+        assert pool.stats.hits == 0
+        assert pool.stats.misses == 0
+        assert pool.stats.evictions == 0
+        assert pool.stats.warmups == 0
+        assert pool.stats.hit_ratio == 0.0
+
+    def test_as_dict_round_trip(self):
+        pool = self.make_pool()
+        pool.fetch(0)
+        pool.fetch(0)
+        d = pool.stats.as_dict()
+        assert d["hits"] == 1
+        assert d["misses"] == 1
+        assert d["hit_ratio"] == 0.5
+        assert set(d) == {"hits", "misses", "evictions", "warmups", "hit_ratio"}
+
+    def test_telemetry_mirror_counts_accesses(self):
+        from repro import telemetry
+
+        pool = self.make_pool(pages=3, capacity=2)
+        with telemetry.capture() as reg:
+            pool.fetch(0)
+            pool.fetch(0)
+            pool.fetch(1)
+            pool.fetch(2)  # evicts 0
+            pool.warm_up()
+        assert reg.counters["storage.buffer.hits"].value == pool.stats.hits == 1
+        assert reg.counters["storage.buffer.misses"].value == pool.stats.misses == 3
+        assert reg.counters["storage.buffer.evictions"].value == 1
+        assert reg.counters["storage.buffer.warmups"].value == 3
+
+    def test_no_mirror_while_disabled(self):
+        from repro import telemetry
+        from repro.telemetry import MetricRegistry
+
+        previous = telemetry.set_registry(MetricRegistry())
+        try:
+            assert not telemetry.enabled()
+            pool = self.make_pool()
+            pool.fetch(0)
+            pool.warm_up()
+            assert telemetry.registry().empty
+            assert pool.stats.misses == 1  # local stats stay always-on
+        finally:
+            telemetry.set_registry(previous)

@@ -1,0 +1,257 @@
+"""The metrics/tracing core: switch, primitives, spans, sessions."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    SpanRecord,
+)
+
+
+@pytest.fixture(autouse=True)
+def _isolated_telemetry():
+    """Every test runs against a fresh, disabled global state."""
+    previous = telemetry.set_registry(MetricRegistry())
+    was_enabled = telemetry.enabled()
+    telemetry.disable()
+    yield
+    telemetry.set_registry(previous)
+    if was_enabled:
+        telemetry.enable()
+    else:
+        telemetry.disable()
+
+
+class TestSwitch:
+    def test_disabled_by_default_in_tests(self):
+        assert not telemetry.enabled()
+
+    def test_enable_disable_roundtrip(self):
+        telemetry.enable()
+        assert telemetry.enabled()
+        telemetry.disable()
+        assert not telemetry.enabled()
+
+    def test_enabled_scope_restores(self):
+        with telemetry.enabled_scope():
+            assert telemetry.enabled()
+        assert not telemetry.enabled()
+
+    def test_enabled_scope_can_force_off(self):
+        telemetry.enable()
+        with telemetry.enabled_scope(False):
+            assert not telemetry.enabled()
+        assert telemetry.enabled()
+
+    def test_enabled_scope_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with telemetry.enabled_scope():
+                raise RuntimeError("boom")
+        assert not telemetry.enabled()
+
+
+class TestPrimitives:
+    def test_counter_accumulates(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(41)
+        assert c.value == 42
+
+    def test_gauge_tracks_max(self):
+        g = Gauge("x")
+        g.set(5)
+        g.set(3)
+        assert g.value == 3
+        assert g.max == 5
+
+    def test_gauge_set_max_keeps_high_water_mark(self):
+        g = Gauge("x")
+        g.set_max(7)
+        g.set_max(2)
+        assert g.value == 7
+        assert g.max == 7
+
+    def test_histogram_summary(self):
+        h = Histogram("x")
+        for v in (2.0, 1.0, 4.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.total == 7.0
+        assert h.min == 1.0
+        assert h.max == 4.0
+        assert h.last == 4.0
+        assert h.mean == pytest.approx(7.0 / 3)
+        assert h.as_dict()["count"] == 3
+
+    def test_empty_histogram_mean(self):
+        assert Histogram("x").mean == 0.0
+
+
+class TestHelpers:
+    def test_noop_while_disabled(self):
+        telemetry.count("a")
+        telemetry.observe("b", 1.0)
+        telemetry.gauge_set("c", 1)
+        telemetry.gauge_max("d", 1)
+        assert telemetry.registry().empty
+
+    def test_record_while_enabled(self):
+        telemetry.enable()
+        telemetry.count("a", 3)
+        telemetry.observe("b", 2.0)
+        telemetry.gauge_set("c", 9)
+        telemetry.gauge_max("d", 4)
+        reg = telemetry.registry()
+        assert reg.counters["a"].value == 3
+        assert reg.histograms["b"].last == 2.0
+        assert reg.gauges["c"].value == 9
+        assert reg.gauges["d"].max == 4
+
+    def test_registry_get_or_create_is_stable(self):
+        reg = telemetry.registry()
+        assert reg.counter("x") is reg.counter("x")
+        assert reg.gauge("y") is reg.gauge("y")
+        assert reg.histogram("z") is reg.histogram("z")
+
+    def test_registry_reset(self):
+        telemetry.enable()
+        telemetry.count("a")
+        with telemetry.span("s"):
+            pass
+        reg = telemetry.registry()
+        assert not reg.empty
+        reg.reset()
+        assert reg.empty
+        assert reg.dropped_spans == 0
+
+
+class TestCapture:
+    def test_capture_enables_and_restores(self):
+        outer = telemetry.registry()
+        with telemetry.capture() as reg:
+            assert telemetry.enabled()
+            assert telemetry.registry() is reg
+            telemetry.count("inside")
+        assert not telemetry.enabled()
+        assert telemetry.registry() is outer
+        assert reg.counters["inside"].value == 1
+        assert outer.empty
+
+    def test_capture_restores_on_exception(self):
+        outer = telemetry.registry()
+        with pytest.raises(ValueError):
+            with telemetry.capture():
+                raise ValueError("boom")
+        assert telemetry.registry() is outer
+        assert not telemetry.enabled()
+
+
+class TestSpans:
+    def test_elapsed_valid_even_when_disabled(self):
+        with telemetry.span("work") as sp:
+            pass
+        assert sp.elapsed >= 0.0
+        assert telemetry.registry().empty
+
+    def test_span_records_histogram_and_trace(self):
+        telemetry.enable()
+        with telemetry.span("work", tag="t") as sp:
+            pass
+        reg = telemetry.registry()
+        assert reg.histograms["span.work"].count == 1
+        (record,) = reg.trace
+        assert record.name == "work"
+        assert record.path == "work"
+        assert record.depth == 0
+        assert record.error is None
+        assert record.attrs == {"tag": "t"}
+        assert record.seconds == pytest.approx(sp.elapsed)
+
+    def test_nesting_builds_paths_and_depth(self):
+        telemetry.enable()
+        with telemetry.span("outer"):
+            with telemetry.span("mid"):
+                with telemetry.span("inner") as inner:
+                    assert telemetry.current_span() is inner
+        paths = {r.path: r.depth for r in telemetry.registry().trace}
+        assert paths == {
+            "outer/mid/inner": 2,
+            "outer/mid": 1,
+            "outer": 0,
+        }
+        assert telemetry.current_span() is None
+
+    def test_exception_recorded_and_propagated(self):
+        telemetry.enable()
+        with pytest.raises(KeyError):
+            with telemetry.span("explodes"):
+                raise KeyError("x")
+        (record,) = telemetry.registry().trace
+        assert record.error == "KeyError"
+        assert telemetry.current_span() is None
+
+    def test_stack_unwinds_when_inner_span_escapes(self):
+        telemetry.enable()
+
+        inner = telemetry.span("inner")
+        with telemetry.span("outer"):
+            inner.__enter__()
+            # inner never exits; outer must still unwind past it
+        assert telemetry.current_span() is None
+
+    def test_trace_is_bounded(self):
+        telemetry.set_registry(MetricRegistry(max_trace=2))
+        telemetry.enable()
+        for _ in range(5):
+            with telemetry.span("s"):
+                pass
+        reg = telemetry.registry()
+        assert len(reg.trace) == 2
+        assert reg.dropped_spans == 3
+        assert reg.histograms["span.s"].count == 5  # histogram never drops
+
+    def test_threads_do_not_share_span_stacks(self):
+        telemetry.enable()
+        seen: dict[str, str] = {}
+        barrier = threading.Barrier(2)
+
+        def worker(tag: str) -> None:
+            with telemetry.span(f"outer.{tag}"):
+                barrier.wait(timeout=5)
+                with telemetry.span("inner") as sp:
+                    barrier.wait(timeout=5)
+                    seen[tag] = sp.path
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in ("a", "b")]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert seen == {"a": "outer.a/inner", "b": "outer.b/inner"}
+
+
+class TestSinks:
+    def test_sink_receives_completed_spans(self):
+        emitted: list[SpanRecord] = []
+
+        class ListSink:
+            def emit(self, record: SpanRecord) -> None:
+                emitted.append(record)
+
+        telemetry.enable()
+        sink = ListSink()
+        telemetry.registry().add_sink(sink)
+        with telemetry.span("s"):
+            pass
+        telemetry.registry().remove_sink(sink)
+        with telemetry.span("s"):
+            pass
+        assert [r.name for r in emitted] == ["s"]

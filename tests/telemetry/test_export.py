@@ -1,0 +1,134 @@
+"""Snapshots, JSON-lines round-trips and the text renderer."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.errors import ReproError
+from repro.telemetry import (
+    SCHEMA,
+    MetricRegistry,
+    environment_fingerprint,
+    export_jsonl,
+    format_metrics,
+    load_jsonl,
+    snapshot,
+)
+
+
+@pytest.fixture
+def populated() -> MetricRegistry:
+    reg = MetricRegistry()
+    previous = telemetry.set_registry(reg)
+    with telemetry.enabled_scope():
+        telemetry.count("events", 7)
+        telemetry.gauge_set("weight", 12)
+        telemetry.gauge_max("peak", 99)
+        telemetry.observe("cells", 3.0)
+        with telemetry.span("outer", tag="x"):
+            with telemetry.span("inner"):
+                pass
+    telemetry.set_registry(previous)
+    return reg
+
+
+class TestSnapshot:
+    def test_schema_and_sections(self, populated):
+        snap = snapshot(populated)
+        assert snap["schema"] == SCHEMA
+        assert snap["counters"] == {"events": 7}
+        assert snap["gauges"]["weight"] == {"value": 12, "max": 12}
+        assert snap["gauges"]["peak"] == {"value": 99, "max": 99}
+        assert snap["histograms"]["cells"]["count"] == 1
+        assert snap["histograms"]["span.outer"]["count"] == 1
+        assert "trace" not in snap
+
+    def test_snapshot_is_json_safe(self, populated):
+        json.dumps(snapshot(populated, include_trace=True))
+
+    def test_include_trace(self, populated):
+        snap = snapshot(populated, include_trace=True)
+        assert [t["path"] for t in snap["trace"]] == ["outer/inner", "outer"]
+        assert snap["dropped_spans"] == 0
+
+    def test_empty_registry(self):
+        snap = snapshot(MetricRegistry())
+        assert snap["counters"] == {}
+        assert snap["gauges"] == {}
+        assert snap["histograms"] == {}
+
+
+class TestJsonLinesRoundTrip:
+    def test_round_trip_matches_snapshot(self, populated):
+        buf = io.StringIO()
+        lines = export_jsonl(buf, populated)
+        assert lines == buf.getvalue().count("\n")
+        buf.seek(0)
+        loaded = load_jsonl(buf)
+        snap = snapshot(populated, include_trace=True)
+        assert loaded["schema"] == SCHEMA
+        assert loaded["counters"] == snap["counters"]
+        assert loaded["gauges"] == snap["gauges"]
+        assert loaded["histograms"] == snap["histograms"]
+        assert loaded["trace"] == snap["trace"]
+
+    def test_without_trace(self, populated):
+        buf = io.StringIO()
+        export_jsonl(buf, populated, include_trace=False)
+        buf.seek(0)
+        assert "trace" not in load_jsonl(buf)
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(ReproError, match="no meta/schema header"):
+            load_jsonl(io.StringIO('{"kind": "counter", "name": "x", "value": 1}\n'))
+
+    def test_schema_mismatch_rejected(self):
+        with pytest.raises(ReproError, match="schema mismatch"):
+            load_jsonl(io.StringIO('{"kind": "meta", "schema": "repro-telemetry/999"}\n'))
+
+    def test_unknown_kind_rejected(self):
+        stream = io.StringIO(
+            json.dumps({"kind": "meta", "schema": SCHEMA})
+            + "\n"
+            + json.dumps({"kind": "mystery"})
+            + "\n"
+        )
+        with pytest.raises(ReproError, match="unknown telemetry record kind"):
+            load_jsonl(stream)
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ReproError, match="line 1"):
+            load_jsonl(io.StringIO("not json\n"))
+
+
+class TestFormatMetrics:
+    def test_sections_render(self, populated):
+        text = format_metrics(populated)
+        assert "counters:" in text
+        assert "events" in text
+        assert "gauges:" in text
+        assert "histograms" in text
+        assert "span.outer" in text
+
+    def test_empty_registry_hint(self):
+        assert "is telemetry enabled?" in format_metrics(MetricRegistry())
+
+
+class TestEnvironmentFingerprint:
+    def test_fields_present_and_json_safe(self):
+        fp = environment_fingerprint()
+        for key in (
+            "repro_version",
+            "python",
+            "implementation",
+            "platform",
+            "machine",
+            "cpu_count",
+            "timestamp_utc",
+        ):
+            assert key in fp, key
+        json.dumps(fp)

@@ -77,3 +77,47 @@ class TestCompareCommand:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestStatsCommand:
+    def test_text_report(self, doc_path, capsys):
+        assert main(["stats", doc_path]) == 0
+        out = capsys.readouterr().out
+        assert "counters:" in out
+        assert "partition.ekm.runs" in out
+        assert "storage.buffer" in out
+
+    def test_query_metrics_included(self, doc_path, capsys):
+        assert main(["stats", doc_path, "--query", "//keyword"]) == 0
+        assert "query.runs" in capsys.readouterr().out
+
+    def test_json_snapshot(self, doc_path, capsys):
+        import json
+
+        assert main(["stats", doc_path, "--json", "--with-import"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro-telemetry/1"
+        assert payload["counters"]["bulkload.runs"] == 1
+        assert "environment" in payload
+
+    def test_jsonl_export(self, doc_path, capsys):
+        import json
+
+        assert main(["stats", doc_path, "--jsonl"]) == 0
+        lines = [json.loads(l) for l in capsys.readouterr().out.splitlines()]
+        assert lines[0] == {"kind": "meta", "schema": "repro-telemetry/1"}
+        assert any(l["kind"] == "counter" for l in lines)
+
+    def test_stats_main_entry_point(self, doc_path, capsys):
+        from repro.cli import stats_main
+
+        assert stats_main([doc_path, "--algorithm", "km"]) == 0
+        assert "partition.km.runs" in capsys.readouterr().out
+
+    def test_stats_does_not_leak_global_state(self, doc_path, capsys):
+        from repro import telemetry
+
+        assert main(["stats", doc_path]) == 0
+        capsys.readouterr()
+        assert not telemetry.enabled()
+        assert telemetry.registry().empty
