@@ -1,9 +1,10 @@
 # Verification pipeline for the repro codebase.
 #
-#   make verify    # everything below, in order
-#   make lint      # repro-lint (+ ruff/mypy when installed)
-#   make test      # tier-1 pytest suite
-#   make bench     # benchmark harness smoke (--quick) + baseline check
+#   make verify       # everything below, in order
+#   make lint         # repro-lint (+ ruff/mypy when installed)
+#   make test         # tier-1 pytest suite
+#   make bench        # benchmark harness smoke (--quick) + baseline check
+#   make faults-smoke # small fault-injection matrix (crash/bitflip/torn)
 #
 # ruff and mypy are optional deep-net linters (pyproject [lint] extra);
 # verify skips them with a notice when the environment lacks them, so
@@ -13,9 +14,9 @@ export PYTHONPATH := src
 
 PYTHON ?= python
 
-.PHONY: verify lint test bench
+.PHONY: verify lint test bench faults-smoke
 
-verify: lint test bench
+verify: lint test bench faults-smoke
 	@echo "verify: OK"
 
 lint:
@@ -36,3 +37,6 @@ test:
 
 bench:
 	$(PYTHON) benchmarks/harness.py --quick --check --output /dev/null
+
+faults-smoke:
+	$(PYTHON) -m repro.faults.cli --scale 0.002 --crash-points 2 --flip-pages 2

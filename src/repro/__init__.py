@@ -21,8 +21,11 @@ Quickstart::
 """
 
 from repro.errors import (
+    CorruptPageError,
     InfeasiblePartitioningError,
+    InjectedFaultError,
     InvalidPartitioningError,
+    JournalError,
     QuerySyntaxError,
     ReproError,
     StorageError,
@@ -61,6 +64,9 @@ __all__ = [
     "InvalidPartitioningError",
     "XmlFormatError",
     "StorageError",
+    "CorruptPageError",
+    "JournalError",
+    "InjectedFaultError",
     "QuerySyntaxError",
     "Tree",
     "TreeNode",

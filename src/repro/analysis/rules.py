@@ -11,6 +11,7 @@ BAN003  float arithmetic on slot weights/limits in partitioner modules
 PRT001  partitioner mutates the input tree
 PRT002  partitioner overrides ``partition`` instead of ``_partition``
 OBS001  manual wall-clock timing outside ``repro.telemetry``
+RB001   broad exception handler that silently swallows outside test code
 ======  ================================================================
 
 The partitioner passes identify "partitioner modules" syntactically — a
@@ -54,6 +55,9 @@ _TIMING_FUNCS = frozenset(
         "process_time_ns",
     }
 )
+
+#: catch-all exception names whose silent handlers RB001 flags
+_BROAD_EXCEPTION_NAMES = frozenset({"Exception", "BaseException"})
 
 PARTITIONER_BASE = "repro.partition.base.Partitioner"
 
@@ -383,3 +387,80 @@ class ManualTimingPass(LintPass):
         if isinstance(func, ast.Name) and func.id in func_aliases:
             return func.id
         return None
+
+
+@register_lint_pass
+class ExceptionSwallowPass(LintPass):
+    """Robustness work lives or dies on failures being *visible*: a
+    ``except Exception: pass`` turns an injected fault, a corrupt page or
+    a truncated journal into silent garbage downstream. Library code must
+    handle, narrow, or re-raise; only test code (``test_*.py`` /
+    ``conftest.py``, matched by filename so fixture snippets still lint)
+    may swallow broadly, e.g. when asserting that cleanup survives."""
+
+    code = "RB001"
+    name = "exception-swallow"
+    description = (
+        "bare `except:` or `except Exception/BaseException:` whose body "
+        "only `pass`es, outside test code; handle the failure, narrow the "
+        "type, or re-raise"
+    )
+
+    def run(self, ctx: LintContext) -> Iterator[Violation]:
+        for source in ctx.files:
+            filename = source.path.name
+            if filename.startswith("test_") or filename == "conftest.py":
+                continue
+            for node in ast.walk(source.tree):
+                if (
+                    isinstance(node, ast.ExceptHandler)
+                    and self._is_broad(node.type)
+                    and self._swallows(node.body)
+                ):
+                    caught = (
+                        "except:"
+                        if node.type is None
+                        else f"except {self._describe(node.type)}"
+                    )
+                    yield Violation(
+                        path=str(source.path),
+                        lineno=node.lineno,
+                        code=self.code,
+                        message=(
+                            f"`{caught}` with a pass-only body silently "
+                            "swallows failures; handle, narrow, or re-raise"
+                        ),
+                    )
+
+    @staticmethod
+    def _is_broad(handler_type: Optional[ast.expr]) -> bool:
+        if handler_type is None:
+            return True  # bare `except:`
+        candidates: list[ast.expr] = (
+            list(handler_type.elts)
+            if isinstance(handler_type, ast.Tuple)
+            else [handler_type]
+        )
+        for expr in candidates:
+            if isinstance(expr, ast.Name) and expr.id in _BROAD_EXCEPTION_NAMES:
+                return True
+            if isinstance(expr, ast.Attribute) and expr.attr in _BROAD_EXCEPTION_NAMES:
+                return True
+        return False
+
+    @staticmethod
+    def _swallows(body: list[ast.stmt]) -> bool:
+        """True when the handler does nothing observable: only ``pass``,
+        ``continue`` or constant expressions (docstrings, ``...``)."""
+        for stmt in body:
+            if isinstance(stmt, (ast.Pass, ast.Continue)):
+                continue
+            if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+                continue
+            return False
+        return True
+
+    @staticmethod
+    def _describe(handler_type: ast.expr) -> str:
+        dotted = _dotted_name(handler_type)
+        return dotted if dotted is not None else "Exception"

@@ -18,5 +18,22 @@ from repro.bulkload.importer import (
     STREAMING_STRATEGIES,
     bulk_import,
 )
+from repro.bulkload.journal import (
+    ImportJournal,
+    JournalState,
+    read_journal,
+    resume_import,
+    source_fingerprint,
+)
 
-__all__ = ["BulkLoader", "ImportResult", "STREAMING_STRATEGIES", "bulk_import"]
+__all__ = [
+    "BulkLoader",
+    "ImportResult",
+    "STREAMING_STRATEGIES",
+    "bulk_import",
+    "ImportJournal",
+    "JournalState",
+    "read_journal",
+    "resume_import",
+    "source_fingerprint",
+]

@@ -18,17 +18,25 @@ degrades partition quality but caps memory at roughly
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
 from repro import telemetry
-from repro.errors import InfeasiblePartitioningError, ReproError, XmlFormatError
+from repro.errors import (
+    InfeasiblePartitioningError,
+    JournalError,
+    ReproError,
+    XmlFormatError,
+)
+from repro.bulkload.journal import ImportJournal, JournalState, source_fingerprint
 from repro.bulkload.strategies import (
     ChildSummary,
     Frame,
     STRATEGY_CLASSES,
     StreamStrategy,
 )
+from repro.faults import plan as faults
 from repro.partition.interval import Partitioning, SiblingInterval
 from repro.tree.node import NodeKind, Tree
 from repro.xmlio.events import (
@@ -58,6 +66,10 @@ class ImportResult:
     emitted_partitions: int
     spills: int
     events: int
+    #: seal boundaries made durable in the journal (0 without one)
+    seals: int = 0
+    #: True when this result came from :func:`~repro.bulkload.journal.resume_import`
+    resumed: bool = False
 
     @property
     def peak_resident_fraction(self) -> float:
@@ -101,13 +113,53 @@ class BulkLoader:
         self.wm = weight_model or SlotWeightModel()
         self.strip_whitespace = strip_whitespace
 
-    def load(self, source: Source) -> ImportResult:
-        """Import from any XML source (path, text, bytes, stream)."""
-        return self.load_events(iter_events(source))
+    def load(
+        self,
+        source: Source,
+        journal_path: Optional[str] = None,
+        _resume_state: Optional[JournalState] = None,
+    ) -> ImportResult:
+        """Import from any XML source (path, text, bytes, stream).
 
-    def load_events(self, events: Iterable[ParseEvent]) -> ImportResult:
+        With ``journal_path`` the import is crash-safe: progress is made
+        durable at every spill boundary (see
+        :mod:`repro.bulkload.journal`), and an interrupted run can be
+        completed with :func:`~repro.bulkload.journal.resume_import`.
+        """
+        if journal_path is None:
+            return self.load_events(iter_events(source))
+        journal = ImportJournal(journal_path)
+        if _resume_state is None:
+            if os.path.exists(journal.path) and os.path.getsize(journal.path) > 0:
+                raise JournalError(
+                    f"journal {journal.path} already exists; an interrupted "
+                    "run must be completed with resume_import()"
+                )
+            journal.open()
+            journal.begin(
+                algorithm=self.algorithm,
+                limit=self.limit,
+                spill_threshold=self.spill_threshold,
+                strip_whitespace=self.strip_whitespace,
+                source_sha256=source_fingerprint(source),
+            )
+        else:
+            journal.open()
+        try:
+            return self.load_events(
+                iter_events(source), journal=journal, resume=_resume_state
+            )
+        finally:
+            journal.close()
+
+    def load_events(
+        self,
+        events: Iterable[ParseEvent],
+        journal: Optional[ImportJournal] = None,
+        resume: Optional[JournalState] = None,
+    ) -> ImportResult:
         with telemetry.span("bulkload.import", algorithm=self.algorithm):
-            state = _LoadState(self)
+            state = _LoadState(self, journal=journal, resume=resume)
             for event in events:
                 state.handle(event)
             result = state.finish()
@@ -128,22 +180,35 @@ def bulk_import(
     algorithm: str = "ekm",
     limit: int = 256,
     spill_threshold: Optional[int] = None,
+    journal_path: Optional[str] = None,
 ) -> ImportResult:
     """One-call streaming import."""
-    return BulkLoader(algorithm, limit, spill_threshold).load(source)
+    return BulkLoader(algorithm, limit, spill_threshold).load(
+        source, journal_path=journal_path
+    )
 
 
 class _LoadState:
     """Mutable per-import state (tree under construction, frames, stats)."""
 
-    def __init__(self, loader: BulkLoader):
+    def __init__(
+        self,
+        loader: BulkLoader,
+        journal: Optional[ImportJournal] = None,
+        resume: Optional[JournalState] = None,
+    ):
         self.loader = loader
+        self.journal = journal
+        self.resume = resume
         self.intervals: list[SiblingInterval] = []
         self.resident = 0
         self.peak_resident = 0
         self.total_weight = 0
         self.spills = 0
         self.events = 0
+        self.seals = 0
+        #: intervals already covered by a seal (or seal verification)
+        self._sealed_intervals = 0
         self.tree: Optional[Tree] = None
         self.frames: list[Frame] = []
         self.pending_text: list[str] = []
@@ -155,6 +220,17 @@ class _LoadState:
     # -- emission & memory accounting -------------------------------------
 
     def _emit(self, interval: SiblingInterval, freed_weight: int) -> None:
+        resume = self.resume
+        if resume is not None:
+            index = len(self.intervals)
+            if index < len(resume.sealed_intervals):
+                sealed = resume.sealed_intervals[index]
+                if sealed != interval:
+                    raise JournalError(
+                        f"journal {resume.path}: replay diverged at partition "
+                        f"{index}: journal sealed {sealed}, replay emitted "
+                        f"{interval} — the source document or journal changed"
+                    )
         self.intervals.append(interval)
         self.resident -= freed_weight
 
@@ -172,6 +248,7 @@ class _LoadState:
         threshold = self.loader.spill_threshold
         if threshold is None:
             return
+        spilled = False
         while self.resident > threshold:
             frame = max(
                 self.frames,
@@ -179,11 +256,45 @@ class _LoadState:
                 default=None,
             )
             if frame is None or self.strategy.spillable_weight(frame) == 0:
-                return  # nothing spillable; open nodes dominate
+                break  # nothing spillable; open nodes dominate
             freed = self.strategy.spill(frame)
             if freed <= 0:
-                return
+                break
             self.spills += 1
+            spilled = True
+        if spilled:
+            self._seal_boundary()
+
+    def _seal_boundary(self) -> None:
+        """Make every partition emitted so far durable, then give the
+        fault plan its crash window.
+
+        During resume, boundaries inside the journal's sealed prefix are
+        *verified* against the recorded seal instead of re-appended; a
+        mismatch means the replay is not the run the journal describes.
+        The ``bulkload.spill`` fault point fires after the seal fsync'd —
+        a crash here is exactly what resume must recover from.
+        """
+        self.seals += 1
+        resume = self.resume
+        if (
+            resume is not None
+            and self.journal is not None
+            and self.seals <= len(resume.seal_marks)
+        ):
+            mark_events, mark_count = resume.seal_marks[self.seals - 1]
+            if mark_events != self.events or mark_count != len(self.intervals):
+                raise JournalError(
+                    f"journal {resume.path}: replay seal {self.seals} at "
+                    f"event {self.events} with {len(self.intervals)} "
+                    f"partitions does not match the journaled boundary "
+                    f"(event {mark_events}, {mark_count} partitions)"
+                )
+        elif self.journal is not None:
+            self.journal.seal(self.events, self.intervals[self._sealed_intervals:])
+        self._sealed_intervals = len(self.intervals)
+        if faults.armed():
+            faults.check("bulkload.spill", seal=self.seals, events=self.events)
 
     # -- event handling ----------------------------------------------------
 
@@ -267,6 +378,12 @@ class _LoadState:
         root_iv = SiblingInterval(self.tree.root.node_id, self.tree.root.node_id)
         self.intervals.append(root_iv)
         self.resident = max(0, self.resident)
+        # The finalize fault point fires *before* the commit record: a
+        # crash here leaves a sealed-but-uncommitted journal, the state
+        # resume_import() exists to recover from.
+        if faults.armed():
+            faults.check("bulkload.finalize", events=self.events)
+        self._commit_journal()
         return ImportResult(
             partitioning=Partitioning(self.intervals),
             tree=self.tree,
@@ -276,4 +393,31 @@ class _LoadState:
             emitted_partitions=len(self.intervals),
             spills=self.spills,
             events=self.events,
+            seals=self.seals,
+            resumed=self.resume is not None,
         )
+
+    def _commit_journal(self) -> None:
+        if self.journal is None:
+            return
+        tail = self.intervals[self._sealed_intervals:]
+        nodes = len(self.tree) if self.tree is not None else 0
+        resume = self.resume
+        if resume is not None and resume.committed:
+            # Resuming an already-committed journal: pure verification.
+            commit = resume.commit or {}
+            recorded = [
+                SiblingInterval(int(lo), int(hi))
+                for lo, hi in commit.get("intervals", [])
+            ]
+            if (
+                int(commit.get("events", -1)) != self.events
+                or int(commit.get("nodes", -1)) != nodes
+                or recorded != tail
+            ):
+                raise JournalError(
+                    f"journal {resume.path}: committed run does not match "
+                    "the replay — the source document or journal changed"
+                )
+            return
+        self.journal.commit(self.events, tail, nodes)

@@ -117,7 +117,7 @@ def cmd_query(args: argparse.Namespace) -> int:
 
 def cmd_compare(args: argparse.Namespace) -> int:
     tree = parse_tree(args.document)
-    skip = {"brute", "fdw"}
+    skip = {"brute", "fdw", "fallback"}  # fallback re-runs chain members
     if not args.with_dhw:
         skip.add("dhw")
     print(f"document: {args.document} ({len(tree)} nodes), K={args.limit}")

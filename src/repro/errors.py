@@ -32,7 +32,27 @@ class InvalidPartitioningError(ReproError):
 
 
 class XmlFormatError(ReproError):
-    """Malformed XML input or an unsupported construct."""
+    """Malformed XML input or an unsupported construct.
+
+    When the parser knows where the problem is, ``line`` and ``column``
+    carry the 1-based position (and are embedded in the message); they
+    are ``None`` for structural errors detected after parsing.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        line: int | None = None,
+        column: int | None = None,
+    ):
+        if line is not None:
+            position = f"line {line}"
+            if column is not None:
+                position += f", column {column}"
+            message = f"{message} ({position})"
+        super().__init__(message)
+        self.line = line
+        self.column = column
 
 
 class StorageError(ReproError):
@@ -41,6 +61,47 @@ class StorageError(ReproError):
 
 class RecordOverflowError(StorageError):
     """A partition does not fit into a single record."""
+
+
+class CorruptPageError(StorageError):
+    """A page failed its checksum or format-version verification.
+
+    Raised by :meth:`repro.storage.page.Page.verify` — and therefore by
+    every read path that goes through the buffer pool or the record
+    manager — instead of ever letting corrupted bytes decode into a
+    garbage tree. Carries the page id and the expected/actual CRC32 so
+    operators can tell *which* page is damaged.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        page_id: int | None = None,
+        expected: int | None = None,
+        actual: int | None = None,
+    ):
+        super().__init__(message)
+        self.page_id = page_id
+        self.expected = expected
+        self.actual = actual
+
+
+class JournalError(StorageError):
+    """A bulk-load journal is unreadable, inconsistent with its source
+    document, or disagrees with a deterministic replay."""
+
+
+class InjectedFaultError(StorageError):
+    """A fault deliberately injected by :mod:`repro.faults`.
+
+    Never raised in production paths unless a :class:`~repro.faults.FaultPlan`
+    is armed; the fault matrix and tests catch it to distinguish planned
+    crashes from real bugs.
+    """
+
+    def __init__(self, message: str, point: str | None = None):
+        super().__init__(message)
+        self.point = point
 
 
 class QuerySyntaxError(ReproError):

@@ -1,0 +1,112 @@
+"""``repro-faults`` — run the fault-injection matrix from the shell.
+
+Examples::
+
+    repro-faults                          # smoke matrix (sampled points)
+    repro-faults --full                   # every spill boundary and page
+    repro-faults --algorithm rs -K 32     # different import configuration
+    repro-faults document.xml             # your own document
+
+Exit status is 0 only when every scenario passed, so the command slots
+directly into ``make verify`` (the *faults-smoke* target).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.faults.matrix import run_fault_matrix
+
+#: "unbounded" caps for --full (every boundary / page of a smoke document)
+_FULL = 1 << 20
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-faults",
+        description="deterministic fault-injection matrix: crash/resume "
+        "at spill boundaries, bit-flips on read, torn writes",
+    )
+    parser.add_argument(
+        "document",
+        nargs="?",
+        default=None,
+        help="XML document to import (default: generated XMark sample)",
+    )
+    parser.add_argument(
+        "--algorithm",
+        default="ekm",
+        choices=("km", "rs", "ekm"),
+        help="streaming import strategy (default: ekm)",
+    )
+    parser.add_argument(
+        "-K", "--limit", type=int, default=64, help="partition weight limit"
+    )
+    parser.add_argument(
+        "--spill-threshold",
+        type=int,
+        default=256,
+        help="resident-weight bound that forces spills (default: 256)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=2006, help="fault plan / document seed"
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.004,
+        help="XMark scale for the generated document (default: 0.004)",
+    )
+    parser.add_argument(
+        "--crash-points",
+        type=int,
+        default=6,
+        help="spill boundaries to crash at (sampled evenly; default: 6)",
+    )
+    parser.add_argument(
+        "--flip-pages",
+        type=int,
+        default=8,
+        help="pages to bit-flip (sampled evenly; default: 8)",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="exhaustive matrix: every spill boundary, every page",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true", help="print failures only"
+    )
+    args = parser.parse_args(argv)
+
+    source = None
+    if args.document is not None:
+        with open(args.document, encoding="utf-8") as handle:
+            source = handle.read()
+
+    report = run_fault_matrix(
+        source=source,
+        algorithm=args.algorithm,
+        limit=args.limit,
+        spill_threshold=args.spill_threshold,
+        seed=args.seed,
+        max_crash_points=_FULL if args.full else args.crash_points,
+        max_flip_pages=_FULL if args.full else args.flip_pages,
+        scale=args.scale,
+    )
+    if args.quiet:
+        for scenario in report.failures():
+            print(f"FAIL {scenario.name} ({scenario.rule}): {scenario.detail}")
+        print(
+            f"fault matrix: {report.passed}/{len(report.scenarios)} passed",
+            file=sys.stderr if report.ok else sys.stdout,
+        )
+    else:
+        print(report.summary())
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,251 @@
+"""The fault matrix: end-to-end crash/resume and corruption drills.
+
+:func:`run_fault_matrix` exercises the robustness guarantees the rest of
+this package only makes possible:
+
+* **Crash + resume** — a journaled bulk load is killed (via an injected
+  fault) at spill boundaries and at finalize; each time the import is
+  resumed and the matrix asserts the resumed partitioning *and* the
+  store built from it are byte-identical to an uninterrupted run
+  (:func:`store_fingerprint`).
+* **Bit-flips on read** — every sampled page is corrupted with a seeded
+  single-bit flip on its next fetch; the matrix asserts the read
+  surfaces :class:`~repro.errors.CorruptPageError` (no silent garbage)
+  and that the pool stays usable afterwards.
+* **Torn writes** — a store is built under an injected short write; the
+  matrix asserts full reconstruction refuses the damaged store.
+
+Every scenario is deterministic (seeded plans, fixed document), so a
+failure reproduces exactly from its printed rule spec. The matrix is
+exposed as the ``repro-faults`` command line (:mod:`repro.faults.cli`)
+and a trimmed version runs in ``make verify`` (*faults-smoke*).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.bulkload.importer import BulkLoader, ImportResult
+from repro.bulkload.journal import resume_import
+from repro.datasets.xmark import xmark_document
+from repro.errors import CorruptPageError, InjectedFaultError, StorageError
+from repro.faults.plan import FaultPlan, FaultRule, active
+from repro.storage.reconstruct import verify_store_integrity
+from repro.storage.store import DocumentStore
+from repro.xmlio.serialize import tree_to_xml
+
+
+@dataclass
+class FaultScenario:
+    """One matrix cell: the injected rule and what happened."""
+
+    name: str
+    rule: str
+    passed: bool
+    detail: str = ""
+
+
+@dataclass
+class MatrixReport:
+    """Outcome of a whole :func:`run_fault_matrix` run."""
+
+    scenarios: list[FaultScenario] = field(default_factory=list)
+
+    @property
+    def passed(self) -> int:
+        return sum(1 for s in self.scenarios if s.passed)
+
+    @property
+    def failed(self) -> int:
+        return sum(1 for s in self.scenarios if not s.passed)
+
+    @property
+    def ok(self) -> bool:
+        return self.failed == 0
+
+    def failures(self) -> list[FaultScenario]:
+        return [s for s in self.scenarios if not s.passed]
+
+    def summary(self) -> str:
+        lines = [f"fault matrix: {self.passed}/{len(self.scenarios)} scenarios passed"]
+        for scenario in self.scenarios:
+            mark = "ok " if scenario.passed else "FAIL"
+            line = f"  [{mark}] {scenario.name:<28} {scenario.rule}"
+            if scenario.detail and not scenario.passed:
+                line += f" — {scenario.detail}"
+            lines.append(line)
+        return "\n".join(lines)
+
+
+def store_fingerprint(store: DocumentStore) -> str:
+    """SHA-256 over the store's page images (headers + slot contents).
+
+    Two stores with equal fingerprints hold byte-identical pages — the
+    equality the crash/resume scenarios assert.
+    """
+    digest = hashlib.sha256()
+    for page_id in sorted(store.manager.pages):
+        page = store.manager.pages[page_id]
+        digest.update(page.header_bytes())
+        for record_id in sorted(page.slots):
+            digest.update(record_id.to_bytes(4, "little"))
+            digest.update(page.slots[record_id])
+    return digest.hexdigest()
+
+
+def _sample(count: int, cap: int) -> list[int]:
+    """Up to ``cap`` 1-based indices spread evenly over ``1..count``."""
+    if count <= 0:
+        return []
+    if count <= cap:
+        return list(range(1, count + 1))
+    step = count / cap
+    picks = sorted({int(i * step) + 1 for i in range(cap)})
+    return [p for p in picks if 1 <= p <= count]
+
+
+def run_fault_matrix(
+    source: Optional[str] = None,
+    algorithm: str = "ekm",
+    limit: int = 64,
+    spill_threshold: int = 256,
+    seed: int = 2006,
+    max_crash_points: int = 6,
+    max_flip_pages: int = 8,
+    scale: float = 0.004,
+) -> MatrixReport:
+    """Run the whole matrix against one document; see the module doc.
+
+    ``max_crash_points`` / ``max_flip_pages`` bound the matrix for smoke
+    use; pass large values for the exhaustive run (``repro-faults
+    --full``).
+    """
+    if source is None:
+        source = tree_to_xml(xmark_document(scale=scale, seed=seed))
+    report = MatrixReport()
+
+    with tempfile.TemporaryDirectory(prefix="repro-faults-") as tmp:
+        def loader() -> BulkLoader:
+            return BulkLoader(algorithm, limit, spill_threshold)
+
+        baseline = loader().load(
+            source, journal_path=os.path.join(tmp, "baseline.journal")
+        )
+        base_store = DocumentStore.build(baseline.tree, baseline.partitioning)
+        base_print = store_fingerprint(base_store)
+
+        # -- crash + resume at every sampled spill boundary and finalize --
+        crash_rules = [
+            FaultRule("bulkload.spill", "raise", hit=h)
+            for h in _sample(baseline.seals, max_crash_points)
+        ]
+        crash_rules.append(FaultRule("bulkload.finalize", "raise"))
+        for index, rule in enumerate(crash_rules):
+            journal = os.path.join(tmp, f"crash-{index}.journal")
+            report.scenarios.append(
+                _crash_resume_scenario(
+                    loader(), source, journal, rule, baseline, base_print, seed
+                )
+            )
+
+        # -- seeded bit-flips on read: every sampled page must scream ----
+        page_ids = sorted(base_store.manager.pages)
+        flip_step = max(1, len(page_ids) // max_flip_pages)
+        for page_id in page_ids[::flip_step][:max_flip_pages]:
+            report.scenarios.append(
+                _bitflip_scenario(base_store, page_id, seed)
+            )
+
+        # -- torn write during store build: reconstruction must refuse ---
+        report.scenarios.append(_torn_write_scenario(baseline, seed))
+
+    return report
+
+
+def _crash_resume_scenario(
+    loader: BulkLoader,
+    source: str,
+    journal: str,
+    rule: FaultRule,
+    baseline: ImportResult,
+    base_print: str,
+    seed: int,
+) -> FaultScenario:
+    name = f"crash@{rule.point}#{rule.hit}"
+    try:
+        with active(FaultPlan([rule], seed=seed)):
+            loader.load(source, journal_path=journal)
+        return FaultScenario(name, rule.spec(), False, "fault never fired")
+    except InjectedFaultError:
+        pass
+    except Exception as exc:  # pragma: no cover - diagnostic path
+        return FaultScenario(name, rule.spec(), False, f"unexpected {exc!r}")
+    try:
+        resumed = resume_import(source, journal)
+    except Exception as exc:
+        return FaultScenario(name, rule.spec(), False, f"resume failed: {exc!r}")
+    if resumed.partitioning != baseline.partitioning:
+        return FaultScenario(name, rule.spec(), False, "partitioning diverged")
+    store = DocumentStore.build(resumed.tree, resumed.partitioning)
+    if store_fingerprint(store) != base_print:
+        return FaultScenario(name, rule.spec(), False, "store bytes diverged")
+    return FaultScenario(name, rule.spec(), True, "resumed byte-identical")
+
+
+def _bitflip_scenario(store: DocumentStore, page_id: int, seed: int) -> FaultScenario:
+    rule = FaultRule("page.read", "bitflip")
+    name = f"bitflip@page{page_id}"
+    page = store.manager.pages[page_id]
+    if not page.slots:
+        return FaultScenario(name, rule.spec(), True, "empty page (skipped)")
+    saved_slots = dict(page.slots)
+    saved_checksum = page.checksum
+    record_id = next(iter(sorted(page.slots)))
+    store.buffer.clear()
+    try:
+        with active(FaultPlan([rule], seed=seed + page_id)):
+            try:
+                store.fetch_record(record_id)
+                return FaultScenario(
+                    name, rule.spec(), False, "corrupt read returned data"
+                )
+            except CorruptPageError:
+                pass
+        # The pool must not be poisoned: with the damage undone the same
+        # fetch must succeed again (the corrupt page was never cached).
+        page.slots.clear()
+        page.slots.update(saved_slots)
+        page.checksum = saved_checksum
+        store.fetch_record(record_id)
+    except Exception as exc:
+        return FaultScenario(name, rule.spec(), False, f"unexpected {exc!r}")
+    finally:
+        page.slots.clear()
+        page.slots.update(saved_slots)
+        page.checksum = saved_checksum
+    return FaultScenario(name, rule.spec(), True, "caught, pool usable")
+
+
+def _torn_write_scenario(baseline: ImportResult, seed: int) -> FaultScenario:
+    # Target the *last* record write: a later put() on the same page
+    # would re-seal the checksum over the damaged slots (the simulator's
+    # pages dict is the disk), laundering the injected tear.
+    last_write = baseline.emitted_partitions
+    rule = FaultRule("page.write", "torn", hit=last_write)
+    name = f"torn@page.write#{last_write}"
+    try:
+        with active(FaultPlan([rule], seed=seed)):
+            store = DocumentStore.build(baseline.tree, baseline.partitioning)
+        try:
+            verify_store_integrity(store)
+            return FaultScenario(
+                name, rule.spec(), False, "damaged store verified clean"
+            )
+        except (CorruptPageError, StorageError):
+            return FaultScenario(name, rule.spec(), True, "damage detected")
+    except Exception as exc:  # pragma: no cover - diagnostic path
+        return FaultScenario(name, rule.spec(), False, f"unexpected {exc!r}")

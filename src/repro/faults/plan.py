@@ -1,0 +1,314 @@
+"""Deterministic fault injection: seeded plans armed at named fault points.
+
+The storage engine, the bulkloader and the parser call into this module
+at **fault points** — named places where a real system meets a real
+failure mode (a torn page write, an I/O error on read, a crash between
+two spills). With no plan armed every hook is a single ``is None`` check,
+so production paths pay nothing; with a plan armed, the plan decides —
+deterministically, from its seed and per-point hit counters — whether
+this particular hit fails and how.
+
+Fault points wired into the stack (see ``docs/ROBUSTNESS.md``):
+
+==================  =======================================================
+``page.write``      a record blob landed on a page (torn write / bit rot /
+                    write error happen *after* the checksum was sealed)
+``page.read``       a page is read from "disk" on a buffer-pool miss
+``buffer.evict``    the pool evicted a page to make room
+``bulkload.spill``  the importer sealed a spill boundary in its journal
+``bulkload.finalize``  the importer is about to commit its journal
+``parser.event``    one XML parse event was produced
+==================  =======================================================
+
+Actions:
+
+* ``raise`` — raise :class:`~repro.errors.InjectedFaultError` (a planned
+  crash; the fault matrix kills bulk loads this way),
+* ``io-error`` — raise :class:`OSError` (what a failing device returns),
+* ``bitflip`` — flip one seeded-random bit of one record blob on the
+  page (silent media corruption; must be caught by page checksums),
+* ``torn`` — truncate the tail of one record blob (a torn/short write).
+
+Plans come from code (:class:`FaultPlan` + :func:`active`) or from the
+``REPRO_FAULTS`` environment variable, e.g.::
+
+    REPRO_FAULTS="page.read:bitflip@2;bulkload.spill:raise;seed=7"
+
+arms a bit-flip on the second page read and a crash on the first spill
+boundary, with all randomness drawn from seed 7.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass
+from random import Random
+from typing import Iterator, Optional
+
+from repro import telemetry
+from repro.errors import InjectedFaultError, ReproError
+
+#: every fault point a plan may name (unknown points are config errors)
+FAULT_POINTS = (
+    "page.write",
+    "page.read",
+    "buffer.evict",
+    "bulkload.spill",
+    "bulkload.finalize",
+    "parser.event",
+)
+
+#: every action a rule may request
+FAULT_ACTIONS = ("raise", "io-error", "bitflip", "torn")
+
+#: actions that corrupt data in place instead of raising
+_DATA_ACTIONS = frozenset({"bitflip", "torn"})
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One armed failure: *which point*, *what happens*, *which hits*.
+
+    ``hit`` is 1-based: the rule fires on the ``hit``-th time its point
+    is reached, and keeps firing for ``count`` consecutive hits.
+    """
+
+    point: str
+    action: str
+    hit: int = 1
+    count: int = 1
+
+    def __post_init__(self):
+        if self.point not in FAULT_POINTS:
+            raise ReproError(
+                f"unknown fault point {self.point!r}; known: {', '.join(FAULT_POINTS)}"
+            )
+        if self.action not in FAULT_ACTIONS:
+            raise ReproError(
+                f"unknown fault action {self.action!r}; known: {', '.join(FAULT_ACTIONS)}"
+            )
+        if self.hit < 1 or self.count < 1:
+            raise ReproError("fault rule hit/count must be >= 1")
+
+    def matches(self, hit_number: int) -> bool:
+        return self.hit <= hit_number < self.hit + self.count
+
+    def spec(self) -> str:
+        """The ``REPRO_FAULTS`` term this rule round-trips to."""
+        out = f"{self.point}:{self.action}"
+        if self.hit != 1:
+            out += f"@{self.hit}"
+        if self.count != 1:
+            out += f"x{self.count}"
+        return out
+
+
+class FaultAction:
+    """A rule that fired on this hit; the fault point applies it."""
+
+    __slots__ = ("rule", "rng", "ctx")
+
+    def __init__(self, rule: FaultRule, rng: Random, ctx: dict):
+        self.rule = rule
+        self.rng = rng
+        self.ctx = ctx
+
+    def trip(self) -> None:
+        """Raise the planned failure (control-flow fault points).
+
+        Data actions (``bitflip``/``torn``) make no sense at a pure
+        control point, so they degrade to a planned crash there too —
+        a misconfigured plan should be loud, not silent.
+        """
+        point = self.rule.point
+        if self.rule.action == "io-error":
+            raise OSError(f"injected I/O error at fault point {point!r}")
+        raise InjectedFaultError(
+            f"injected fault at fault point {point!r}", point=point
+        )
+
+    def apply_to_page(self, page) -> None:
+        """Apply the fault to a (duck-typed) page: raise, or corrupt its
+        stored blobs *after* the checksum was sealed — exactly what torn
+        writes and bit rot do to real media."""
+        if self.rule.action not in _DATA_ACTIONS:
+            self.trip()
+        if not page.slots:
+            return  # nothing stored yet; an empty page cannot be damaged
+        record_id = self.rng.choice(sorted(page.slots))
+        blob = page.slots[record_id]
+        if self.rule.action == "bitflip":
+            index = self.rng.randrange(len(blob))
+            bit = 1 << self.rng.randrange(8)
+            page.slots[record_id] = (
+                blob[:index] + bytes([blob[index] ^ bit]) + blob[index + 1 :]
+            )
+        else:  # torn: drop a non-empty tail, keeping at least one byte
+            keep = self.rng.randrange(max(1, len(blob) - 1))
+            page.slots[record_id] = blob[:keep]
+
+
+class FaultPlan:
+    """A deterministic schedule of failures over the named fault points.
+
+    Per-point hit counters advance on every :meth:`fire` call; rules
+    match on those counters, and all randomness (which blob, which bit)
+    comes from the plan's seeded generator — the same plan against the
+    same workload always injects the same faults.
+    """
+
+    def __init__(self, rules: Iterator[FaultRule] | list[FaultRule] = (), seed: int = 0):
+        self.rules: list[FaultRule] = list(rules)
+        self.seed = seed
+        self.rng = Random(seed)
+        self.hits: dict[str, int] = {}
+        #: log of fired injections: (point, hit_number, action)
+        self.fired: list[tuple[str, int, str]] = []
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "FaultPlan":
+        """Parse a ``REPRO_FAULTS``-style spec string.
+
+        Grammar: semicolon-separated terms, each either ``seed=N`` or
+        ``point:action[@hit][xcount]``; whitespace around terms is
+        ignored. An empty spec yields an armed-but-empty plan (useful as
+        a no-fault harness smoke).
+        """
+        rules: list[FaultRule] = []
+        seed = 0
+        for term in spec.split(";"):
+            term = term.strip()
+            if not term:
+                continue
+            if term.startswith("seed="):
+                try:
+                    seed = int(term[len("seed=") :])
+                except ValueError:
+                    raise ReproError(f"bad fault seed in {term!r}") from None
+                continue
+            if ":" not in term:
+                raise ReproError(
+                    f"bad fault term {term!r}; expected point:action[@hit][xcount]"
+                )
+            point, _, rest = term.partition(":")
+            count = 1
+            if "x" in rest:
+                rest, _, count_s = rest.rpartition("x")
+                try:
+                    count = int(count_s)
+                except ValueError:
+                    raise ReproError(f"bad fault count in {term!r}") from None
+            hit = 1
+            if "@" in rest:
+                rest, _, hit_s = rest.partition("@")
+                try:
+                    hit = int(hit_s)
+                except ValueError:
+                    raise ReproError(f"bad fault hit in {term!r}") from None
+            rules.append(FaultRule(point.strip(), rest.strip(), hit=hit, count=count))
+        return cls(rules, seed=seed)
+
+    def spec(self) -> str:
+        terms = [rule.spec() for rule in self.rules]
+        if self.seed:
+            terms.append(f"seed={self.seed}")
+        return ";".join(terms)
+
+    # -- firing -----------------------------------------------------------
+
+    def fire(self, point: str, **ctx) -> Optional[FaultAction]:
+        """Advance the point's hit counter; return the action to apply if
+        a rule matches this hit, else ``None``."""
+        n = self.hits.get(point, 0) + 1
+        self.hits[point] = n
+        for rule in self.rules:
+            if rule.point == point and rule.matches(n):
+                self.fired.append((point, n, rule.action))
+                if telemetry.enabled():
+                    telemetry.count("faults.injected")
+                    telemetry.count(f"faults.injected.{point}")
+                return FaultAction(rule, self.rng, ctx)
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultPlan({self.spec()!r}, fired={len(self.fired)})"
+
+
+# ---------------------------------------------------------------------------
+# The process-wide armed plan — every hook checks this first.
+# ---------------------------------------------------------------------------
+
+_active: Optional[FaultPlan] = None
+
+
+def _env_plan() -> Optional[FaultPlan]:
+    spec = os.environ.get("REPRO_FAULTS", "").strip()
+    return FaultPlan.from_spec(spec) if spec else None
+
+
+def armed() -> bool:
+    """Is any fault plan currently armed?"""
+    return _active is not None
+
+
+def active_plan() -> Optional[FaultPlan]:
+    return _active
+
+
+def arm(plan: FaultPlan) -> None:
+    """Arm ``plan`` process-wide (replacing any armed plan)."""
+    global _active
+    _active = plan
+
+
+def disarm() -> None:
+    global _active
+    _active = None
+
+
+@contextmanager
+def active(plan: FaultPlan):
+    """Scope a plan: ``with faults.active(plan): ...`` restores the
+    previously armed plan (usually none) on exit, even on a planned
+    crash."""
+    global _active
+    previous = _active
+    _active = plan
+    try:
+        yield plan
+    finally:
+        _active = previous
+
+
+def fire(point: str, **ctx) -> Optional[FaultAction]:
+    """Hook for fault points that can apply data corruption themselves:
+    returns the matched action (or ``None``) without raising."""
+    if _active is None:
+        return None
+    return _active.fire(point, **ctx)
+
+
+def check(point: str, **ctx) -> None:
+    """Hook for pure control-flow fault points: raises the planned
+    failure if a rule matches this hit, else returns."""
+    if _active is None:
+        return
+    action = _active.fire(point, **ctx)
+    if action is not None:
+        action.trip()
+
+
+def describe_points() -> str:
+    """Human-readable fault point list (CLI help)."""
+    return ", ".join(FAULT_POINTS)
+
+
+# A plan named in the environment is armed for the whole process the
+# moment any instrumented layer imports this module — mirroring how
+# REPRO_TELEMETRY / REPRO_CHECK_INVARIANTS switch whole sessions.
+_env = _env_plan()
+if _env is not None:  # pragma: no cover - exercised via subprocess tests
+    _active = _env

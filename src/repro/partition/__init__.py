@@ -9,6 +9,8 @@ Public surface:
 * One module per algorithm (``fdw``, ``ghdw``, ``dhw``, ``km``, ``ekm``,
   ``rs``, ``dfs``, ``bfs``, ``brute``, ``lukes``, ``binpack``), each
   registering itself in :data:`~repro.partition.base.ALGORITHMS`.
+* :mod:`repro.partition.fallback` — the graceful-degradation chain
+  (``fallback``): tries ``dhw``, then ``ghdw``, then ``dfs``.
 """
 
 from repro.partition.interval import SiblingInterval, Partitioning
@@ -40,6 +42,7 @@ from repro.partition import bfs as _bfs  # noqa: F401
 from repro.partition import brute as _brute  # noqa: F401
 from repro.partition import lukes as _lukes  # noqa: F401
 from repro.partition import binpack as _binpack  # noqa: F401
+from repro.partition import fallback as _fallback  # noqa: F401
 
 from repro.partition.fdw import FDWPartitioner, fdw_partition_flat
 from repro.partition.ghdw import GHDWPartitioner
@@ -52,6 +55,7 @@ from repro.partition.bfs import BFSPartitioner
 from repro.partition.brute import BruteForcePartitioner, enumerate_partitionings
 from repro.partition.lukes import LukesPartitioner
 from repro.partition.binpack import BinPackingBaseline
+from repro.partition.fallback import ChainLink, DEFAULT_CHAIN, FallbackPartitioner
 
 __all__ = [
     "SiblingInterval",
@@ -80,4 +84,7 @@ __all__ = [
     "enumerate_partitionings",
     "LukesPartitioner",
     "BinPackingBaseline",
+    "ChainLink",
+    "DEFAULT_CHAIN",
+    "FallbackPartitioner",
 ]

@@ -1,0 +1,146 @@
+"""Graceful degradation: a partitioner that falls back down a chain.
+
+Production bulk loads must never fail because the *preferred* algorithm
+did: an optimal algorithm can exhaust the recursion stack on a
+pathological document, a heuristic can reject an input the cheap
+baseline handles fine. :class:`FallbackPartitioner` runs a chain of
+registered algorithms — by default ``dhw → ghdw → dfs`` — and returns
+the first result, downgrading one link at a time.
+
+A link is *failed* (and the chain downgrades) when its algorithm raises.
+Each link may also carry a wall-time budget; pure-Python algorithms
+cannot be preempted mid-run, so budgets are checked post-hoc against the
+attempt's span time: an over-budget link that already produced a result
+still wins (discarding finished work would only make the slow case
+slower), but the overrun is recorded so operators can reorder or trim
+the chain.
+
+Every downgrade and overrun is observable (``docs/TELEMETRY.md``):
+
+* counters ``partition.fallback.downgrades`` and
+  ``partition.fallback.downgrades.<algorithm>`` (the link that failed),
+* counter ``partition.fallback.budget_overruns``,
+* attributes ``selected`` / ``downgraded_from`` on the enclosing
+  ``partition.fallback`` trace span.
+
+The default chain ends in ``dfs``, which succeeds on every feasible
+input (it packs greedily in document order and never backtracks), so
+the chain as a whole is total: whenever *any* feasible partitioning
+exists, the fallback returns one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro import telemetry
+from repro.errors import InfeasiblePartitioningError, ReproError
+from repro.partition.base import ALGORITHMS, Partitioner, get_algorithm, register
+from repro.partition.interval import Partitioning
+from repro.tree.node import Tree
+
+
+@dataclass(frozen=True)
+class ChainLink:
+    """One fallback step: an algorithm name and an optional time budget."""
+
+    algorithm: str
+    #: advisory wall-time budget in seconds (None = unbudgeted); overruns
+    #: are counted, not enforced — see the module docstring
+    time_budget: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.algorithm == "fallback":
+            raise ReproError("fallback chain cannot contain itself")
+        if self.algorithm not in ALGORITHMS:
+            raise ReproError(
+                f"unknown algorithm {self.algorithm!r} in fallback chain; "
+                f"available: {', '.join(ALGORITHMS)}"
+            )
+        if self.time_budget is not None and self.time_budget <= 0:
+            raise ReproError("chain link time budget must be positive")
+
+
+#: optimal -> near-optimal heuristic -> unconditional greedy baseline
+DEFAULT_CHAIN = (
+    ChainLink("dhw"),
+    ChainLink("ghdw"),
+    ChainLink("dfs"),
+)
+
+#: exceptions that mean "this link failed, try the next one" — anything
+#: else (KeyboardInterrupt, genuine bugs) propagates
+_LINK_FAILURES = (ReproError, RecursionError, MemoryError)
+
+
+@register
+class FallbackPartitioner(Partitioner):
+    """Runs a degradation chain of registered algorithms (module doc)."""
+
+    name = "fallback"
+    optimal = False  # only as good as the link that answers
+    main_memory_friendly = False
+
+    def __init__(self, chain: Sequence[ChainLink | str] = DEFAULT_CHAIN):
+        links = [
+            link if isinstance(link, ChainLink) else ChainLink(link)
+            for link in chain
+        ]
+        if not links:
+            raise ReproError("fallback chain must contain at least one link")
+        self.chain = tuple(links)
+
+    def _partition(self, tree: Tree, limit: int) -> Partitioning:
+        downgraded_from: list[str] = []
+        last_error: Optional[BaseException] = None
+        for link in self.chain:
+            algorithm = get_algorithm(link.algorithm)
+            try:
+                # check=False: the outer wrapper already owns the
+                # feasibility precheck and (in checked mode) verifies the
+                # final result; re-verifying per link would charge failed
+                # attempts for contract passes too.
+                with telemetry.span(
+                    "partition.fallback.attempt", algorithm=link.algorithm
+                ) as attempt:
+                    result = algorithm.partition(tree, limit, check=False)
+            except _LINK_FAILURES as exc:
+                # Includes InfeasiblePartitioningError: the heuristics
+                # (KM/RS/EKM) raise it on feasible inputs they cannot
+                # reduce below K — exactly the case a later link handles.
+                last_error = exc
+                self._record_downgrade(link, downgraded_from)
+                continue
+            if (
+                link.time_budget is not None
+                and attempt.elapsed > link.time_budget
+                and telemetry.enabled()
+            ):
+                telemetry.count("partition.fallback.budget_overruns")
+            self._record_selection(link, downgraded_from)
+            return result
+        message = (
+            f"every algorithm in the fallback chain "
+            f"({' -> '.join(l.algorithm for l in self.chain)}) failed for "
+            f"K={limit}"
+        )
+        raise InfeasiblePartitioningError(message) from last_error
+
+    def _record_downgrade(self, link: ChainLink, downgraded_from: list[str]) -> None:
+        downgraded_from.append(link.algorithm)
+        if telemetry.enabled():
+            telemetry.count("partition.fallback.downgrades")
+            telemetry.count(f"partition.fallback.downgrades.{link.algorithm}")
+
+    def _record_selection(self, link: ChainLink, downgraded_from: list[str]) -> None:
+        if not telemetry.enabled():
+            return
+        telemetry.count(f"partition.fallback.selected.{link.algorithm}")
+        sp = telemetry.current_span()
+        # Annotate the enclosing `partition.fallback` span (opened by the
+        # public wrapper), not our attempt span, which already closed.
+        if sp is not None and sp.name == f"partition.{self.name}":
+            sp.attrs["selected"] = link.algorithm
+            if downgraded_from:
+                sp.attrs["downgraded_from"] = ",".join(downgraded_from)

@@ -31,7 +31,8 @@ from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro import telemetry
-from repro.errors import StorageError
+from repro.errors import CorruptPageError, StorageError
+from repro.faults import plan as faults
 from repro.storage.page import Page
 
 
@@ -48,6 +49,8 @@ class BufferStats:
     misses: int = 0
     evictions: int = 0
     warmups: int = 0
+    #: page reads that failed checksum verification (never cached)
+    corrupt_reads: int = 0
 
     @property
     def accesses(self) -> int:
@@ -62,6 +65,7 @@ class BufferStats:
         self.misses = 0
         self.evictions = 0
         self.warmups = 0
+        self.corrupt_reads = 0
 
     def as_dict(self) -> dict[str, float]:
         """JSON-safe view (used by ``benchmarks/harness.py`` baselines)."""
@@ -70,6 +74,7 @@ class BufferStats:
             "misses": self.misses,
             "evictions": self.evictions,
             "warmups": self.warmups,
+            "corrupt_reads": self.corrupt_reads,
             "hit_ratio": self.hit_ratio,
         }
 
@@ -79,6 +84,7 @@ _HITS = "storage.buffer.hits"
 _MISSES = "storage.buffer.misses"
 _EVICTIONS = "storage.buffer.evictions"
 _WARMUPS = "storage.buffer.warmups"
+_CORRUPT_READS = "storage.buffer.corrupt_reads"
 
 
 class BufferPool:
@@ -93,7 +99,16 @@ class BufferPool:
         self.stats = BufferStats()
 
     def fetch(self, page_id: int) -> Page:
-        """Return the page, counting a hit or a (possibly evicting) miss."""
+        """Return the page, counting a hit or a (possibly evicting) miss.
+
+        A miss reads the page from "disk" and **verifies its checksum
+        before caching it** — a corrupted page raises
+        :class:`~repro.errors.CorruptPageError`, bumps
+        ``stats.corrupt_reads`` (mirrored into the shared registry) and
+        never enters the cache, so one bad page cannot poison the pool:
+        every other page stays fetchable, and a later read of the same
+        page re-verifies instead of trusting stale state.
+        """
         page = self._cached.get(page_id)
         if page is not None:
             self.stats.hits += 1
@@ -108,12 +123,24 @@ class BufferPool:
             page = self._disk[page_id]
         except KeyError:
             raise StorageError(f"unknown page {page_id}") from None
+        if faults.armed():
+            action = faults.fire("page.read", page_id=page_id)
+            if action is not None:
+                action.apply_to_page(page)
+        try:
+            page.verify()
+        except CorruptPageError:
+            self.stats.corrupt_reads += 1
+            if telemetry.enabled():
+                telemetry.count(_CORRUPT_READS)
+            raise
         self._cached[page_id] = page
         if len(self._cached) > self.capacity:
-            self._cached.popitem(last=False)
+            evicted_id, _ = self._cached.popitem(last=False)
             self.stats.evictions += 1
             if telemetry.enabled():
                 telemetry.count(_EVICTIONS)
+            faults.check("buffer.evict", page_id=evicted_id)
         return page
 
     def is_cached(self, page_id: int) -> bool:

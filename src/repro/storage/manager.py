@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 from repro import telemetry
 from repro.errors import StorageError
+from repro.faults import plan as faults
 from repro.storage.constants import StorageConfig
 from repro.storage.page import Page
 
@@ -46,7 +47,13 @@ class RecordManager:
         self._record_bytes = 0
 
     def store(self, record_id: int, blob: bytes) -> int:
-        """Place a record blob; returns the page id it landed on."""
+        """Place a record blob; returns the page id it landed on.
+
+        The ``page.write`` fault point fires after the page sealed its
+        checksum over the intended bytes — an injected torn write or
+        bit-flip damages the *stored* copy, exactly what read-time
+        verification must catch.
+        """
         page = self._find_page(blob)
         if page is None:
             page = Page(len(self.pages), self.config)
@@ -54,6 +61,10 @@ class RecordManager:
             if telemetry.enabled():
                 telemetry.count("storage.pages.allocated")
         page.put(record_id, blob)
+        if faults.armed():
+            action = faults.fire("page.write", page_id=page.page_id, record_id=record_id)
+            if action is not None:
+                action.apply_to_page(page)
         self.page_of_record[record_id] = page.page_id
         self._record_bytes += len(blob)
         if telemetry.enabled():
@@ -78,8 +89,13 @@ class RecordManager:
 
     def replace(self, record_id: int, blob: bytes) -> int:
         """Rewrite a record after an update; may migrate it to another
-        page when it no longer fits its old one. Returns the page id."""
+        page when it no longer fits its old one. Returns the page id.
+
+        The old page is verified before its slot is touched: rewriting
+        on top of undetected corruption would launder the damage into a
+        freshly sealed checksum."""
         old_page = self.pages[self.page_of_record[record_id]]
+        old_page.verify()
         old_blob = old_page.remove(record_id)
         self._record_bytes -= len(old_blob)
         if old_page.fits(blob):

@@ -183,8 +183,16 @@ class DocumentStore:
         return self.manager.space_report()
 
     def fetch_record(self, record_id: int) -> Record:
-        """Decode a record from its page (used by integrity checks)."""
+        """Decode a record from its page (used by record-level navigation,
+        reconstruction and integrity checks).
+
+        The page is verified even on a buffer hit: corruption that lands
+        while a page sits in the cache must surface as
+        :class:`~repro.errors.CorruptPageError` here rather than decode
+        into a garbage tree downstream.
+        """
         page = self.buffer.fetch(self.manager.page_of_record[record_id])
+        page.verify()
         return self.codec.decode(record_id, page.get(record_id))
 
     # -- document order (stable across incremental updates) ---------------

@@ -22,6 +22,7 @@ from typing import IO, Iterable, Iterator, Union
 from xml.parsers import expat
 
 from repro.errors import XmlFormatError
+from repro.faults import plan as faults
 from repro.tree.node import NodeKind, Tree
 from repro.xmlio.events import (
     Characters,
@@ -51,15 +52,27 @@ def _open_source(source: Source) -> tuple[IO[bytes], bool]:
             raise XmlFormatError("empty document")
         if source.lstrip()[:1] == "<":
             return io.BytesIO(source.encode("utf-8")), True
-        return open(source, "rb"), True
+        return _open_path(source), True
     if isinstance(source, os.PathLike):
-        return open(source, "rb"), True
+        return _open_path(source), True
     if hasattr(source, "read"):
         probe = source.read(0)
         if isinstance(probe, str):
             return io.BytesIO(source.read().encode("utf-8")), True  # type: ignore[arg-type]
         return source, False  # type: ignore[return-value]
     raise XmlFormatError(f"unsupported XML source: {type(source).__name__}")
+
+
+def _open_path(path: Union[str, os.PathLike]) -> IO[bytes]:
+    """Open a document path, folding I/O failure into the library's
+    error hierarchy (a string that is neither markup nor a readable file
+    would otherwise escape as a bare ``FileNotFoundError``)."""
+    try:
+        return open(path, "rb")
+    except OSError as exc:
+        raise XmlFormatError(
+            f"cannot open XML source {os.fspath(path)!r}: {exc}"
+        ) from exc
 
 
 def iter_events(source: Source) -> Iterator[ParseEvent]:
@@ -86,14 +99,35 @@ def iter_events(source: Source) -> Iterator[ParseEvent]:
 
     try:
         yield StartDocument()
+        emitted = 1
         while True:
             chunk = stream.read(_CHUNK)
             final = not chunk
             try:
                 parser.Parse(chunk, final)
             except expat.ExpatError as exc:
-                raise XmlFormatError(f"XML parse error: {exc}") from exc
-            yield from buffer
+                # Truncated documents, undefined entities, mid-element
+                # EOF, junk after the root — every malformed input
+                # surfaces as XmlFormatError with the 1-based position.
+                offset = getattr(exc, "offset", None)
+                raise XmlFormatError(
+                    f"XML parse error: {expat.ErrorString(exc.code)}",
+                    line=getattr(exc, "lineno", None),
+                    column=offset + 1 if offset is not None else None,
+                ) from exc
+            except (ValueError, UnicodeDecodeError) as exc:
+                # expat raises bare ValueError for e.g. parsing after an
+                # error or a closed parser; never let it escape raw.
+                raise XmlFormatError(
+                    f"XML parse error: {exc}",
+                    line=parser.CurrentLineNumber,
+                    column=parser.CurrentColumnNumber + 1,
+                ) from exc
+            for event in buffer:
+                emitted += 1
+                if faults.armed():
+                    faults.check("parser.event", index=emitted)
+                yield event
             buffer.clear()
             if final:
                 break

@@ -132,6 +132,47 @@ class TestSeededViolations:
         assert result.violations[0].code == "OBS001"
         assert "time.monotonic" in result.violations[0].message
 
+    def test_exception_swallows_reported_in_all_shapes(self, fixture_result):
+        tags = seed_lines(FIXTURES / "seeded_swallow.py")
+        hits = found(fixture_result, "RB001", "seeded_swallow.py")
+        assert {v.lineno for v in hits} == {
+            tags["RB001-bare"],
+            tags["RB001-exception"],
+            tags["RB001-base"],
+            tags["RB001-dotted"],
+            tags["RB001-tuple"],
+            tags["RB001-continue"],
+        }
+        assert all("swallows" in v.message for v in hits)
+
+    def test_swallow_handled_narrow_and_reraise_not_flagged(self, fixture_result):
+        hits = found(fixture_result, "RB001", "seeded_swallow.py")
+        source = (FIXTURES / "seeded_swallow.py").read_text().splitlines()
+        flagged_bodies = {source[v.lineno] for v in hits}  # line after handler
+        for body in flagged_bodies:
+            assert "log(" not in body
+            assert "raise" not in body
+
+    def test_swallow_in_test_files_is_exempt(self, tmp_path):
+        swallow = textwrap.dedent(
+            """
+            def check(run):
+                try:
+                    run()
+                except Exception:
+                    pass
+            """
+        )
+        for name, expected in [
+            ("test_something.py", 0),
+            ("conftest.py", 0),
+            ("helpers.py", 1),
+        ]:
+            target = tmp_path / name
+            target.write_text(swallow)
+            result = run_lint([target], select=["RB001"])
+            assert len(result.violations) == expected, name
+
     def test_render_is_file_line_code_message(self, fixture_result):
         for violation in fixture_result.violations:
             rendered = violation.render()

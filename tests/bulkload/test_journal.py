@@ -1,0 +1,167 @@
+"""Crash-safe bulk load: journal format, crash truncation, resume."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bulkload import BulkLoader, bulk_import, read_journal, resume_import
+from repro.bulkload.journal import JOURNAL_SCHEMA, source_fingerprint
+from repro.errors import InjectedFaultError, JournalError
+from repro.faults import plan as faults
+from repro.faults.plan import FaultPlan, FaultRule
+
+DOC = (
+    "<root>"
+    + "".join(f"<sec>{'<p>word</p>' * 12}</sec>" for _ in range(20))
+    + "</root>"
+)
+
+
+def journaled_load(tmp_path, name="run.journal", **kwargs):
+    kwargs.setdefault("algorithm", "ekm")
+    kwargs.setdefault("limit", 16)
+    kwargs.setdefault("spill_threshold", 64)
+    path = tmp_path / name
+    result = BulkLoader(**kwargs).load(DOC, journal_path=str(path))
+    return result, path
+
+
+class TestJournalFormat:
+    def test_begin_seals_commit(self, tmp_path):
+        result, path = journaled_load(tmp_path)
+        assert result.spills > 0 and result.seals > 0
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        kinds = [r["kind"] for r in records]
+        assert kinds[0] == "begin"
+        assert kinds[-1] == "commit"
+        assert kinds.count("seal") == result.seals
+        assert records[0]["schema"] == JOURNAL_SCHEMA
+        assert records[0]["algorithm"] == "ekm"
+        assert records[0]["source_sha256"] == source_fingerprint(DOC)
+
+    def test_read_journal_state(self, tmp_path):
+        result, path = journaled_load(tmp_path)
+        state = read_journal(path)
+        assert state.committed
+        assert len(state.seal_marks) == result.seals
+        # sealed_intervals accumulates seal *and* commit intervals
+        assert len(state.sealed_intervals) == result.emitted_partitions
+        assert len(state.commit["intervals"]) > 0
+
+    def test_unjournaled_result_matches_journaled(self, tmp_path):
+        journaled, _ = journaled_load(tmp_path)
+        plain = bulk_import(DOC, algorithm="ekm", limit=16, spill_threshold=64)
+        assert journaled.partitioning == plain.partitioning
+        assert journaled.resumed is False
+
+    def test_existing_journal_refused_for_fresh_run(self, tmp_path):
+        _, path = journaled_load(tmp_path)
+        with pytest.raises(JournalError, match="resume_import"):
+            journaled_load(tmp_path, name=path.name)
+
+
+class TestCorruptJournals:
+    def test_torn_final_line_is_tolerated(self, tmp_path):
+        _, path = journaled_load(tmp_path)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-1]) + "\n" + lines[-1][: len(lines[-1]) // 2])
+        state = read_journal(path)
+        assert not state.committed  # the torn commit line does not count
+
+    def test_torn_interior_line_rejected(self, tmp_path):
+        _, path = journaled_load(tmp_path)
+        lines = path.read_text().splitlines()
+        lines[2] = lines[2][: len(lines[2]) // 2]
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(JournalError, match="interior"):
+            read_journal(path)
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "headless.journal"
+        path.write_text('{"kind": "seal", "events": 1, "intervals": []}\n')
+        with pytest.raises(JournalError, match="begin"):
+            read_journal(path)
+
+    def test_unknown_schema_rejected(self, tmp_path):
+        _, path = journaled_load(tmp_path)
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        header["schema"] = "repro-journal/99"
+        lines[0] = json.dumps(header)
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(JournalError, match="schema"):
+            read_journal(path)
+
+    def test_tampered_seal_fails_replay(self, tmp_path):
+        _, path = journaled_load(tmp_path)
+        lines = path.read_text().splitlines()
+        seal = json.loads(lines[1])
+        assert seal["kind"] == "seal"
+        seal["intervals"][0][0] += 1
+        lines[1] = json.dumps(seal)
+        path.write_text("\n".join(lines[:-1]) + "\n")  # drop commit: resumable
+        with pytest.raises(JournalError):
+            resume_import(DOC, path)
+
+
+class TestCrashResume:
+    def crash_at(self, tmp_path, rule, name):
+        path = tmp_path / name
+        with pytest.raises((InjectedFaultError, OSError)):
+            with faults.active(FaultPlan([rule])):
+                BulkLoader("ekm", 16, 64).load(DOC, journal_path=str(path))
+        return path
+
+    def test_resume_after_spill_crash_matches_baseline(self, tmp_path):
+        baseline, _ = journaled_load(tmp_path)
+        path = self.crash_at(
+            tmp_path, FaultRule("bulkload.spill", "raise", hit=3), "spill.journal"
+        )
+        assert not read_journal(path).committed
+        resumed = resume_import(DOC, path)
+        assert resumed.resumed is True
+        assert resumed.partitioning == baseline.partitioning
+        assert read_journal(path).committed
+
+    def test_resume_after_finalize_crash(self, tmp_path):
+        baseline, _ = journaled_load(tmp_path)
+        path = self.crash_at(
+            tmp_path, FaultRule("bulkload.finalize", "raise"), "finalize.journal"
+        )
+        resumed = resume_import(DOC, path)
+        assert resumed.partitioning == baseline.partitioning
+
+    def test_resume_of_committed_journal_is_verification(self, tmp_path):
+        baseline, path = journaled_load(tmp_path)
+        verified = resume_import(DOC, path)
+        assert verified.partitioning == baseline.partitioning
+        assert verified.resumed is True
+
+    def test_changed_source_rejected(self, tmp_path):
+        path = self.crash_at(
+            tmp_path, FaultRule("bulkload.spill", "raise", hit=2), "changed.journal"
+        )
+        with pytest.raises(JournalError, match="changed"):
+            resume_import(DOC.replace("word", "WORD", 1), path)
+
+
+class TestSourceFingerprint:
+    def test_bytes_and_markup_text(self):
+        assert source_fingerprint(b"<a/>") == source_fingerprint("<a/>")
+
+    def test_path_hashes_contents(self, tmp_path):
+        path = tmp_path / "doc.xml"
+        path.write_text("<a/>")
+        assert source_fingerprint(str(path)) == source_fingerprint("<a/>")
+        assert source_fingerprint(path) == source_fingerprint("<a/>")
+
+    def test_missing_path_is_none(self, tmp_path):
+        assert source_fingerprint(str(tmp_path / "absent.xml")) is None
+
+    def test_stream_is_none(self, tmp_path):
+        path = tmp_path / "doc.xml"
+        path.write_text("<a/>")
+        with open(path, "rb") as handle:
+            assert source_fingerprint(handle) is None

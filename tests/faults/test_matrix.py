@@ -1,0 +1,71 @@
+"""The end-to-end fault matrix (marked ``faults``: slower than unit tests)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bulkload import bulk_import
+from repro.faults.matrix import MatrixReport, FaultScenario, run_fault_matrix, store_fingerprint
+from repro.storage.store import DocumentStore
+
+
+@pytest.fixture(scope="module")
+def small_matrix():
+    return run_fault_matrix(
+        scale=0.002, limit=64, spill_threshold=256, max_crash_points=3, max_flip_pages=3
+    )
+
+
+@pytest.mark.faults
+class TestMatrix:
+    def test_all_scenarios_pass(self, small_matrix):
+        assert small_matrix.ok, small_matrix.summary()
+
+    def test_covers_crash_flip_and_torn(self, small_matrix):
+        names = [s.name for s in small_matrix.scenarios]
+        assert any(n.startswith("crash@bulkload.spill") for n in names)
+        assert any(n.startswith("crash@bulkload.finalize") for n in names)
+        assert any(n.startswith("bitflip@") for n in names)
+        assert any(n.startswith("torn@") for n in names)
+
+    def test_summary_mentions_every_scenario(self, small_matrix):
+        summary = small_matrix.summary()
+        for scenario in small_matrix.scenarios:
+            assert scenario.name in summary
+
+    def test_cli_smoke(self, capsys):
+        from repro.faults.cli import main
+
+        assert main(["--crash-points", "1", "--flip-pages", "1", "--scale", "0.002"]) == 0
+        assert "scenarios passed" in capsys.readouterr().out
+
+
+class TestReportModel:
+    def test_failed_report_is_not_ok(self):
+        report = MatrixReport(
+            scenarios=[
+                FaultScenario("a", "page.read:bitflip", True),
+                FaultScenario("b", "page.write:torn", False, "boom"),
+            ]
+        )
+        assert not report.ok
+        assert report.passed == 1
+        assert report.failed == 1
+        assert [s.name for s in report.failures()] == ["b"]
+        assert "boom" in report.summary()
+
+
+class TestStoreFingerprint:
+    def test_identical_builds_have_equal_fingerprints(self):
+        first = bulk_import("<a><b>text</b><c/></a>", limit=8)
+        second = bulk_import("<a><b>text</b><c/></a>", limit=8)
+        fp1 = store_fingerprint(DocumentStore.build(first.tree, first.partitioning))
+        fp2 = store_fingerprint(DocumentStore.build(second.tree, second.partitioning))
+        assert fp1 == fp2
+
+    def test_different_documents_differ(self):
+        first = bulk_import("<a><b>text</b></a>", limit=8)
+        second = bulk_import("<a><b>texU</b></a>", limit=8)
+        fp1 = store_fingerprint(DocumentStore.build(first.tree, first.partitioning))
+        fp2 = store_fingerprint(DocumentStore.build(second.tree, second.partitioning))
+        assert fp1 != fp2

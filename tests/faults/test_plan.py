@@ -1,0 +1,199 @@
+"""Fault plans: rules, spec parsing, arming, and the storage hooks."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro import telemetry
+from repro.errors import CorruptPageError, InjectedFaultError, ReproError
+from repro.faults import plan as faults
+from repro.faults.plan import FAULT_POINTS, FaultPlan, FaultRule
+from repro.storage.buffer import BufferPool
+from repro.storage.constants import StorageConfig
+from repro.storage.manager import RecordManager
+from repro.storage.page import Page
+
+SMALL = StorageConfig(page_size=256, page_header=24, page_slot_entry=4)
+
+
+class TestFaultRule:
+    def test_unknown_point_rejected(self):
+        with pytest.raises(ReproError):
+            FaultRule("page.teleport", "raise")
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ReproError):
+            FaultRule("page.read", "explode")
+
+    def test_hit_window(self):
+        rule = FaultRule("page.read", "raise", hit=3, count=2)
+        assert [rule.matches(n) for n in (1, 2, 3, 4, 5)] == [
+            False,
+            False,
+            True,
+            True,
+            False,
+        ]
+
+    def test_spec_round_trip(self):
+        for rule in (
+            FaultRule("page.read", "bitflip"),
+            FaultRule("bulkload.spill", "raise", hit=4),
+            FaultRule("page.write", "torn", hit=2, count=3),
+        ):
+            plan = FaultPlan.from_spec(rule.spec())
+            assert plan.rules == [rule]
+
+
+class TestFromSpec:
+    def test_full_spec(self):
+        plan = FaultPlan.from_spec("page.read:bitflip@2;bulkload.spill:raise;seed=7")
+        assert plan.seed == 7
+        assert plan.rules == [
+            FaultRule("page.read", "bitflip", hit=2),
+            FaultRule("bulkload.spill", "raise"),
+        ]
+
+    def test_empty_spec_is_armed_but_faultless(self):
+        plan = FaultPlan.from_spec("")
+        assert plan.rules == []
+        assert plan.fire("page.read") is None
+
+    def test_bad_terms_rejected(self):
+        for spec in ("pageread", "page.read:raise@x", "page.read:raise;seed=n"):
+            with pytest.raises(ReproError):
+                FaultPlan.from_spec(spec)
+
+
+class TestArming:
+    def test_disarmed_by_default(self):
+        assert not faults.armed()
+        assert faults.fire("page.read") is None
+        faults.check("buffer.evict")  # no-op, must not raise
+
+    def test_active_scopes_and_restores(self):
+        plan = FaultPlan([])
+        with faults.active(plan):
+            assert faults.armed()
+            assert faults.active_plan() is plan
+        assert not faults.armed()
+
+    def test_active_restores_after_planned_crash(self):
+        plan = FaultPlan([FaultRule("buffer.evict", "raise")])
+        with pytest.raises(InjectedFaultError):
+            with faults.active(plan):
+                faults.check("buffer.evict")
+        assert not faults.armed()
+
+    def test_arm_disarm(self):
+        plan = FaultPlan([])
+        faults.arm(plan)
+        try:
+            assert faults.active_plan() is plan
+        finally:
+            faults.disarm()
+        assert not faults.armed()
+
+    def test_env_arming_in_subprocess(self):
+        code = (
+            "from repro.faults import plan as faults;"
+            "print(faults.armed(), faults.active_plan().spec())"
+        )
+        env = dict(os.environ)
+        env["REPRO_FAULTS"] = "page.read:bitflip@2;seed=9"
+        env["PYTHONPATH"] = "src"
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+            check=True,
+        ).stdout
+        assert out.strip() == "True page.read:bitflip@2;seed=9"
+
+
+class TestDeterminism:
+    def build_store(self):
+        manager = RecordManager(SMALL)
+        for rid in range(8):
+            manager.store(rid, bytes([rid]) * 40)
+        return manager
+
+    def corrupt_first_read(self, seed):
+        manager = self.build_store()
+        pool = BufferPool(manager.pages, capacity=4)
+        with faults.active(FaultPlan([FaultRule("page.read", "bitflip")], seed=seed)):
+            with pytest.raises(CorruptPageError):
+                pool.fetch(0)
+        return dict(manager.pages[0].slots)
+
+    def test_same_seed_same_corruption(self):
+        assert self.corrupt_first_read(42) == self.corrupt_first_read(42)
+
+    def test_fired_log_records_hits(self):
+        plan = FaultPlan([FaultRule("parser.event", "raise", hit=2)])
+        assert plan.fire("parser.event") is None
+        action = plan.fire("parser.event")
+        assert action is not None
+        assert plan.fired == [("parser.event", 2, "raise")]
+
+
+class TestActions:
+    def page_with_blob(self, blob=b"x" * 64):
+        page = Page(0, SMALL)
+        page.put(7, blob)
+        return page
+
+    def test_raise_action_trips_injected_fault(self):
+        plan = FaultPlan([FaultRule("buffer.evict", "raise")])
+        action = plan.fire("buffer.evict")
+        with pytest.raises(InjectedFaultError) as info:
+            action.trip()
+        assert info.value.point == "buffer.evict"
+
+    def test_io_error_action_trips_oserror(self):
+        plan = FaultPlan([FaultRule("page.read", "io-error")])
+        with pytest.raises(OSError):
+            plan.fire("page.read").trip()
+
+    def test_bitflip_changes_exactly_one_bit(self):
+        page = self.page_with_blob()
+        plan = FaultPlan([FaultRule("page.read", "bitflip")], seed=3)
+        plan.fire("page.read").apply_to_page(page)
+        damaged = page.slots[7]
+        diff = [a ^ b for a, b in zip(b"x" * 64, damaged)]
+        assert sum(bin(d).count("1") for d in diff) == 1
+        with pytest.raises(CorruptPageError):
+            page.verify()
+
+    def test_torn_truncates_blob(self):
+        page = self.page_with_blob()
+        plan = FaultPlan([FaultRule("page.write", "torn")], seed=3)
+        plan.fire("page.write").apply_to_page(page)
+        assert len(page.slots[7]) < 64
+        with pytest.raises(CorruptPageError):
+            page.verify()
+
+    def test_data_action_at_control_point_trips(self):
+        plan = FaultPlan([FaultRule("bulkload.spill", "bitflip")])
+        with pytest.raises(InjectedFaultError):
+            with faults.active(plan):
+                faults.check("bulkload.spill")
+
+
+class TestTelemetry:
+    def test_injection_counters(self):
+        plan = FaultPlan([FaultRule("parser.event", "raise")])
+        with telemetry.capture() as reg:
+            assert plan.fire("parser.event") is not None
+        assert reg.counters["faults.injected"].value == 1
+        assert reg.counters["faults.injected.parser.event"].value == 1
+
+    def test_points_documented(self):
+        for point in FAULT_POINTS:
+            assert point in faults.describe_points()

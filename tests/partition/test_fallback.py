@@ -1,0 +1,120 @@
+"""FallbackPartitioner: chain semantics, downgrades, telemetry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import telemetry
+from repro.errors import InfeasiblePartitioningError, ReproError
+from repro.partition import (
+    ChainLink,
+    DEFAULT_CHAIN,
+    FallbackPartitioner,
+    available_algorithms,
+    get_algorithm,
+    is_feasible,
+    partition_tree,
+    validate_partitioning,
+)
+from repro.tree import tree_from_spec
+
+#: KM/RS/EKM reject this shape at K=4 (no sibling packing can help the
+#: heavy middle child), while DFS/GHDW/DHW partition it fine.
+SPEC = ("a", 1, [("b", 2), ("c", 3, [("d", 2), ("e", 2)]), ("f", 2)])
+
+
+def make_tree():
+    return tree_from_spec(SPEC)
+
+
+class TestRegistration:
+    def test_registered(self):
+        assert "fallback" in available_algorithms()
+        assert isinstance(get_algorithm("fallback"), FallbackPartitioner)
+
+    def test_default_chain_order(self):
+        assert [link.algorithm for link in DEFAULT_CHAIN] == ["dhw", "ghdw", "dfs"]
+
+
+class TestChainValidation:
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ReproError, match="unknown algorithm"):
+            FallbackPartitioner([ChainLink("nope")])
+
+    def test_self_reference_rejected(self):
+        with pytest.raises(ReproError, match="itself"):
+            FallbackPartitioner(["fallback"])
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ReproError, match="at least one"):
+            FallbackPartitioner([])
+
+    def test_bad_budget_rejected(self):
+        with pytest.raises(ReproError, match="budget"):
+            ChainLink("dfs", time_budget=0)
+
+    def test_string_links_accepted(self):
+        partitioner = FallbackPartitioner(["km", "dfs"])
+        assert [link.algorithm for link in partitioner.chain] == ["km", "dfs"]
+
+
+class TestSelection:
+    def test_first_link_wins_when_it_succeeds(self):
+        tree = make_tree()
+        result = FallbackPartitioner().partition(tree, 6, check=True)
+        expected = get_algorithm("dhw").partition(make_tree(), 6)
+        assert result == expected
+
+    def test_downgrades_past_failing_link(self):
+        # fdw only partitions flat trees (raises TreeError on nesting);
+        # an fdw -> dfs chain must recover via dfs.
+        tree = make_tree()
+        with pytest.raises(ReproError):
+            get_algorithm("fdw").partition(make_tree(), 6)
+        result = FallbackPartitioner(["fdw", "dfs"]).partition(tree, 6, check=True)
+        validate_partitioning(tree, result)
+        assert is_feasible(tree, result, 6)
+
+    def test_feasible_inputs_always_partition(self):
+        # The default chain ends in dfs: every feasible tree succeeds.
+        for limit in (4, 5, 8, 100):
+            tree = make_tree()
+            result = partition_tree(tree, limit, algorithm="fallback", check=True)
+            validate_partitioning(tree, result)
+            assert is_feasible(tree, result, limit)
+
+    def test_infeasible_input_still_rejected(self):
+        tree = make_tree()  # node c weighs 3
+        with pytest.raises(InfeasiblePartitioningError):
+            partition_tree(tree, 2, algorithm="fallback")
+
+    def test_whole_chain_failing_raises(self):
+        tree = make_tree()  # nested: fdw cannot handle it
+        with pytest.raises(InfeasiblePartitioningError, match="fallback chain"):
+            FallbackPartitioner(["fdw"]).partition(tree, 6)
+
+
+class TestTelemetry:
+    def test_downgrade_counters_and_span_attrs(self):
+        tree = make_tree()
+        with telemetry.capture() as reg:
+            FallbackPartitioner(["fdw", "dfs"]).partition(tree, 6)
+        assert reg.counters["partition.fallback.downgrades"].value == 1
+        assert reg.counters["partition.fallback.downgrades.fdw"].value == 1
+        assert reg.counters["partition.fallback.selected.dfs"].value == 1
+        (span,) = [s for s in reg.trace if s.name == "partition.fallback"]
+        assert span.attrs["selected"] == "dfs"
+        assert span.attrs["downgraded_from"] == "fdw"
+
+    def test_no_downgrade_no_counters(self):
+        with telemetry.capture() as reg:
+            FallbackPartitioner().partition(make_tree(), 8)
+        assert "partition.fallback.downgrades" not in reg.counters
+        assert reg.counters["partition.fallback.selected.dhw"].value == 1
+
+    def test_budget_overrun_counted(self):
+        # Any successful attempt overruns a near-zero budget.
+        chain = [ChainLink("dfs", time_budget=1e-12)]
+        with telemetry.capture() as reg:
+            FallbackPartitioner(chain).partition(make_tree(), 8)
+        assert reg.counters["partition.fallback.budget_overruns"].value == 1

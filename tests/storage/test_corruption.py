@@ -1,0 +1,174 @@
+"""Corruption detection: checksum verification on every read path.
+
+The pages dict *is* the simulated disk, so out-of-band mutation of
+``page.slots`` (without the sanctioned ``put``/``remove`` APIs, which
+re-seal) models bit rot: the stored checksum goes stale and every
+verified read must surface :class:`CorruptPageError` instead of decoding
+garbage.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import telemetry
+from repro.errors import CorruptPageError
+from repro.partition import partition_tree
+from repro.storage import DocumentStore
+from repro.storage.buffer import BufferPool
+from repro.storage.constants import StorageConfig
+from repro.storage.navigator import RecordNavigator
+from repro.storage.page import PAGE_FORMAT_VERSION, Page
+from repro.storage.reconstruct import verify_store_integrity
+from repro.xmlio import parse_tree
+
+#: small pages so a modest document spreads over several of them
+SMALL = StorageConfig(page_size=256, buffer_pages=64)
+
+DOC = (
+    "<lib>"
+    + "".join(f"<book><t>title {i}</t><a>author {i}</a></book>" for i in range(12))
+    + "</lib>"
+)
+
+
+def build_store():
+    tree = parse_tree(DOC)
+    partitioning = partition_tree(tree, 8, algorithm="ekm")
+    store = DocumentStore.build(tree, partitioning, SMALL)
+    assert len(store.manager.pages) >= 2, "fixture must span multiple pages"
+    return store
+
+
+def damage(page) -> None:
+    """Flip one payload byte behind the checksum's back."""
+    record_id = next(iter(page.slots))
+    blob = page.slots[record_id]
+    page.slots[record_id] = bytes([blob[0] ^ 0x40]) + blob[1:]
+
+
+class TestPageVerify:
+    def test_error_carries_page_id_and_checksums(self):
+        store = build_store()
+        page = store.manager.pages[0]
+        expected = page.checksum
+        damage(page)
+        with pytest.raises(CorruptPageError) as info:
+            page.verify()
+        err = info.value
+        assert err.page_id == 0
+        assert err.expected == expected
+        assert err.actual == page.payload_checksum()
+        assert err.expected != err.actual
+        assert "checksum mismatch" in str(err)
+
+    def test_unsupported_format_version(self):
+        page = Page(3, SMALL)
+        page.put(0, b"payload")
+        page.version = PAGE_FORMAT_VERSION + 1
+        with pytest.raises(CorruptPageError, match="format version"):
+            page.verify()
+
+    def test_sanctioned_mutation_reseals(self):
+        page = Page(0, SMALL)
+        page.put(0, b"first")
+        page.put(1, b"second")
+        page.remove(0)
+        page.verify()  # every mutation API re-seals
+
+
+class TestReadPaths:
+    """Every path from bytes to nodes must refuse a damaged page."""
+
+    def corrupt_record_page(self, store, record_id=0):
+        page = store.manager.pages[store.manager.page_of_record[record_id]]
+        damage(page)
+        store.buffer.clear()  # force the next fetch to re-read "disk"
+        return page
+
+    def test_fetch_record_raises(self):
+        store = build_store()
+        self.corrupt_record_page(store)
+        with pytest.raises(CorruptPageError):
+            store.fetch_record(0)
+
+    def test_fetch_verifies_even_on_buffer_hit(self):
+        store = build_store()
+        store.fetch_record(0)  # page now cached
+        page = store.manager.pages[store.manager.page_of_record[0]]
+        damage(page)  # corruption lands while the page sits in the cache
+        with pytest.raises(CorruptPageError):
+            store.fetch_record(0)
+
+    def test_navigator_surfaces_corruption(self):
+        store = build_store()
+        self.corrupt_record_page(store)
+        with pytest.raises(CorruptPageError):
+            RecordNavigator(store)  # decodes every record up front
+
+    def test_verify_store_integrity_raises(self):
+        store = build_store()
+        verify_store_integrity(store)  # clean store passes
+        self.corrupt_record_page(store)
+        with pytest.raises(CorruptPageError):
+            verify_store_integrity(store)
+
+    def test_replace_refuses_corrupt_old_page(self):
+        store = build_store()
+        page = self.corrupt_record_page(store)
+        slots_before = dict(page.slots)
+        with pytest.raises(CorruptPageError):
+            store.manager.replace(0, b"\x00" * 16)
+        # verify-before-remove: the damaged page was not touched, so the
+        # corruption was not laundered into a freshly sealed checksum
+        assert page.slots == slots_before
+        with pytest.raises(CorruptPageError):
+            page.verify()
+
+
+class TestPoolNotPoisoned:
+    def test_corrupt_page_never_cached_and_pool_stays_usable(self):
+        store = build_store()
+        bad_record = 0
+        bad_page_id = store.manager.page_of_record[bad_record]
+        page = store.manager.pages[bad_page_id]
+        pristine = dict(page.slots)
+        damage(page)
+        store.buffer.clear()
+
+        with telemetry.capture() as reg:
+            with pytest.raises(CorruptPageError):
+                store.fetch_record(bad_record)
+            assert not store.buffer.is_cached(bad_page_id)
+            assert store.buffer.stats.corrupt_reads == 1
+
+            # every record on every *other* page is still readable
+            other = [
+                rid
+                for rid in range(store.record_count)
+                if store.manager.page_of_record[rid] != bad_page_id
+            ]
+            assert other, "fixture must have records on healthy pages"
+            for rid in other:
+                store.fetch_record(rid)
+
+            # restoring the page from "backup" makes the same read
+            # succeed: no stale poison survived in the pool
+            page.slots.clear()
+            page.slots.update(pristine)
+            page.seal()
+            store.fetch_record(bad_record)
+            assert store.buffer.is_cached(bad_page_id)
+
+        assert reg.counters["storage.buffer.corrupt_reads"].value == 1
+
+    def test_counter_accumulates_per_failed_read(self):
+        pages = {0: Page(0, SMALL)}
+        pages[0].put(0, b"x" * 32)
+        damage(pages[0])
+        pool = BufferPool(pages, capacity=4)
+        for _ in range(3):
+            with pytest.raises(CorruptPageError):
+                pool.fetch(0)
+        assert pool.stats.corrupt_reads == 3
+        assert pool.stats.as_dict()["corrupt_reads"] == 3

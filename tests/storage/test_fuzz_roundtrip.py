@@ -1,0 +1,83 @@
+"""Property-style fuzz: seeded random trees survive the full round trip
+(partition → store → record navigation → reconstruction) for every
+registered partitioner, with and without an armed (but empty) fault plan.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.random_trees import random_flat_tree, random_tree
+from repro.faults import plan as faults
+from repro.faults.plan import FaultPlan
+from repro.partition import available_algorithms, get_algorithm
+from repro.partition.evaluate import is_feasible, validate_partitioning
+from repro.storage import DocumentStore
+from repro.storage.navigator import RecordNavigator
+from repro.storage.reconstruct import verify_store_integrity
+
+SEEDS = (11, 23, 47)
+LIMIT = 9
+
+#: brute enumerates every partitioning (exponential); fdw is defined on
+#: flat trees only and gets its own flat-tree cases below
+GENERAL = sorted(set(available_algorithms()) - {"brute", "fdw"})
+
+
+def preorder(tree):
+    """Document order (node ids are insertion order, not document order,
+    for random trees: late nodes may attach to early parents)."""
+    out, stack = [], [tree.root]
+    while stack:
+        node = stack.pop()
+        out.append(node.node_id)
+        stack.extend(reversed(node.children))
+    return out
+
+
+def roundtrip(tree, algorithm, limit=LIMIT):
+    """Partition, store, navigate, reconstruct; fail on any divergence."""
+    partitioning = get_algorithm(algorithm).partition(tree, limit)
+    validate_partitioning(tree, partitioning)
+    assert is_feasible(tree, partitioning, limit)
+
+    store = DocumentStore.build(tree, partitioning)
+
+    # record-level navigation re-derives the exact document order
+    nav = RecordNavigator(store)
+    walked = [node.node_id for node in nav.root().descendants_or_self()]
+    assert walked == preorder(tree)
+
+    # reconstruction rebuilds a structurally identical tree
+    rebuilt = verify_store_integrity(store)
+    assert len(rebuilt) == len(tree)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("algorithm", GENERAL)
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_random_trees(self, algorithm, seed):
+        roundtrip(random_tree(60, max_weight=4, seed=seed), algorithm)
+
+    @pytest.mark.parametrize("algorithm", GENERAL)
+    def test_shape_extremes(self, algorithm):
+        # deep chains and bushy stars are where off-by-one slicing hides
+        roundtrip(random_tree(40, max_weight=3, seed=5, attach_bias=1.0), algorithm)
+        roundtrip(random_tree(40, max_weight=3, seed=5, attach_bias=0.0), algorithm)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_fdw_on_flat_trees(self, seed):
+        roundtrip(random_flat_tree(30, max_weight=4, seed=seed), "fdw")
+
+
+class TestRoundTripUnderArmedFaults:
+    """An armed plan with no rules must change nothing: the hooks are
+    pure observation points until a rule matches."""
+
+    @pytest.mark.parametrize("algorithm", GENERAL)
+    def test_no_fault_plan_is_transparent(self, algorithm):
+        tree = random_tree(60, max_weight=4, seed=SEEDS[0])
+        with faults.active(FaultPlan([])):
+            assert faults.armed()
+            roundtrip(tree, algorithm)
+        assert not faults.armed()

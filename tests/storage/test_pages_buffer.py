@@ -180,7 +180,14 @@ class TestBufferStatsResetSemantics:
         assert d["hits"] == 1
         assert d["misses"] == 1
         assert d["hit_ratio"] == 0.5
-        assert set(d) == {"hits", "misses", "evictions", "warmups", "hit_ratio"}
+        assert set(d) == {
+            "hits",
+            "misses",
+            "evictions",
+            "warmups",
+            "corrupt_reads",
+            "hit_ratio",
+        }
 
     def test_telemetry_mirror_counts_accesses(self):
         from repro import telemetry

@@ -57,6 +57,51 @@ class TestIterEvents:
         assert count == 20_001
 
 
+class TestMalformedInput:
+    """Hardening: every malformed source fails as XmlFormatError with a
+    location — never a bare ValueError/KeyError or a silent partial tree."""
+
+    def test_truncated_document(self):
+        with pytest.raises(XmlFormatError, match="line"):
+            parse_tree("<a><b>tex")
+
+    def test_eof_inside_a_tag(self):
+        with pytest.raises(XmlFormatError, match="parse error"):
+            parse_tree('<a><b attr="v')
+
+    def test_undefined_entity_reports_position(self):
+        with pytest.raises(XmlFormatError) as info:
+            parse_tree("<a>\n  text &nosuch; more\n</a>")
+        assert info.value.line == 2
+        assert info.value.column is not None
+        assert f"line 2, column {info.value.column}" in str(info.value)
+
+    def test_mismatched_close_reports_position(self):
+        with pytest.raises(XmlFormatError) as info:
+            parse_tree("<a><b></a>")
+        assert info.value.line == 1
+
+    def test_not_xml_at_all(self):
+        for junk in ("just words", "{}", b"\x00\x01\x02\x03"):
+            with pytest.raises(XmlFormatError):
+                parse_tree(junk)
+
+    def test_invalid_utf8_bytes(self):
+        with pytest.raises(XmlFormatError):
+            parse_tree(b"<a>\xff\xfe</a>")
+
+    def test_unreadable_path(self, tmp_path):
+        with pytest.raises(XmlFormatError, match="cannot open"):
+            parse_tree(str(tmp_path / "absent.xml"))
+
+    def test_truncation_mid_stream_never_yields_partial_tree(self):
+        # the error must surface from parse_tree, not leave a short tree
+        whole = "<r>" + "<x>t</x>" * 50 + "</r>"
+        for cut in (len(whole) // 3, len(whole) // 2, len(whole) - 3):
+            with pytest.raises(XmlFormatError):
+                parse_tree(whole[:cut])
+
+
 class TestParseTree:
     def test_structure_and_kinds(self):
         tree = parse_tree(SIMPLE)
