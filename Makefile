@@ -3,7 +3,7 @@
 #   make verify       # everything below, in order
 #   make lint         # repro-lint (+ ruff/mypy when installed)
 #   make test         # tier-1 pytest suite
-#   make bench        # benchmark harness smoke (--quick) + baseline check
+#   make bench        # harness smoke (--quick) + baseline check + regression gate
 #   make faults-smoke # small fault-injection matrix (crash/bitflip/torn)
 #
 # ruff and mypy are optional deep-net linters (pyproject [lint] extra);
@@ -37,6 +37,7 @@ test:
 
 bench:
 	$(PYTHON) benchmarks/harness.py --quick --check --output /dev/null
+	$(PYTHON) benchmarks/compare.py BENCH_PR2.json BENCH_PR4.json
 
 faults-smoke:
 	$(PYTHON) -m repro.faults.cli --scale 0.002 --crash-points 2 --flip-pages 2

@@ -1,0 +1,221 @@
+#!/usr/bin/env python
+"""Bench regression gate: diff two harness baselines.
+
+::
+
+    python benchmarks/compare.py BENCH_PR2.json BENCH_PR4.json
+
+Compares an *old* committed baseline against a *new* one and exits
+
+* ``0`` — comparable and no regression,
+* ``1`` — at least one regression (printed, one line each),
+* ``2`` — the files are not comparable (missing, wrong schema, or
+  produced by different scenario configurations).
+
+Two metric classes are treated differently:
+
+* **Deterministic metrics** (partition counts, root weights, DP cell
+  counts, query costs/result counts, spill/event counts) must match
+  **exactly** — the corpus generators and algorithms are seeded and
+  deterministic, so *any* drift is a behavior change that must be
+  explained, not noise. Regenerating the baseline is the explicit way to
+  accept one.
+* **Wall-clock seconds** are compared with per-scenario relative
+  thresholds plus an absolute floor (milliseconds of scheduler jitter on
+  a fast scenario should not fail the gate). The telemetry ``overhead``
+  scenario is additionally gated absolutely: the new baseline must keep
+  the no-op instrumentation cost below ``OVERHEAD_BUDGET`` (the paper
+  repo's < 3% acceptance bar).
+
+Improvements never fail the gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+SCHEMA = "repro-bench/1"
+
+#: relative wall-clock slowdown allowed per scenario (generous: the gate
+#: must hold across unrelated machines and noisy CI runners)
+TIME_THRESHOLDS = {
+    "table1_table2": 0.60,
+    "table3": 0.60,
+    "bulkload": 0.60,
+}
+#: absolute seconds floor below which timing diffs are ignored entirely
+TIME_FLOOR = 0.005
+#: hard ceiling for the disabled-telemetry wrapper overhead fraction
+OVERHEAD_BUDGET = 0.03
+
+
+class Comparison:
+    """Accumulates per-metric verdicts and renders the report."""
+
+    def __init__(self) -> None:
+        self.regressions: list[str] = []
+        self.notes: list[str] = []
+
+    def exact(self, label: str, old, new) -> None:
+        if old != new:
+            self.regressions.append(f"{label}: expected {old!r}, got {new!r}")
+
+    def seconds(self, label: str, old: float, new: float, threshold: float) -> None:
+        delta = new - old
+        if delta <= TIME_FLOOR:
+            return
+        if old > 0 and delta / old > threshold:
+            self.regressions.append(
+                f"{label}: {old:.4f}s -> {new:.4f}s "
+                f"(+{delta / old * 100:.0f}% > {threshold * 100:.0f}% threshold)"
+            )
+
+    def bound(self, label: str, value: float, ceiling: float) -> None:
+        if value >= ceiling:
+            self.regressions.append(f"{label}: {value:.4f} >= budget {ceiling:.4f}")
+
+
+class NotComparable(Exception):
+    """Not-comparable condition (exit 2, distinct from a regression)."""
+
+
+def _load(path: Path) -> dict:
+    if not path.exists():
+        raise NotComparable(f"missing baseline {path}")
+    try:
+        data = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise NotComparable(f"{path}: invalid JSON: {exc}")
+    if data.get("schema") != SCHEMA:
+        raise NotComparable(
+            f"{path}: schema {data.get('schema')!r} != expected {SCHEMA!r}"
+        )
+    return data
+
+
+def _check_comparable(old: dict, new: dict) -> None:
+    if old.get("quick") != new.get("quick"):
+        raise NotComparable(
+            f"baselines not comparable: quick={old.get('quick')} vs {new.get('quick')}"
+        )
+    old_sc = set(old.get("scenarios", {}))
+    new_sc = set(new.get("scenarios", {}))
+    if not old_sc <= new_sc:
+        raise NotComparable(f"new baseline is missing scenarios: {sorted(old_sc - new_sc)}")
+
+
+def compare_table1_table2(cmp: Comparison, old: dict, new: dict) -> None:
+    cmp.exact("table1_table2.scale", old.get("scale"), new.get("scale"))
+    cmp.exact("table1_table2.limit", old.get("limit"), new.get("limit"))
+    new_docs = {d["document"]: d for d in new.get("documents", [])}
+    for doc in old.get("documents", []):
+        name = doc["document"]
+        if name not in new_docs:
+            cmp.regressions.append(f"table1_table2: document {name!r} disappeared")
+            continue
+        nd = new_docs[name]
+        prefix = f"table1_table2[{name}]"
+        cmp.exact(f"{prefix}.nodes", doc["nodes"], nd["nodes"])
+        cmp.exact(f"{prefix}.total_weight", doc["total_weight"], nd["total_weight"])
+        for alg, cell in doc.get("algorithms", {}).items():
+            ncell = nd.get("algorithms", {}).get(alg)
+            if ncell is None:
+                cmp.regressions.append(f"{prefix}: algorithm {alg!r} disappeared")
+                continue
+            cmp.exact(f"{prefix}.{alg}.partitions", cell["partitions"], ncell["partitions"])
+            cmp.exact(f"{prefix}.{alg}.root_weight", cell["root_weight"], ncell["root_weight"])
+            if "dp_cells" in cell and "dp_cells" in ncell:
+                cmp.exact(f"{prefix}.{alg}.dp_cells", cell["dp_cells"], ncell["dp_cells"])
+            cmp.seconds(
+                f"{prefix}.{alg}.seconds",
+                cell["seconds"],
+                ncell["seconds"],
+                TIME_THRESHOLDS["table1_table2"],
+            )
+
+
+def compare_table3(cmp: Comparison, old: dict, new: dict) -> None:
+    cmp.exact("table3.scale", old.get("scale"), new.get("scale"))
+    cmp.exact("table3.nodes", old.get("nodes"), new.get("nodes"))
+    cmp.exact("table3.partitions", old.get("partitions"), new.get("partitions"))
+    for qid, runs in old.get("queries", {}).items():
+        nruns = new.get("queries", {}).get(qid, {})
+        for alg, run in runs.items():
+            nrun = nruns.get(alg)
+            if nrun is None:
+                cmp.regressions.append(f"table3[{qid}]: layout {alg!r} disappeared")
+                continue
+            cmp.exact(f"table3[{qid}].{alg}.cost", run["cost"], nrun["cost"])
+            cmp.exact(f"table3[{qid}].{alg}.results", run["results"], nrun["results"])
+
+
+def compare_bulkload(cmp: Comparison, old: dict, new: dict) -> None:
+    cmp.exact("bulkload.scale", old.get("scale"), new.get("scale"))
+    new_runs = {r["spill_threshold"]: r for r in new.get("runs", [])}
+    for run in old.get("runs", []):
+        threshold = run["spill_threshold"]
+        nrun = new_runs.get(threshold)
+        if nrun is None:
+            cmp.regressions.append(f"bulkload: threshold {threshold!r} run disappeared")
+            continue
+        prefix = f"bulkload[threshold={threshold}]"
+        for key in ("partitions", "spills", "events", "peak_resident_weight"):
+            cmp.exact(f"{prefix}.{key}", run[key], nrun[key])
+        cmp.seconds(
+            f"{prefix}.seconds",
+            run["seconds"],
+            nrun["seconds"],
+            TIME_THRESHOLDS["bulkload"],
+        )
+
+
+def compare_overhead(cmp: Comparison, old: dict, new: dict) -> None:
+    cmp.exact("overhead.nodes", old.get("nodes"), new.get("nodes"))
+    cmp.bound("overhead.overhead_fraction", new["overhead_fraction"], OVERHEAD_BUDGET)
+
+
+def compare_baselines(old: dict, new: dict) -> Comparison:
+    _check_comparable(old, new)
+    cmp = Comparison()
+    comparers = {
+        "table1_table2": compare_table1_table2,
+        "table3": compare_table3,
+        "bulkload": compare_bulkload,
+        "overhead": compare_overhead,
+    }
+    for scenario, comparer in comparers.items():
+        if scenario in old["scenarios"]:
+            comparer(cmp, old["scenarios"][scenario], new["scenarios"][scenario])
+    return cmp
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("old", type=Path, help="the previous committed baseline")
+    parser.add_argument("new", type=Path, help="the candidate baseline")
+    args = parser.parse_args(argv)
+    try:
+        old = _load(args.old)
+        new = _load(args.new)
+        cmp = compare_baselines(old, new)
+    except NotComparable as exc:
+        print(f"[compare] not comparable: {exc}", file=sys.stderr)
+        return 2
+    for line in cmp.regressions:
+        print(f"[compare] REGRESSION {line}", file=sys.stderr)
+    if cmp.regressions:
+        print(
+            f"[compare] {args.old.name} -> {args.new.name}: "
+            f"{len(cmp.regressions)} regression(s)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"[compare] {args.old.name} -> {args.new.name}: no regressions", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

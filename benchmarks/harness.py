@@ -2,7 +2,7 @@
 """Perf-baseline harness: one JSON document per benchmark run.
 
 Runs the paper's scenario families under an enabled telemetry registry
-and writes a schema-versioned baseline (``BENCH_PR2.json`` is the
+and writes a schema-versioned baseline (``BENCH_PR4.json`` is the
 committed one) so perf regressions show up as a diff:
 
 * **table1_table2** — every table algorithm on every corpus document:
@@ -23,6 +23,20 @@ Usage::
 ``--quick`` shrinks scales and repeat counts (CI smoke); ``--check``
 validates the committed baseline's schema and scenario keys instead of
 trusting a stale file.
+
+**Baseline-compare workflow.** The repo commits the latest full-run
+baseline *and* its predecessor, and ``make bench`` diffs them with
+``benchmarks/compare.py``; the gate fails on any deterministic-metric
+drift and on over-threshold slowdowns. To accept a new baseline:
+
+1. ``PYTHONPATH=src python benchmarks/harness.py --output BENCH_PRn.json``
+   (a full run, not ``--quick`` — quick baselines are not comparable to
+   committed full ones);
+2. ``python benchmarks/compare.py BENCH_PRm.json BENCH_PRn.json`` against
+   the previous committed baseline — expect exit 0, or explain every
+   reported regression in the PR that commits the file;
+3. point :data:`BASELINE` below and the ``make bench`` compare line at
+   the new file and commit both baselines.
 """
 
 from __future__ import annotations
@@ -50,7 +64,7 @@ from repro.xmlio.serialize import tree_to_xml  # noqa: E402
 from repro.xmlio.weights import PAPER_LIMIT  # noqa: E402
 
 SCHEMA = "repro-bench/1"
-BASELINE = REPO_ROOT / "BENCH_PR2.json"
+BASELINE = REPO_ROOT / "BENCH_PR4.json"
 SCENARIOS = ("table1_table2", "table3", "bulkload", "overhead")
 
 #: Table 1/2 column order (the paper's); dhw is the slow optimum.

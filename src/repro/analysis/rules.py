@@ -11,6 +11,7 @@ BAN003  float arithmetic on slot weights/limits in partitioner modules
 PRT001  partitioner mutates the input tree
 PRT002  partitioner overrides ``partition`` instead of ``_partition``
 OBS001  manual wall-clock timing outside ``repro.telemetry``
+OBS002  span opened with a computed name or an empty attrs dict literal
 RB001   broad exception handler that silently swallows outside test code
 ======  ================================================================
 
@@ -385,6 +386,120 @@ class ManualTimingPass(LintPass):
         ):
             return f"{func.value.id}.{func.attr}"
         if isinstance(func, ast.Name) and func.id in func_aliases:
+            return func.id
+        return None
+
+
+@register_lint_pass
+class SpanHygienePass(LintPass):
+    """Span names are the join keys of the whole observability stack:
+    the profiler aggregates by them, the Chrome-trace viewer groups by
+    them, and ``span.<name>`` histograms are diffed across baselines. A
+    name computed at runtime from arbitrary data fragments those
+    aggregations into unbounded cardinality; literal names (plain strings
+    or f-strings with a literal skeleton) keep the phase set enumerable.
+    An empty ``{}`` attrs argument is dead weight on a hot path — the
+    keyword form allocates nothing when there are no attributes."""
+
+    code = "OBS002"
+    name = "span-hygiene"
+    description = (
+        "`telemetry.span(...)`/`Span(...)` opened with a non-literal name "
+        "expression, or passed an empty attrs dict literal; use a string "
+        "literal (or f-string) name and omit empty attrs"
+    )
+
+    def run(self, ctx: LintContext) -> Iterator[Violation]:
+        for source in ctx.files:
+            if source.module.startswith("repro.telemetry"):
+                continue
+            module_aliases, span_aliases = self._span_bindings(source.tree)
+            if not module_aliases and not span_aliases:
+                continue
+            for node in ast.walk(source.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                opener = self._span_call(node.func, module_aliases, span_aliases)
+                if opener is None:
+                    continue
+                yield from self._check_call(source, node, opener)
+
+    def _check_call(
+        self, source: SourceFile, node: ast.Call, opener: str
+    ) -> Iterator[Violation]:
+        path = str(source.path)
+        name_expr: Optional[ast.expr] = None
+        if node.args and not isinstance(node.args[0], ast.Starred):
+            name_expr = node.args[0]
+        else:
+            for kw in node.keywords:
+                if kw.arg == "name":
+                    name_expr = kw.value
+        if name_expr is not None and not self._is_literal_name(name_expr):
+            yield Violation(
+                path=path,
+                lineno=node.lineno,
+                code=self.code,
+                message=(
+                    f"`{opener}(...)` with a computed name fragments span "
+                    "aggregation; use a string literal or f-string"
+                ),
+            )
+        for arg in node.args[1:]:
+            if isinstance(arg, ast.Dict) and not arg.keys:
+                yield Violation(
+                    path=path,
+                    lineno=node.lineno,
+                    code=self.code,
+                    message=f"`{opener}(...)` passed an empty attrs dict literal; omit it",
+                )
+        for kw in node.keywords:
+            if kw.arg is None and isinstance(kw.value, ast.Dict) and not kw.value.keys:
+                yield Violation(
+                    path=path,
+                    lineno=node.lineno,
+                    code=self.code,
+                    message=f"`{opener}(...)` splats an empty attrs dict literal; omit it",
+                )
+
+    @staticmethod
+    def _is_literal_name(expr: ast.expr) -> bool:
+        if isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+            return True
+        # f-strings keep a literal skeleton, so the phase set stays
+        # enumerable (e.g. f"partition.{self.name}").
+        return isinstance(expr, ast.JoinedStr)
+
+    @staticmethod
+    def _span_bindings(tree: ast.AST) -> tuple[set[str], dict[str, str]]:
+        """Names bound to the telemetry module / its span openers."""
+        module_aliases: set[str] = set()
+        span_aliases: dict[str, str] = {}  # local name -> canonical opener
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name in ("repro.telemetry", "repro.telemetry.core"):
+                        module_aliases.add(alias.asname or alias.name)
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "repro":
+                    for alias in node.names:
+                        if alias.name == "telemetry":
+                            module_aliases.add(alias.asname or "telemetry")
+                elif node.module in ("repro.telemetry", "repro.telemetry.core"):
+                    for alias in node.names:
+                        if alias.name in ("span", "Span"):
+                            span_aliases[alias.asname or alias.name] = alias.name
+        return module_aliases, span_aliases
+
+    @staticmethod
+    def _span_call(
+        func: ast.expr, module_aliases: set[str], span_aliases: dict[str, str]
+    ) -> Optional[str]:
+        if isinstance(func, ast.Attribute) and func.attr in ("span", "Span"):
+            dotted = _dotted_name(func.value)
+            if dotted is not None and dotted in module_aliases:
+                return f"{dotted}.{func.attr}"
+        if isinstance(func, ast.Name) and func.id in span_aliases:
             return func.id
         return None
 

@@ -159,6 +159,20 @@ def cmd_stats(args: argparse.Namespace) -> int:
             print()
         else:
             print(telemetry.format_metrics(reg))
+            if args.profile:
+                from repro.obsv import build_profile, format_profile
+
+                print()
+                print("profile (self-time per phase):")
+                print(format_profile(build_profile(reg.trace)))
+        if args.chrome_trace:
+            from repro.obsv import export_chrome_trace
+
+            with open(args.chrome_trace, "w", encoding="utf-8") as fh:
+                events = export_chrome_trace(fh, reg)
+            print(
+                f"wrote {events} trace events to {args.chrome_trace}", file=sys.stderr
+            )
     return 0
 
 
@@ -176,6 +190,18 @@ def _add_stats_arguments(parser: argparse.ArgumentParser) -> None:
     fmt.add_argument("--json", action="store_true", help="print a JSON snapshot")
     fmt.add_argument(
         "--jsonl", action="store_true", help="print a JSON-lines metric export"
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="append a per-phase self-time profile of the span tree (text mode)",
+    )
+    parser.add_argument(
+        "--chrome-trace",
+        metavar="PATH",
+        default=None,
+        help="also write the span trace as Chrome trace JSON "
+        "(open in chrome://tracing or ui.perfetto.dev)",
     )
 
 

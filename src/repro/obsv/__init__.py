@@ -1,0 +1,58 @@
+"""Deep observability: decision provenance, profiling, trace export.
+
+Builds on :mod:`repro.telemetry` (metrics + spans) with three tools:
+
+* :mod:`repro.obsv.explain` — *why* each partition exists: per-partition
+  decision provenance recorded by the partitioners, rendered by the
+  ``repro-explain`` CLI;
+* :mod:`repro.obsv.profile` — deterministic self-time attribution over
+  the span tree (``repro stats --profile``);
+* :mod:`repro.obsv.chrometrace` — Chrome-trace/Perfetto JSON export of
+  span records (``repro stats --chrome-trace``).
+"""
+
+from repro.obsv.chrometrace import (
+    CHROME_SCHEMA,
+    chrome_trace_events,
+    export_chrome_trace,
+    load_chrome_trace,
+)
+from repro.obsv.explain import (
+    Decision,
+    ExplainCollector,
+    PartitionExplain,
+    PartitionExplainEntry,
+    explain_partition,
+    explain_scope,
+    explaining,
+    format_diff,
+    format_explain,
+    format_fill_histogram,
+)
+from repro.obsv.profile import (
+    ProfileNode,
+    build_profile,
+    format_profile,
+    profile_registry,
+)
+
+__all__ = [
+    "CHROME_SCHEMA",
+    "Decision",
+    "ExplainCollector",
+    "PartitionExplain",
+    "PartitionExplainEntry",
+    "ProfileNode",
+    "build_profile",
+    "chrome_trace_events",
+    "explain_partition",
+    "explain_scope",
+    "explaining",
+    "export_chrome_trace",
+    "format_diff",
+    "format_explain",
+    "format_fill_histogram",
+    "format_profile",
+    "load_chrome_trace",
+    "profile_registry",
+]

@@ -20,6 +20,12 @@ telemetry enabled it emits per-algorithm counters (runs, nodes,
 partitions produced) and the root weight of the result. Contract
 verification happens *outside* the span so checked-mode sessions do not
 pollute the measured algorithm wall time.
+
+Finally the wrapper is the **provenance hook**: under an active
+:func:`repro.obsv.explain.explain_scope` it joins the decisions the
+algorithm recorded (via ``explain.decision(...)`` at its cut sites) with
+generic per-partition facts into a ``PartitionExplain``. Both the join
+and the in-algorithm hooks are guarded no-ops otherwise.
 """
 
 from __future__ import annotations
@@ -29,6 +35,7 @@ from typing import Callable, Optional
 
 from repro import telemetry
 from repro.errors import InfeasiblePartitioningError, ReproError
+from repro.obsv import explain
 from repro.partition.interval import Partitioning
 from repro.tree.node import Tree
 
@@ -95,6 +102,9 @@ class Partitioner(abc.ABC):
             from repro.analysis.contracts import tree_fingerprint
 
             fingerprint = tree_fingerprint(tree)
+        explaining = explain.explaining()
+        if explaining:
+            explain.start_run()
         with telemetry.span(f"partition.{self.name}") as sp:
             result = self._partition(tree, limit)
         if check:
@@ -105,6 +115,8 @@ class Partitioner(abc.ABC):
             )
         if telemetry.enabled():
             self._emit_telemetry(tree, result, sp)
+        if explaining:
+            explain.finish_run(self.name, tree, result, limit)
         return result
 
     def _emit_telemetry(self, tree: Tree, result: Partitioning, sp: telemetry.Span) -> None:

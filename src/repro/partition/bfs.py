@@ -10,6 +10,7 @@ worst partitionings of all algorithms on most documents.
 
 from __future__ import annotations
 
+from repro.obsv import explain
 from repro.partition.base import Partitioner, register
 from repro.partition.interval import Partitioning
 from repro.partition.assignment import intervals_from_assignment
@@ -48,6 +49,12 @@ class BFSPartitioner(Partitioner):
                         weights[prev_pid] += node.weight
                         placed = True
             if not placed:
+                if explain.explaining():
+                    prev = node.prev_sibling()
+                    reason = "parent-full" if prev is None else "parent-and-sibling-full"
+                    explain.decision(
+                        node.node_id, "bfs-new", reason=reason, cluster=len(weights)
+                    )
                 part_of[node.node_id] = len(weights)
                 weights.append(node.weight)
         return Partitioning(intervals_from_assignment(tree, part_of))

@@ -13,6 +13,7 @@ losing even to KM on several documents.
 
 from __future__ import annotations
 
+from repro.obsv import explain
 from repro.partition.base import Partitioner, register
 from repro.partition.interval import Partitioning
 from repro.partition.assignment import intervals_from_assignment
@@ -44,6 +45,16 @@ class DFSPartitioner(Partitioner):
                     weights[current] += node.weight
                     joined = True
             if not joined:
+                if explain.explaining():
+                    if current < 0:
+                        reason = "first"
+                    elif weights[current] + node.weight > limit:
+                        reason = "no-fit"
+                    else:
+                        reason = "not-connected"
+                    explain.decision(
+                        node.node_id, "dfs-new", reason=reason, cluster=len(weights)
+                    )
                 current = len(weights)
                 weights.append(node.weight)
                 part_of[node.node_id] = current

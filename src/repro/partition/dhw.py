@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro import telemetry
+from repro.obsv import explain
 from repro.partition.base import Partitioner, register
 from repro.partition.flatdp import (
     CARD,
@@ -80,8 +81,9 @@ class DHWPartitioner(Partitioner):
 
     def _partition(self, tree: Tree, limit: int) -> Partitioning:
         # Stats also feed telemetry (DP cells touched / Q-chains used per
-        # run), so collect them whenever a measurement session is active.
-        collect = self.collect_stats or telemetry.enabled()
+        # run) and explain notes, so collect them whenever a measurement
+        # or provenance session is active.
+        collect = self.collect_stats or telemetry.enabled() or explain.explaining()
         cells_before = self.stats.dp_cells
         used_before = self.stats.nearly_optimal_used
         n = len(tree)
@@ -90,6 +92,35 @@ class DHWPartitioner(Partitioner):
         deltas = [0] * n
 
         # Bottom-up DP pass (Fig. 7).
+        with telemetry.span("dhw.dp"):
+            self._dp_pass(tree, limit, opt_entries, near_entries, deltas, collect)
+
+        # Top-down extraction: choose D- or Q-chains per node.
+        with telemetry.span("dhw.extract"):
+            intervals = self._extract(tree, opt_entries, near_entries, collect)
+        if explain.explaining():
+            explain.note("dhw.dp_cells", self.stats.dp_cells - cells_before)
+            explain.note("dhw.nearly_optimal_exists", self.stats.nearly_optimal_exists)
+            explain.note(
+                "dhw.nearly_optimal_used", self.stats.nearly_optimal_used - used_before
+            )
+        telemetry.count("partition.dhw.dp_cells", self.stats.dp_cells - cells_before)
+        telemetry.count(
+            "partition.dhw.nearly_optimal_used",
+            self.stats.nearly_optimal_used - used_before,
+        )
+        return Partitioning(intervals)
+
+    def _dp_pass(
+        self,
+        tree: Tree,
+        limit: int,
+        opt_entries: list[Optional[Entry]],
+        near_entries: list[Optional[Entry]],
+        deltas: list[int],
+        collect: bool,
+    ) -> None:
+        """Fill the per-node optimal/nearly-optimal entry tables."""
         for node in iter_postorder(tree):
             nid = node.node_id
             if not node.children:
@@ -131,7 +162,14 @@ class DHWPartitioner(Partitioner):
                     distinct_s |= col
                 self.stats.s_values_per_node.append(len(distinct_s))
 
-        # Top-down extraction: choose D- or Q-chains per node.
+    def _extract(
+        self,
+        tree: Tree,
+        opt_entries: list[Optional[Entry]],
+        near_entries: list[Optional[Entry]],
+        collect: bool,
+    ) -> set[SiblingInterval]:
+        """Walk top-down choosing D- or Q-chains (step 5 of the scheme)."""
         intervals = {SiblingInterval(tree.root.node_id, tree.root.node_id)}
         stack: list[tuple[int, bool]] = [(tree.root.node_id, False)]
         while stack:
@@ -149,11 +187,15 @@ class DHWPartitioner(Partitioner):
                     )
                 )
                 near_children.update(nearly)
+                if explain.explaining():
+                    explain.decision(
+                        node.children[begin].node_id,
+                        "dhw-dp",
+                        parent=node.node_id,
+                        children=end - begin + 1,
+                        q_chain=use_near,
+                        downgraded=len(nearly),
+                    )
             for idx, child in enumerate(node.children):
                 stack.append((child.node_id, idx in near_children))
-        telemetry.count("partition.dhw.dp_cells", self.stats.dp_cells - cells_before)
-        telemetry.count(
-            "partition.dhw.nearly_optimal_used",
-            self.stats.nearly_optimal_used - used_before,
-        )
-        return Partitioning(intervals)
+        return intervals

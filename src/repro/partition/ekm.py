@@ -21,6 +21,7 @@ paper, Natix' default import algorithm.
 
 from __future__ import annotations
 
+from repro.obsv import explain
 from repro.partition.base import Partitioner, register
 from repro.partition.interval import Partitioning, SiblingInterval
 from repro.tree.binary import first_child, iter_binary_postorder, next_sibling
@@ -57,6 +58,15 @@ class EKMPartitioner(Partitioner):
                 cut[heaviest.node_id] = 1
                 rest -= residual[heaviest.node_id]
                 kids.remove(heaviest)
+                if explain.explaining():
+                    explain.decision(
+                        heaviest.node_id,
+                        "ekm-cut",
+                        parent=node.node_id,
+                        edge="first-child" if heaviest is lc else "next-sibling",
+                        cut_weight=residual[heaviest.node_id],
+                        rest=rest,
+                    )
             residual[node.node_id] = rest
         cut[tree.root.node_id] = 1
 

@@ -11,6 +11,7 @@ and DHW apply per inner node.
 from __future__ import annotations
 
 from repro.errors import InfeasiblePartitioningError, TreeError
+from repro.obsv import explain
 from repro.partition.base import Partitioner, register
 from repro.partition.flatdp import INFEASIBLE_ENTRY, FlatDP, chain_intervals
 from repro.partition.interval import Partitioning, SiblingInterval
@@ -47,6 +48,16 @@ def fdw_partition_flat(tree: Tree, limit: int) -> Partitioning:
         intervals.add(
             SiblingInterval(root.children[begin].node_id, root.children[end].node_id)
         )
+        if explain.explaining():
+            explain.decision(
+                root.children[begin].node_id,
+                "fdw-dp",
+                begin=begin,
+                end=end,
+                children=end - begin + 1,
+            )
+    if explain.explaining():
+        explain.note("fdw.dp_cells", dp.cells_computed)
     return Partitioning(intervals)
 
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro import telemetry
+from repro.obsv import explain
 from repro.partition.base import Partitioner, register
 from repro.partition.flatdp import CARD, INF, ROOTWEIGHT, FlatDP, chain_intervals, leaf_entry
 from repro.partition.interval import Partitioning, SiblingInterval
@@ -67,6 +68,16 @@ class GHDWPartitioner(Partitioner):
                         node.children[begin].node_id, node.children[end].node_id
                     )
                 )
+                if explain.explaining():
+                    explain.decision(
+                        node.children[begin].node_id,
+                        "ghdw-dp",
+                        parent=node.node_id,
+                        children=end - begin + 1,
+                        dp_cells=dp.cells_computed,
+                    )
+            if explain.explaining():
+                explain.add_note("ghdw.dp_cells_total", dp.cells_computed)
             if collect:
                 self.stats.dp_cells += dp.cells_computed
                 self.stats.inner_nodes += 1

@@ -15,6 +15,7 @@ Linear time, independent of ``K``, and main-memory friendly.
 
 from __future__ import annotations
 
+from repro.obsv import explain
 from repro.partition.base import Partitioner, register
 from repro.partition.interval import Partitioning, SiblingInterval
 from repro.tree.node import Tree
@@ -45,5 +46,14 @@ class KMPartitioner(Partitioner):
                         break
                     intervals.add(SiblingInterval(child.node_id, child.node_id))
                     rest -= residual[child.node_id]
+                    if explain.explaining():
+                        explain.decision(
+                            child.node_id,
+                            "km-cut",
+                            parent=node.node_id,
+                            cut_weight=residual[child.node_id],
+                            rest=rest,
+                            considered=len(by_weight),
+                        )
             residual[node.node_id] = rest
         return Partitioning(intervals)

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
+from repro.obsv import explain
 from repro.partition.base import Partitioner, register
 from repro.partition.interval import Partitioning, SiblingInterval
 from repro.tree.node import Tree, TreeNode
@@ -97,6 +98,13 @@ def lukes_partition(
             s_before, s_child = back[node.node_id][idx][s]
             if s_child is None:
                 cut.add(child.node_id)
+                if explain.explaining():
+                    explain.decision(
+                        child.node_id,
+                        "lukes-cut",
+                        parent=node.node_id,
+                        cluster_weight=best_state[child.node_id],
+                    )
                 stack.append((child, best_state[child.node_id]))
             else:
                 stack.append((child, s_child))

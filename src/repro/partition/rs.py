@@ -15,6 +15,7 @@ partitions. Still main-memory friendly and very fast.
 
 from __future__ import annotations
 
+from repro.obsv import explain
 from repro.partition.base import Partitioner, register
 from repro.partition.interval import Partitioning, SiblingInterval
 from repro.tree.node import Tree
@@ -56,6 +57,15 @@ class RSPartitioner(Partitioner):
                         node.children[begin].node_id, node.children[end].node_id
                     )
                 )
+                if explain.explaining():
+                    explain.decision(
+                        node.children[begin].node_id,
+                        "rs-pack",
+                        parent=node.node_id,
+                        run=end - begin + 1,
+                        run_weight=weight,
+                        rest=rest,
+                    )
                 right = begin - 1
             residual[node.node_id] = rest
         return Partitioning(intervals)

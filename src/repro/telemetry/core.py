@@ -129,14 +129,22 @@ class Gauge:
         return f"Gauge({self.name!r}, {self.value}, max={self.max})"
 
 
-class Histogram:
-    """Streaming count/total/min/max/last summary of observations.
+#: quantile reservoir size bound; decimation keeps memory constant beyond it
+_SAMPLE_CAP = 1024
 
-    Deliberately reservoir-free: constant memory per metric, enough for
-    mean / extrema, which is what the benchmark baseline records.
+
+class Histogram:
+    """Streaming count/total/min/max/last summary plus quantile estimates.
+
+    Mean and extrema are exact and constant-memory. Quantiles come from a
+    **deterministic decimating reservoir**: every ``stride``-th observation
+    is retained; when the reservoir hits :data:`_SAMPLE_CAP` entries, every
+    other retained sample is dropped and the stride doubles. No randomness
+    — the same observation sequence always yields the same estimates, so
+    repeated ``repro-stats`` runs stay diffable.
     """
 
-    __slots__ = ("name", "count", "total", "min", "max", "last")
+    __slots__ = ("name", "count", "total", "min", "max", "last", "_samples", "_stride", "_tick")
 
     def __init__(self, name: str):
         self.name = name
@@ -145,6 +153,9 @@ class Histogram:
         self.min: Optional[float] = None
         self.max: Optional[float] = None
         self.last: Optional[float] = None
+        self._samples: list[float] = []
+        self._stride = 1
+        self._tick = 0
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -154,10 +165,30 @@ class Histogram:
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
+        self._tick += 1
+        if self._tick >= self._stride:
+            self._tick = 0
+            self._samples.append(value)
+            if len(self._samples) >= _SAMPLE_CAP:
+                del self._samples[::2]
+                self._stride *= 2
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Nearest-rank quantile estimate over the retained reservoir.
+
+        ``q`` is a fraction in ``[0, 1]``; returns ``None`` before the
+        first observation. Exact while ``count < _SAMPLE_CAP``, an
+        evenly-decimated approximation afterwards.
+        """
+        if not self._samples:
+            return None
+        ordered = sorted(self._samples)
+        rank = -(-int(q * 1000) * len(ordered) // 1000)  # ceil without floats drifting
+        return ordered[min(len(ordered) - 1, max(0, rank - 1))]
 
     def as_dict(self) -> dict[str, Any]:
         return {
@@ -167,6 +198,9 @@ class Histogram:
             "min": self.min,
             "max": self.max,
             "last": self.last,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -187,6 +221,10 @@ class SpanRecord:
     path: str
     seconds: float
     depth: int
+    #: ``perf_counter()`` reading at span entry — same arbitrary epoch for
+    #: every span of a process, so *offsets* between spans are meaningful
+    #: (the Chrome-trace exporter relies on this)
+    start: float = 0.0
     error: Optional[str] = None
     attrs: dict[str, Any] = field(default_factory=dict)
 
@@ -196,6 +234,7 @@ class SpanRecord:
             "path": self.path,
             "seconds": self.seconds,
             "depth": self.depth,
+            "start": self.start,
         }
         if self.error is not None:
             out["error"] = self.error
@@ -235,6 +274,7 @@ class MetricRegistry:
         self.max_trace = max_trace
         self.dropped_spans = 0
         self.sinks: list[Sink] = []
+        self.sink_errors = 0
 
     # get-or-create accessors ------------------------------------------------
 
@@ -260,14 +300,23 @@ class MetricRegistry:
 
     def record_span(self, record: SpanRecord) -> None:
         """Fold a finished span into the duration histogram ``span.<name>``,
-        keep it in the (bounded) trace, and fan it out to the sinks."""
+        keep it in the (bounded) trace, and fan it out to the sinks.
+
+        A sink raising mid-emit must never crash the instrumented
+        application (the span fires inside ``__exit__`` of arbitrary hot
+        paths), so sink failures are counted in :attr:`sink_errors` and
+        the remaining sinks still receive the record.
+        """
         self.histogram(f"span.{record.name}").observe(record.seconds)
         if len(self.trace) < self.max_trace:
             self.trace.append(record)
         else:
             self.dropped_spans += 1
         for sink in self.sinks:
-            sink.emit(record)
+            try:
+                sink.emit(record)
+            except Exception:
+                self.sink_errors += 1
 
     def add_sink(self, sink: Sink) -> None:
         self.sinks.append(sink)
@@ -284,6 +333,7 @@ class MetricRegistry:
         self.histograms.clear()
         self.trace.clear()
         self.dropped_spans = 0
+        self.sink_errors = 0
 
     @property
     def empty(self) -> bool:
@@ -433,6 +483,7 @@ class Span:
                     path=self.path,
                     seconds=self.elapsed,
                     depth=self.depth,
+                    start=self._start,
                     error=exc_type.__name__ if exc_type is not None else None,
                     attrs=self.attrs,
                 )

@@ -104,7 +104,9 @@ def load_jsonl(stream: TextIO) -> dict[str, Any]:
             gauges[obj["name"]] = {"value": obj["value"], "max": obj["max"]}
         elif kind == "histogram":
             histograms[obj["name"]] = {
-                key: obj[key] for key in ("count", "total", "mean", "min", "max", "last")
+                key: obj[key]
+                for key in ("count", "total", "mean", "min", "max", "last", "p50", "p95", "p99")
+                if key in obj  # quantiles are absent in pre-quantile exports
             }
         elif kind == "span":
             trace.append({key: value for key, value in obj.items() if key != "kind"})
@@ -145,10 +147,14 @@ def format_metrics(reg: Optional[MetricRegistry] = None) -> str:
         width = max(len(name) for name in reg.histograms)
         lines = []
         for name, h in sorted(reg.histograms.items()):
+            p50, p95, p99 = h.quantile(0.50), h.quantile(0.95), h.quantile(0.99)
             lines.append(
                 f"  {name:<{width}}  n={h.count}  mean={h.mean:.6f}  "
                 f"min={0.0 if h.min is None else h.min:.6f}  "
-                f"max={0.0 if h.max is None else h.max:.6f}"
+                f"max={0.0 if h.max is None else h.max:.6f}  "
+                f"p50={0.0 if p50 is None else p50:.6f}  "
+                f"p95={0.0 if p95 is None else p95:.6f}  "
+                f"p99={0.0 if p99 is None else p99:.6f}"
             )
         sections.append("histograms (seconds for span.*):\n" + "\n".join(lines))
     if not sections:

@@ -1,0 +1,53 @@
+"""Seeded OBS002 violations: span-hygiene offences.
+
+Not importable as part of the real package — this fixture only feeds the
+analyzer tests (see README.md in this directory).
+"""
+
+from repro import telemetry
+from repro.telemetry import span
+from repro.telemetry.core import Span as TraceSpan
+
+
+def computed_name(label):
+    with telemetry.span("prefix." + label):  # seed:OBS002-computed
+        pass
+
+
+def name_from_variable(phase_name):
+    with span(phase_name):  # seed:OBS002-variable
+        pass
+
+
+def name_via_keyword(phase_name):
+    with span(name=phase_name):  # seed:OBS002-keyword
+        pass
+
+
+def empty_attrs_positional():
+    with TraceSpan("load.page", {}):  # seed:OBS002-emptydict
+        pass
+
+
+def empty_attrs_splat():
+    with telemetry.span("load.page", **{}):  # seed:OBS002-splat
+        pass
+
+
+def literal_names_are_fine(page_id):
+    with telemetry.span("load.page", page=page_id):
+        pass
+    with span(f"load.page.{page_id}"):
+        pass
+    with TraceSpan("load.page", {"page": page_id}):
+        pass
+
+
+def sanctioned(phase_name):
+    with telemetry.span(phase_name):  # repro-lint: skip=OBS002
+        pass
+
+
+def not_a_telemetry_span(obj, label):
+    # `span` attribute on an unrelated receiver: never flagged
+    return obj.span(label)

@@ -132,6 +132,46 @@ class TestSeededViolations:
         assert result.violations[0].code == "OBS001"
         assert "time.monotonic" in result.violations[0].message
 
+    def test_span_hygiene_reported_in_all_shapes(self, fixture_result):
+        tags = seed_lines(FIXTURES / "seeded_spans.py")
+        hits = found(fixture_result, "OBS002", "seeded_spans.py")
+        assert {v.lineno for v in hits} == {
+            tags["OBS002-computed"],
+            tags["OBS002-variable"],
+            tags["OBS002-keyword"],
+            tags["OBS002-emptydict"],
+            tags["OBS002-splat"],
+        }
+
+    def test_span_hygiene_literals_pragma_and_lookalikes_not_flagged(
+        self, fixture_result
+    ):
+        hits = found(fixture_result, "OBS002", "seeded_spans.py")
+        source = (FIXTURES / "seeded_spans.py").read_text().splitlines()
+        flagged = {source[v.lineno - 1] for v in hits}
+        for line in flagged:
+            assert "skip=OBS002" not in line
+            assert "obj." not in line
+            assert 'f"' not in line
+
+    def test_span_hygiene_telemetry_package_is_exempt(self, tmp_path):
+        package = tmp_path / "repro" / "telemetry"
+        package.mkdir(parents=True)
+        (tmp_path / "repro" / "__init__.py").write_text("")
+        (package / "__init__.py").write_text("")
+        (package / "helpers.py").write_text(
+            textwrap.dedent(
+                """
+                from repro.telemetry.core import Span
+
+                def reopen(name):
+                    return Span(name, {})
+                """
+            )
+        )
+        result = run_lint([package / "helpers.py"], select=["OBS002"])
+        assert result.clean
+
     def test_exception_swallows_reported_in_all_shapes(self, fixture_result):
         tags = seed_lines(FIXTURES / "seeded_swallow.py")
         hits = found(fixture_result, "RB001", "seeded_swallow.py")
@@ -241,7 +281,17 @@ class TestSelection:
     def test_every_registered_pass_has_unique_code(self):
         codes = [cls.code for cls in available_passes()]
         assert len(codes) == len(set(codes))
-        assert {"REC001", "BAN001", "BAN002", "BAN003", "PRT001", "PRT002"} <= set(codes)
+        assert {
+            "REC001",
+            "BAN001",
+            "BAN002",
+            "BAN003",
+            "PRT001",
+            "PRT002",
+            "OBS001",
+            "OBS002",
+            "RB001",
+        } <= set(codes)
 
 
 class TestCli:

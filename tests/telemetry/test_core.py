@@ -94,6 +94,42 @@ class TestPrimitives:
     def test_empty_histogram_mean(self):
         assert Histogram("x").mean == 0.0
 
+    def test_quantiles_none_before_first_observation(self):
+        h = Histogram("x")
+        assert h.quantile(0.5) is None
+        assert h.as_dict()["p50"] is None
+
+    def test_quantiles_exact_for_small_samples(self):
+        h = Histogram("x")
+        for v in range(100, 0, -1):  # descending: order must not matter
+            h.observe(float(v))
+        assert h.quantile(0.50) == 50.0
+        assert h.quantile(0.95) == 95.0
+        assert h.quantile(0.99) == 99.0
+        assert h.quantile(0.0) == 1.0
+        assert h.quantile(1.0) == 100.0
+
+    def test_quantiles_survive_reservoir_decimation(self):
+        h = Histogram("x")
+        for v in range(5000):
+            h.observe(float(v))
+        # the reservoir stays bounded while the summary stats remain exact
+        assert len(h._samples) < 1024
+        assert h.count == 5000
+        assert h.min == 0.0 and h.max == 4999.0
+        p50 = h.quantile(0.50)
+        assert p50 is not None
+        assert abs(p50 - 2500.0) < 250.0  # decimated estimate stays in range
+
+    def test_quantiles_are_deterministic(self):
+        def run() -> list:
+            h = Histogram("x")
+            for v in range(3000):
+                h.observe(float((v * 37) % 101))
+            return [h.quantile(q) for q in (0.5, 0.9, 0.95, 0.99)]
+
+        assert run() == run()
+
 
 class TestHelpers:
     def test_noop_while_disabled(self):

@@ -105,6 +105,91 @@ class TestJsonLinesRoundTrip:
             load_jsonl(io.StringIO("not json\n"))
 
 
+class TestExportEdgeCases:
+    def test_empty_registry_jsonl_round_trips(self):
+        buf = io.StringIO()
+        lines = export_jsonl(buf, MetricRegistry())
+        assert lines == 1  # just the meta header
+        buf.seek(0)
+        loaded = load_jsonl(buf)
+        assert loaded["counters"] == {}
+        assert loaded["gauges"] == {}
+        assert loaded["histograms"] == {}
+        assert "trace" not in loaded
+
+    def test_max_trace_overflow_truncates_and_counts(self):
+        reg = MetricRegistry(max_trace=3)
+        previous = telemetry.set_registry(reg)
+        with telemetry.enabled_scope():
+            for idx in range(5):
+                with telemetry.span("tick", i=idx):
+                    pass
+        telemetry.set_registry(previous)
+        assert len(reg.trace) == 3
+        assert reg.dropped_spans == 2
+        snap = snapshot(reg, include_trace=True)
+        assert len(snap["trace"]) == 3
+        assert snap["dropped_spans"] == 2
+        # histograms keep seeing every span even after the trace is full
+        assert snap["histograms"]["span.tick"]["count"] == 5
+
+    def test_sink_raising_mid_emit_does_not_break_recording(self):
+        reg = MetricRegistry()
+
+        class BoomSink:
+            def __init__(self):
+                self.emitted = 0
+
+            def emit(self, record):
+                self.emitted += 1
+                if self.emitted == 2:
+                    raise RuntimeError("sink died")
+
+        class ListSink:
+            def __init__(self):
+                self.records = []
+
+            def emit(self, record):
+                self.records.append(record)
+
+        boom, tail = BoomSink(), ListSink()
+        reg.add_sink(boom)
+        reg.add_sink(tail)
+        previous = telemetry.set_registry(reg)
+        with telemetry.enabled_scope():
+            for _ in range(3):
+                with telemetry.span("tick"):
+                    pass
+        telemetry.set_registry(previous)
+        # the failing emit is isolated: trace, later sinks and later spans all fine
+        assert len(reg.trace) == 3
+        assert len(tail.records) == 3
+        assert boom.emitted == 3
+        assert reg.sink_errors == 1
+
+    def test_pre_quantile_exports_still_load(self):
+        stream = io.StringIO(
+            json.dumps({"kind": "meta", "schema": SCHEMA})
+            + "\n"
+            + json.dumps(
+                {
+                    "kind": "histogram",
+                    "name": "old",
+                    "count": 2,
+                    "total": 3.0,
+                    "mean": 1.5,
+                    "min": 1.0,
+                    "max": 2.0,
+                    "last": 2.0,
+                }
+            )
+            + "\n"
+        )
+        loaded = load_jsonl(stream)
+        assert loaded["histograms"]["old"]["count"] == 2
+        assert "p50" not in loaded["histograms"]["old"]
+
+
 class TestFormatMetrics:
     def test_sections_render(self, populated):
         text = format_metrics(populated)
@@ -114,8 +199,50 @@ class TestFormatMetrics:
         assert "histograms" in text
         assert "span.outer" in text
 
+    def test_quantiles_rendered(self, populated):
+        text = format_metrics(populated)
+        assert "p50=" in text and "p95=" in text and "p99=" in text
+
     def test_empty_registry_hint(self):
         assert "is telemetry enabled?" in format_metrics(MetricRegistry())
+
+    def test_metric_order_is_deterministic_and_sorted(self):
+        # insertion order differs between the two registries; output must not
+        reg_a, reg_b = MetricRegistry(), MetricRegistry()
+        for reg, names in (
+            (reg_a, ("zeta", "alpha", "mid")),
+            (reg_b, ("mid", "zeta", "alpha")),
+        ):
+            previous = telemetry.set_registry(reg)
+            with telemetry.enabled_scope():
+                for name in names:
+                    telemetry.count(name)
+                    telemetry.gauge_set(f"g.{name}", 1)
+                    telemetry.observe(f"h.{name}", 1.0)
+            telemetry.set_registry(previous)
+        assert format_metrics(reg_a) == format_metrics(reg_b)
+        counter_lines = [
+            line.split()[0]
+            for line in format_metrics(reg_a).splitlines()
+            if line.startswith("  ") and "." not in line.split()[0]
+        ]
+        assert counter_lines == sorted(counter_lines)
+
+    def test_jsonl_order_is_deterministic(self):
+        reg_a, reg_b = MetricRegistry(), MetricRegistry()
+        for reg, names in (
+            (reg_a, ("zeta", "alpha")),
+            (reg_b, ("alpha", "zeta")),
+        ):
+            previous = telemetry.set_registry(reg)
+            with telemetry.enabled_scope():
+                for name in names:
+                    telemetry.count(name)
+            telemetry.set_registry(previous)
+        buf_a, buf_b = io.StringIO(), io.StringIO()
+        export_jsonl(buf_a, reg_a)
+        export_jsonl(buf_b, reg_b)
+        assert buf_a.getvalue() == buf_b.getvalue()
 
 
 class TestEnvironmentFingerprint:
