@@ -37,7 +37,7 @@ test:
 
 bench:
 	$(PYTHON) benchmarks/harness.py --quick --check --output /dev/null
-	$(PYTHON) benchmarks/compare.py BENCH_PR2.json BENCH_PR4.json
+	$(PYTHON) benchmarks/compare.py BENCH_PR4.json BENCH_PR5.json
 
 faults-smoke:
 	$(PYTHON) -m repro.faults.cli --scale 0.002 --crash-points 2 --flip-pages 2

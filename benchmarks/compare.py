@@ -47,9 +47,15 @@ TIME_THRESHOLDS = {
     "bulkload": 0.60,
 }
 #: absolute seconds floor below which timing diffs are ignored entirely
-TIME_FLOOR = 0.005
+#: (a ~10ms heuristic cell can double under scheduler jitter alone; real
+#: regressions on the material cells are far above this)
+TIME_FLOOR = 0.010
 #: hard ceiling for the disabled-telemetry wrapper overhead fraction
 OVERHEAD_BUDGET = 0.03
+#: fastpath speedup floors a full-run candidate baseline must clear
+#: (mirrors harness.check_baseline; quick baselines are not gated)
+FASTPATH_DUP_FLOOR = 2.0
+FASTPATH_TABLE2_FLOOR = 1.3
 
 
 class Comparison:
@@ -177,6 +183,29 @@ def compare_overhead(cmp: Comparison, old: dict, new: dict) -> None:
     cmp.bound("overhead.overhead_fraction", new["overhead_fraction"], OVERHEAD_BUDGET)
 
 
+def check_fastpath(cmp: Comparison, new: dict, quick: bool) -> None:
+    """Absolute gate on the candidate's fastpath scenario.
+
+    Unlike the diff-style comparers this also runs when the *old*
+    baseline predates the scenario: kernel/reference identity must always
+    hold, and full-run baselines must clear the speedup floors.
+    """
+    for row in new.get("rows", []):
+        label = f"fastpath[{row['document']}/{row['algorithm']}]"
+        cmp.exact(f"{label}.identical", True, row.get("identical"))
+        if quick or row["algorithm"] != "dhw":
+            continue
+        floor = (
+            FASTPATH_DUP_FLOOR
+            if row["workload"] == "duplicated_subtrees"
+            else FASTPATH_TABLE2_FLOOR
+        )
+        if row["speedup"] < floor:
+            cmp.regressions.append(
+                f"{label}.speedup: {row['speedup']:.2f}x < {floor}x floor"
+            )
+
+
 def compare_baselines(old: dict, new: dict) -> Comparison:
     _check_comparable(old, new)
     cmp = Comparison()
@@ -189,6 +218,8 @@ def compare_baselines(old: dict, new: dict) -> Comparison:
     for scenario, comparer in comparers.items():
         if scenario in old["scenarios"]:
             comparer(cmp, old["scenarios"][scenario], new["scenarios"][scenario])
+    if "fastpath" in new.get("scenarios", {}):
+        check_fastpath(cmp, new["scenarios"]["fastpath"], bool(new.get("quick")))
     return cmp
 
 

@@ -14,6 +14,12 @@ committed one) so perf regressions show up as a diff:
 * **overhead** — the telemetry-disabled instrumentation cost of the
   ``Partitioner.partition`` wrapper against a bare ``_partition`` call
   (acceptance: < 3%).
+* **fastpath** — the :mod:`repro.fastpath` kernels against the reference
+  partitioners on a duplicated-subtree document (DAG memoization's
+  headline case) and the Table-2 corpus; rows record both timings, the
+  speedup, an output-identity bit and the shape-cache hit ratio.
+  Committed full baselines must clear the speedup floors (dhw >= 2x on
+  the duplicated doc, >= 1.3x on the corpus — ``check_baseline``).
 
 Usage::
 
@@ -42,6 +48,7 @@ drift and on over-threshold slowdowns. To accept a new baseline:
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import statistics
 import sys
@@ -64,8 +71,13 @@ from repro.xmlio.serialize import tree_to_xml  # noqa: E402
 from repro.xmlio.weights import PAPER_LIMIT  # noqa: E402
 
 SCHEMA = "repro-bench/1"
-BASELINE = REPO_ROOT / "BENCH_PR4.json"
-SCENARIOS = ("table1_table2", "table3", "bulkload", "overhead")
+BASELINE = REPO_ROOT / "BENCH_PR5.json"
+SCENARIOS = ("table1_table2", "table3", "bulkload", "overhead", "fastpath")
+
+#: speedup floors a committed full-run baseline must clear (quick/CI
+#: smoke runs are too small to be meaningful and are not gated)
+FASTPATH_DUP_FLOOR = 2.0  # dhw on the duplicated-subtree document
+FASTPATH_TABLE2_FLOOR = 1.3  # dhw on every Table-2 corpus document
 
 #: Table 1/2 column order (the paper's); dhw is the slow optimum.
 TABLE_ALGORITHMS = ("dhw", "ghdw", "ekm", "rs", "dfs", "km", "bfs")
@@ -74,8 +86,17 @@ BUFFER_QUERIES = ("//*", "/*/*", "//*[1]")
 
 
 def bench_table1_table2(quick: bool) -> dict:
-    """Per-document × per-algorithm partitioning + buffer workload."""
+    """Per-document × per-algorithm partitioning + buffer workload.
+
+    Full runs time each partition call ``repeats`` times and keep the
+    minimum — a transient load spike on a shared machine should not land
+    in the committed baseline (same rationale as :func:`bench_overhead`).
+    The deterministic metrics are identical on every repeat; dp_cells is
+    read from the per-repeat capture registry, so repeating never
+    inflates it.
+    """
     scale = 0.1 if quick else 0.25
+    repeats = 1 if quick else 3
     documents = PAPER_DOCUMENTS[:2] if quick else PAPER_DOCUMENTS
     rows = []
     for spec in documents:
@@ -88,26 +109,41 @@ def bench_table1_table2(quick: bool) -> dict:
             "algorithms": {},
         }
         for name in TABLE_ALGORITHMS:
-            with telemetry.capture() as reg:
-                with telemetry.span("harness.partition") as sp:
-                    partitioning = get_algorithm(name).partition(
-                        tree, PAPER_LIMIT, check=False
-                    )
-                report = evaluate_partitioning(tree, partitioning, PAPER_LIMIT)
-                assert report.feasible, f"{name} infeasible on {spec.name}"
-                store = DocumentStore.build(tree, partitioning)
-                store.warm_up()
-                for xpath in BUFFER_QUERIES:
-                    run_query(store, xpath)
-                cell = {
-                    "seconds": sp.elapsed,
-                    "partitions": report.cardinality,
-                    "root_weight": report.root_weight,
-                    "buffer": store.buffer.stats.as_dict(),
-                }
-                for metric in (f"partition.{name}.dp_cells",):
-                    if metric in reg.counters:
-                        cell["dp_cells"] = reg.counters[metric].value
+            seconds = None
+            dp_cells = None
+            partitioning = None
+            for _ in range(repeats):
+                # A gen-2 GC pause against the accumulated store/tree heap
+                # costs ~10ms — enough to double a heuristic's cell. Pay
+                # the collection outside the span, pause GC inside it.
+                gc.collect()
+                gc.disable()
+                try:
+                    with telemetry.capture() as reg:
+                        with telemetry.span("harness.partition") as sp:
+                            partitioning = get_algorithm(name).partition(
+                                tree, PAPER_LIMIT, check=False
+                            )
+                finally:
+                    gc.enable()
+                seconds = sp.elapsed if seconds is None else min(seconds, sp.elapsed)
+                metric = f"partition.{name}.dp_cells"
+                if metric in reg.counters:
+                    dp_cells = reg.counters[metric].value
+            report = evaluate_partitioning(tree, partitioning, PAPER_LIMIT)
+            assert report.feasible, f"{name} infeasible on {spec.name}"
+            store = DocumentStore.build(tree, partitioning)
+            store.warm_up()
+            for xpath in BUFFER_QUERIES:
+                run_query(store, xpath)
+            cell = {
+                "seconds": seconds,
+                "partitions": report.cardinality,
+                "root_weight": report.root_weight,
+                "buffer": store.buffer.stats.as_dict(),
+            }
+            if dp_cells is not None:
+                cell["dp_cells"] = dp_cells
             row["algorithms"][name] = cell
         rows.append(row)
     return {"limit": PAPER_LIMIT, "scale": scale, "documents": rows}
@@ -139,29 +175,39 @@ def bench_table3(quick: bool) -> dict:
 
 
 def bench_bulkload(quick: bool) -> dict:
-    """Streaming import across spill thresholds, with telemetry counters."""
+    """Streaming import across spill thresholds, with telemetry counters.
+
+    Like :func:`bench_table1_table2`, full runs keep the minimum import
+    time over ``repeats`` identical loads.
+    """
     scale = 0.05 if quick else 0.25
+    repeats = 1 if quick else 3
     xmark = PAPER_DOCUMENTS[-1]
     xml = tree_to_xml(xmark.generate(scale=scale, seed=2006))
     thresholds = (None, 1024) if quick else (None, 4096, 1024)
     runs = []
     for threshold in thresholds:
-        with telemetry.capture() as reg:
-            loader = BulkLoader(
-                algorithm="ekm", limit=PAPER_LIMIT, spill_threshold=threshold
-            )
-            result = loader.load(xml)
-            runs.append(
-                {
-                    "spill_threshold": threshold,
-                    "seconds": reg.histograms["span.bulkload.import"].total,
-                    "partitions": result.emitted_partitions,
-                    "peak_resident_weight": result.peak_resident_weight,
-                    "peak_resident_fraction": result.peak_resident_fraction,
-                    "spills": result.spills,
-                    "events": result.events,
-                }
-            )
+        seconds = None
+        result = None
+        for _ in range(repeats):
+            with telemetry.capture() as reg:
+                loader = BulkLoader(
+                    algorithm="ekm", limit=PAPER_LIMIT, spill_threshold=threshold
+                )
+                result = loader.load(xml)
+            elapsed = reg.histograms["span.bulkload.import"].total
+            seconds = elapsed if seconds is None else min(seconds, elapsed)
+        runs.append(
+            {
+                "spill_threshold": threshold,
+                "seconds": seconds,
+                "partitions": result.emitted_partitions,
+                "peak_resident_weight": result.peak_resident_weight,
+                "peak_resident_fraction": result.peak_resident_fraction,
+                "spills": result.spills,
+                "events": result.events,
+            }
+        )
     return {"document": xmark.name, "scale": scale, "runs": runs}
 
 
@@ -180,7 +226,9 @@ def bench_overhead(quick: bool) -> dict:
     spec = PAPER_DOCUMENTS[0]  # SigmodRecord: deep fanout, fast algorithms
     tree = spec.generate(scale=1.0, seed=2006)
     algo = get_algorithm("ekm")
-    repeats = 15 if quick else 30
+    # The fraction compares two near-identical few-ms minima, so it is the
+    # noisiest number in the suite; full runs buy stability with repeats.
+    repeats = 15 if quick else 80
 
     def bare() -> float:
         start = perf_counter()
@@ -214,6 +262,82 @@ def bench_overhead(quick: bool) -> dict:
     }
 
 
+def bench_fastpath(quick: bool) -> dict:
+    """Fast-path kernels vs reference partitioners (min of repeats).
+
+    The shape cache is cleared before every fastpath repeat, so the
+    reported speedup is the *cold-cache* one — intra-document shape reuse
+    only, no carry-over between repeats or rows. Timings are minima over
+    interleaved repeats (same rationale as :func:`bench_overhead`).
+    """
+    from time import perf_counter  # the harness itself may read the clock
+
+    from repro.datasets.random_trees import duplicated_subtree_tree
+    from repro.fastpath import clear_default_cache, default_cache
+
+    telemetry.disable()
+    repeats = 2 if quick else 3
+    scale = 0.1 if quick else 0.25
+    copies = 100 if quick else 400
+    duplicated = duplicated_subtree_tree(copies, template_size=40, seed=2006)
+    workloads = [("duplicated_subtrees", "duplicated", duplicated, 23, ("dhw", "ghdw"))]
+    documents = PAPER_DOCUMENTS[:2] if quick else PAPER_DOCUMENTS
+    for spec in documents:
+        tree = spec.generate(scale=scale, seed=2006)
+        workloads.append(("table2", spec.name, tree, PAPER_LIMIT, ("dhw", "ghdw")))
+    rows = []
+    for workload, document, tree, limit, algorithms in workloads:
+        for name in algorithms:
+            print(f"[harness]   fastpath {document}/{name} ...", file=sys.stderr)
+            reference = get_algorithm(name)
+            reference.fastpath = False
+            kernel = get_algorithm(name)
+            kernel.fastpath = True
+            ref_times, fast_times = [], []
+            ref_result = fast_result = None
+            for _ in range(repeats):
+                start = perf_counter()
+                ref_result = reference.partition(tree, limit, check=False)
+                ref_times.append(perf_counter() - start)
+                clear_default_cache()
+                start = perf_counter()
+                fast_result = kernel.partition(tree, limit, check=False)
+                fast_times.append(perf_counter() - start)
+            cache = default_cache().stats()
+            ref_s, fast_s = min(ref_times), min(fast_times)
+            rows.append(
+                {
+                    "workload": workload,
+                    "document": document,
+                    "nodes": len(tree),
+                    "limit": limit,
+                    "algorithm": name,
+                    "reference_seconds": ref_s,
+                    "fastpath_seconds": fast_s,
+                    "speedup": ref_s / fast_s if fast_s else 0.0,
+                    "identical": fast_result == ref_result,
+                    "cache_hit_ratio": cache["hit_ratio"],
+                    "cache_entries": cache["entries"],
+                }
+            )
+    return {"scale": scale, "repeats": repeats, "copies": copies, "rows": rows}
+
+
+def format_fastpath_rows(scenario: dict) -> str:
+    lines = [
+        f"{'workload':20s} {'document':18s} {'alg':5s} {'reference':>10s} "
+        f"{'fastpath':>10s} {'speedup':>8s} {'hit%':>6s} {'same':>5s}"
+    ]
+    for row in scenario.get("rows", []):
+        lines.append(
+            f"{row['workload']:20s} {row['document']:18s} {row['algorithm']:5s} "
+            f"{row['reference_seconds']:9.3f}s {row['fastpath_seconds']:9.3f}s "
+            f"{row['speedup']:7.2f}x {row['cache_hit_ratio'] * 100:5.1f}% "
+            f"{'yes' if row['identical'] else 'NO':>5s}"
+        )
+    return "\n".join(lines)
+
+
 def run_benchmarks(quick: bool) -> dict:
     payload: dict = {
         "schema": SCHEMA,
@@ -226,6 +350,7 @@ def run_benchmarks(quick: bool) -> dict:
         "table3": bench_table3,
         "bulkload": bench_bulkload,
         "overhead": bench_overhead,
+        "fastpath": bench_fastpath,
     }
     for name in SCENARIOS:
         print(f"[harness] running {name} ...", file=sys.stderr)
@@ -249,6 +374,23 @@ def check_baseline(path: Path) -> int:
     fraction = overhead.get("overhead_fraction")
     if fraction is None or fraction >= 0.03:
         problems.append(f"overhead_fraction {fraction!r} not < 0.03")
+    fastpath = data.get("scenarios", {}).get("fastpath", {})
+    if not data.get("quick"):  # floors only bind on full-run baselines
+        for row in fastpath.get("rows", []):
+            label = f"fastpath[{row['document']}/{row['algorithm']}]"
+            if not row.get("identical"):
+                problems.append(f"{label} output not identical to reference")
+            if row["algorithm"] != "dhw":
+                continue
+            floor = (
+                FASTPATH_DUP_FLOOR
+                if row["workload"] == "duplicated_subtrees"
+                else FASTPATH_TABLE2_FLOOR
+            )
+            if row["speedup"] < floor:
+                problems.append(
+                    f"{label} speedup {row['speedup']:.2f}x < {floor}x floor"
+                )
     for problem in problems:
         print(f"[harness] baseline check: {problem}", file=sys.stderr)
     if not problems:
@@ -286,6 +428,11 @@ def main(argv=None) -> int:
         sys.stdout.write(text)
     overhead = payload["scenarios"]["overhead"]["overhead_fraction"]
     print(f"[harness] wrapper overhead: {overhead * 100:.2f}%", file=sys.stderr)
+    print(
+        "[harness] fastpath speedups (reference vs kernel):\n"
+        + format_fastpath_rows(payload["scenarios"]["fastpath"]),
+        file=sys.stderr,
+    )
     return 0
 
 

@@ -13,6 +13,7 @@ PRT002  partitioner overrides ``partition`` instead of ``_partition``
 OBS001  manual wall-clock timing outside ``repro.telemetry``
 OBS002  span opened with a computed name or an empty attrs dict literal
 RB001   broad exception handler that silently swallows outside test code
+PERF001 loop-invariant O(n) subtree-weight walk recomputed per iteration
 ======  ================================================================
 
 The partitioner passes identify "partitioner modules" syntactically — a
@@ -59,6 +60,17 @@ _TIMING_FUNCS = frozenset(
 
 #: catch-all exception names whose silent handlers RB001 flags
 _BROAD_EXCEPTION_NAMES = frozenset({"Exception", "BaseException"})
+
+#: uncached O(n) weight walks PERF001 flags when loop-invariant
+_WEIGHT_WALK_FUNCS = frozenset(
+    {
+        "subtree_weights",
+        "binary_subtree_weights",
+        "partition_node_weights",
+        "partition_weights",
+        "root_weight",
+    }
+)
 
 PARTITIONER_BASE = "repro.partition.base.Partitioner"
 
@@ -579,3 +591,86 @@ class ExceptionSwallowPass(LintPass):
     def _describe(handler_type: ast.expr) -> str:
         dotted = _dotted_name(handler_type)
         return dotted if dotted is not None else "Exception"
+
+
+@register_lint_pass
+class RepeatedWeightWalkPass(LintPass):
+    """Weight walks (``subtree_weights``, ``partition_weights``, ...) are
+    O(n) over the whole tree; calling one inside a loop whose iterations
+    don't change its inputs repeats the identical walk once per
+    iteration — the quadratic blowup the PR-5 fast path removed from
+    ``evaluate_partitioning``. The pass flags a walk call inside a
+    ``for``/``while`` body only when the call is *loop-invariant*: none
+    of its arguments (or its method receiver) mention a name the loop
+    rebinds, so hoisting it above the loop is always safe."""
+
+    code = "PERF001"
+    name = "repeated-weight-walk"
+    description = (
+        "loop-invariant O(n) weight walk inside a loop body; hoist the "
+        "call above the loop (or use the cached per-node arrays)"
+    )
+
+    def run(self, ctx: LintContext) -> Iterator[Violation]:
+        for source in ctx.files:
+            seen: set[tuple[int, int]] = set()
+            for loop in ast.walk(source.tree):
+                if not isinstance(loop, (ast.For, ast.While, ast.AsyncFor)):
+                    continue
+                varying = self._loop_varying_names(loop)
+                for node in ast.walk(loop):
+                    if node is loop or not isinstance(node, ast.Call):
+                        continue
+                    walk_name = self._weight_walk_name(node.func)
+                    if walk_name is None:
+                        continue
+                    if (node.lineno, node.col_offset) in seen:
+                        continue  # already reported for an outer loop
+                    if self._call_inputs(node) & varying:
+                        continue  # genuinely per-iteration work
+                    seen.add((node.lineno, node.col_offset))
+                    yield Violation(
+                        path=str(source.path),
+                        lineno=node.lineno,
+                        code=self.code,
+                        message=(
+                            f"`{walk_name}()` walks the whole tree and is "
+                            "loop-invariant here; hoist it above the loop"
+                        ),
+                    )
+
+    @staticmethod
+    def _weight_walk_name(func: ast.expr) -> Optional[str]:
+        if isinstance(func, ast.Name) and func.id in _WEIGHT_WALK_FUNCS:
+            return func.id
+        if isinstance(func, ast.Attribute) and func.attr in _WEIGHT_WALK_FUNCS:
+            return func.attr
+        return None
+
+    @staticmethod
+    def _loop_varying_names(loop: ast.AST) -> set[str]:
+        """Names the loop rebinds: ``for`` targets plus every name stored
+        anywhere in the body (assignments, aug-assignments, ``with``/
+        ``for`` targets of nested statements)."""
+        varying: set[str] = set()
+        for node in ast.walk(loop):
+            if isinstance(node, ast.Name) and isinstance(
+                node.ctx, (ast.Store, ast.Del)
+            ):
+                varying.add(node.id)
+        return varying
+
+    @staticmethod
+    def _call_inputs(call: ast.Call) -> set[str]:
+        """Every name the call's result can depend on: names in the
+        positional/keyword arguments and, for method calls, the receiver
+        expression (``node`` in ``node.partition_weights()``)."""
+        names: set[str] = set()
+        roots: list[ast.expr] = list(call.args) + [kw.value for kw in call.keywords]
+        if isinstance(call.func, ast.Attribute):
+            roots.append(call.func.value)
+        for root in roots:
+            for node in ast.walk(root):
+                if isinstance(node, ast.Name):
+                    names.add(node.id)
+        return names

@@ -66,11 +66,23 @@ def cmd_partition(args: argparse.Namespace) -> int:
 
 
 def cmd_import(args: argparse.Namespace) -> int:
-    loader = BulkLoader(
-        algorithm=args.algorithm,
-        limit=args.limit,
-        spill_threshold=args.spill_threshold,
-    )
+    if args.parallel is not None:
+        if args.spill_threshold is not None:
+            raise ReproError(
+                "--parallel and --spill-threshold are mutually exclusive: "
+                "spilling couples subtrees and is inherently sequential"
+            )
+        from repro.fastpath.parallel import ParallelBulkLoader
+
+        loader: BulkLoader | ParallelBulkLoader = ParallelBulkLoader(
+            algorithm=args.algorithm, limit=args.limit, workers=args.parallel
+        )
+    else:
+        loader = BulkLoader(
+            algorithm=args.algorithm,
+            limit=args.limit,
+            spill_threshold=args.spill_threshold,
+        )
     with telemetry.span("cli.import", algorithm=args.algorithm) as sp:
         result = loader.load(args.document)
     elapsed = sp.elapsed
@@ -135,6 +147,50 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fastpath_comparison(tree, algorithm: str, limit: int) -> dict:
+    """Time the reference implementation against the fastpath kernel.
+
+    Runs on a cold shape cache so the reported timings and hit ratio
+    describe this document alone; both runs happen inside the caller's
+    telemetry registry, so the ``stats.fastpath.*`` spans also land in
+    the trace (and the Chrome-trace export, see ``dhw.fastpath``).
+    """
+    from repro.fastpath import clear_default_cache, default_cache
+
+    name = algorithm if get_algorithm(algorithm).fastpath_capable else "dhw"
+    reference = get_algorithm(name)
+    reference.fastpath = False
+    kernel = get_algorithm(name)
+    kernel.fastpath = True
+    clear_default_cache()
+    with telemetry.span("stats.fastpath.reference") as sp_ref:
+        ref_result = reference.partition(tree, limit, check=False)
+    with telemetry.span("stats.fastpath.kernel") as sp_fast:
+        fast_result = kernel.partition(tree, limit, check=False)
+    return {
+        "algorithm": name,
+        "reference_seconds": sp_ref.elapsed,
+        "kernel_seconds": sp_fast.elapsed,
+        "speedup": sp_ref.elapsed / sp_fast.elapsed if sp_fast.elapsed else 0.0,
+        "identical": ref_result == fast_result,
+        "cache": default_cache().stats(),
+    }
+
+
+def _format_fastpath(comparison: dict) -> str:
+    cache = comparison["cache"]
+    lines = [
+        "fastpath ({algorithm}): reference {reference_seconds:.3f}s, "
+        "kernel {kernel_seconds:.3f}s ({speedup:.1f}x), identical output: "
+        "{identical}".format(**comparison),
+        f"fastpath cache: {cache['hits']} hits / {cache['misses']} misses "
+        f"({cache['hit_ratio'] * 100:.1f}% hit ratio), "
+        f"{cache['evictions']} evictions, {cache['entries']} entries "
+        f"({cache['shapes']} distinct shapes)",
+    ]
+    return "\n".join(lines)
+
+
 def cmd_stats(args: argparse.Namespace) -> int:
     """Run the whole pipeline under a fresh telemetry registry and dump
     everything that was measured."""
@@ -150,15 +206,23 @@ def cmd_stats(args: argparse.Namespace) -> int:
 
             loader = BulkLoader(algorithm=args.algorithm, limit=args.limit)
             loader.load(tree_to_xml(tree))
+        fastpath = None
+        if args.fastpath:
+            fastpath = _fastpath_comparison(tree, args.algorithm, args.limit)
         if args.jsonl:
             telemetry.export_jsonl(sys.stdout, reg)
         elif args.json:
             payload = telemetry.snapshot(reg)
             payload["environment"] = telemetry.environment_fingerprint()
+            if fastpath is not None:
+                payload["fastpath"] = fastpath
             json.dump(payload, sys.stdout, indent=2, sort_keys=True)
             print()
         else:
             print(telemetry.format_metrics(reg))
+            if fastpath is not None:
+                print()
+                print(_format_fastpath(fastpath))
             if args.profile:
                 from repro.obsv import build_profile, format_profile
 
@@ -197,6 +261,12 @@ def _add_stats_arguments(parser: argparse.ArgumentParser) -> None:
         help="append a per-phase self-time profile of the span tree (text mode)",
     )
     parser.add_argument(
+        "--fastpath",
+        action="store_true",
+        help="also time the fastpath kernel against the reference "
+        "implementation and report cache hit ratios (docs/PERFORMANCE.md)",
+    )
+    parser.add_argument(
         "--chrome-trace",
         metavar="PATH",
         default=None,
@@ -224,6 +294,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         type=int,
         default=None,
         help="bound resident memory (slots); enables Sec. 4.3 spilling",
+    )
+    p.add_argument(
+        "--parallel",
+        type=int,
+        metavar="N",
+        default=None,
+        help="fan top-level subtrees over N worker processes "
+        "(deterministic ordered merge; incompatible with --spill-threshold)",
     )
     p.set_defaults(func=cmd_import)
 

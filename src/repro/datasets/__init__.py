@@ -27,6 +27,7 @@ from repro.datasets.random_trees import (
     random_tree,
     random_flat_tree,
     comb_tree,
+    duplicated_subtree_tree,
     star_tree,
 )
 
@@ -44,5 +45,6 @@ __all__ = [
     "random_tree",
     "random_flat_tree",
     "comb_tree",
+    "duplicated_subtree_tree",
     "star_tree",
 ]

@@ -85,6 +85,41 @@ def heavy_child_tree(light_children: int, heavy_weight: int, light_weight: int =
     return tree
 
 
+def duplicated_subtree_tree(
+    copies: int,
+    template_size: int = 40,
+    max_weight: int = 5,
+    seed: Optional[int] = None,
+    distinct_templates: int = 4,
+) -> Tree:
+    """A document dominated by repeated subtree shapes.
+
+    Real XML exports repeat a handful of record templates thousands of
+    times ("XML Compression via DAGs"); this generator reproduces that
+    regime: ``distinct_templates`` random subtree shapes are stamped out
+    round-robin ``copies`` times under a light spine. The fast-path shape
+    cache should solve each template once and replay it for every other
+    copy, so this is the headline benchmark input for DAG memoization.
+    """
+    rng = random.Random(seed)
+    templates = [
+        random_tree(template_size, max_weight=max_weight, rng=rng)
+        for _ in range(max(1, distinct_templates))
+    ]
+    tree = Tree("catalog", 1)
+    for i in range(copies):
+        template = templates[i % len(templates)]
+        anchor = tree.add_child(tree.root, f"record{i}", template.root.weight)
+        # Graft the template below the anchor; template ids are creation-
+        # ordered so parents map before their children.
+        mapping = {template.root.node_id: anchor}
+        for node in template.nodes[1:]:
+            mapping[node.node_id] = tree.add_child(
+                mapping[node.parent.node_id], node.label, node.weight
+            )
+    return tree
+
+
 def layered_trap_tree(levels: int, limit: int) -> Tree:
     """A generalization of the paper's Fig. 6: at every level, the locally
     optimal choice wastes exactly the slack the level above needs, so

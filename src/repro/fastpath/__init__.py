@@ -1,0 +1,55 @@
+"""repro.fastpath — flat-array kernels and DAG memoization (docs/PERFORMANCE.md).
+
+The fast path accelerates the DP partitioners (and the bulk loader) while
+producing results bit-identical to the reference implementations:
+
+* :class:`~repro.fastpath.flat.FlatTree` — structure-of-arrays snapshot
+  of a :class:`~repro.tree.node.Tree` (parent / first-child /
+  next-sibling / weight / subtree-weight plus a CSR children view).
+* :mod:`repro.fastpath.kernels` — iterative DHW / GHDW / FDW kernels
+  over those arrays.
+* :class:`~repro.fastpath.cache.FastpathCache` — subtree-shape
+  hash-consing with an LRU-bounded per-``(shape, capacity)`` DP result
+  cache (``fastpath.cache.{hit,miss,evict}`` telemetry counters).
+* :class:`~repro.fastpath.parallel.ParallelBulkLoader` — bulk load that
+  fans independent top-level subtrees over a ``multiprocessing`` pool
+  with a deterministic ordered merge.
+
+Selection: ``Partitioner(fastpath=True/False)`` per instance, or the
+``REPRO_FASTPATH`` environment variable for whole sessions (the
+constructor argument wins). The fast path auto-disables under an active
+explain scope and under ``collect_stats=True`` — both need the reference
+implementation's per-decision bookkeeping.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.fastpath.cache import FastpathCache, clear_default_cache, default_cache
+from repro.fastpath.flat import FlatTree
+from repro.fastpath.kernels import dhw_fastpath, fdw_fastpath, ghdw_fastpath
+
+#: environment switch: "1"/"true"/"on"/"yes" enable the fast path for
+#: every capable partitioner whose ``fastpath`` argument was left unset
+FASTPATH_ENV = "REPRO_FASTPATH"
+
+_TRUTHY = frozenset({"1", "true", "on", "yes"})
+
+
+def env_enabled() -> bool:
+    """Does ``REPRO_FASTPATH`` request the fast path for this session?"""
+    return os.environ.get(FASTPATH_ENV, "").strip().lower() in _TRUTHY
+
+
+__all__ = [
+    "FASTPATH_ENV",
+    "FastpathCache",
+    "FlatTree",
+    "clear_default_cache",
+    "default_cache",
+    "dhw_fastpath",
+    "env_enabled",
+    "fdw_fastpath",
+    "ghdw_fastpath",
+]

@@ -1,0 +1,140 @@
+"""Fast-path variant of the shared :class:`~repro.partition.flatdp.FlatDP`.
+
+The reference solver recomputes, for every cell ``D(s, j)``, the
+candidate-2 scan of Lemma 2: it re-accumulates interval weights, re-checks
+the feasibility break and — in DHW's deltas mode — re-derives the Lemma-5
+downgrade picks with a full sort per ``(j, m)`` interval. All of that is
+independent of the row's base root weight ``s``: the interval
+``(c_{j-m}, c_j)`` has the same weight, the same feasibility and the same
+pick set in every row. On wide nodes (a corpus root with thousands of
+children) the reference therefore pays the scan once per *cell* where
+once per *column* suffices.
+
+:class:`FastFlatDP` hoists the scan: the first cell of column ``j``
+materializes an ``(idx, extra, nearlyopt)`` candidate list; every later
+row replays it with nothing but a chain lookup and the card/lean
+comparison. Downgrade picks are maintained incrementally — extending the
+interval head adds exactly one candidate, inserted with
+:func:`bisect.insort` into a ``(-delta, index)``-ordered pool, which
+reproduces the reference's stable descending-delta sort order exactly
+(equal deltas tie-break by ascending child index in both).
+
+The recurrence, tie-breaking and entry encoding are untouched — entries
+remain interchangeable with the reference's and
+:func:`~repro.partition.flatdp.chain_intervals` applies unchanged. The
+equivalence suite in ``tests/fastpath/`` pins bit-identical output.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from typing import Optional
+
+from repro.partition.flatdp import INF, INFEASIBLE_ENTRY, Entry, FlatDP
+
+#: per-column candidate tuple: (begin index, card increment, downgrades)
+Candidate = tuple[int, int, tuple[int, ...]]
+
+
+class FastFlatDP(FlatDP):
+    """Drop-in :class:`FlatDP` with per-column candidate hoisting."""
+
+    __slots__ = ("_candidates",)
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._candidates: dict[int, list[Candidate]] = {}
+
+    def _compute(self, s: int, j: int) -> Entry:
+        cw = self.cw
+        cols = self.cols
+        limit = self.limit
+
+        # Candidate 1: c_j joins the root partition — share D(s + cw_j, j-1).
+        s2 = s + cw[j - 1]
+        best = cols[j - 1][s2] if s2 <= limit else INFEASIBLE_ENTRY
+        best_card = best[0]
+        best_rw = best[1]
+
+        # Candidate 2: append an interval (c_{j-m}, c_j) to D(s, j-m-1),
+        # replaying the hoisted s-independent candidate list.
+        candidates = self._candidates.get(j)
+        if candidates is None:
+            candidates = self._scan_column(j)
+            self._candidates[j] = candidates
+        end = j - 1
+        for idx, extra, nearlyopt in candidates:
+            prev = cols[idx][s]
+            prev_card = prev[0]
+            if prev_card is INF:
+                continue
+            crd = prev_card + extra
+            rw = prev[1]
+            if crd < best_card or (crd == best_card and rw < best_rw):
+                best_card = crd
+                best_rw = rw
+                best = (crd, rw, idx, end, nearlyopt, prev)
+        return best
+
+    def _scan_column(self, j: int) -> list[Candidate]:
+        """The s-independent part of Lemma 2's candidate-2 loop for column
+        ``j``, in the reference's ``m`` order (shortest interval first)."""
+        cw = self.cw
+        deltas = self.deltas
+        limit = self.limit
+        out: list[Candidate] = []
+        w = 0
+        max_m = j if j < limit else limit
+        if deltas is None:
+            for m in range(max_m):
+                idx = j - m - 1
+                w += cw[idx]
+                if w > limit:
+                    break
+                out.append((idx, 1, ()))
+            return out
+        exclude = self.exclude_endpoints
+        # Downgrade candidates ordered by (delta desc, index asc) — the
+        # stable-sort order of the reference's _pick_nearly_optimal.
+        pool: list[tuple[int, int]] = []
+        dw = 0
+        for m in range(max_m):
+            idx = j - m - 1
+            w += cw[idx]
+            dw += deltas[idx]
+            if w - dw > limit:
+                # Even downgrading every member cannot make the interval
+                # fit; wider intervals only get heavier.
+                break
+            if exclude:
+                # Interval endpoints never need a downgrade (Sec. 3.3.6):
+                # candidates are begin+1 .. j-2, so extending the head by
+                # one admits the *previous* head (none before m == 2).
+                if m >= 2:
+                    joined = idx + 1
+                    if deltas[joined] > 0:
+                        insort(pool, (-deltas[joined], joined))
+            elif deltas[idx] > 0:
+                insort(pool, (-deltas[idx], idx))
+            if w <= limit:
+                out.append((idx, 1, ()))
+                continue
+            picks = self._walk_picks(pool, w)
+            if picks is not None:
+                out.append((idx, 1 + len(picks), picks))
+        return out
+
+    def _walk_picks(
+        self, pool: list[tuple[int, int]], w: int
+    ) -> Optional[tuple[int, ...]]:
+        """Greedy Lemma-5 downgrade selection off the sorted pool."""
+        limit = self.limit
+        picks: list[int] = []
+        for neg_delta, i in pool:
+            if w <= limit:
+                break
+            w += neg_delta
+            picks.append(i)
+        if w > limit:
+            return None
+        return tuple(picks)

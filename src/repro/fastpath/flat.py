@@ -1,0 +1,203 @@
+"""Structure-of-arrays tree representation for the fast-path kernels.
+
+A :class:`FlatTree` stores one ordered weighted tree as parallel arrays
+indexed by node id — parent, first-child, next-sibling, weight and
+subtree weight, plus a CSR (offset + flat id list) view of the children
+lists. The DP kernels in :mod:`repro.fastpath.kernels` iterate over these
+arrays with plain integer indexing instead of chasing ``TreeNode``
+attribute pointers, which is where most of the reference partitioners'
+constant factor goes.
+
+The arrays are built in **one pass** over ``tree.nodes``. That works
+because :class:`~repro.tree.node.Tree` assigns dense ids in creation
+order and every construction path (``add_child`` / ``insert_child``)
+creates parents before children, so ``parent[i] < i`` for every non-root
+``i``. The same invariant makes subtree weights a single *descending-id*
+accumulation — a postorder without any traversal bookkeeping.
+
+A ``FlatTree`` is round-trippable: :meth:`FlatTree.to_tree` rebuilds an
+equivalent :class:`~repro.tree.node.Tree` (same ids, labels, weights,
+kinds, contents and sibling order). Because the arrays are plain lists of
+ints/strings, a ``FlatTree`` also pickles cheaply, which the parallel
+bulk loader uses to ship worker results between processes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import TreeError
+from repro.tree.node import NodeKind, Tree
+
+
+class FlatTree:
+    """Immutable flat-array snapshot of a :class:`~repro.tree.node.Tree`.
+
+    Attributes (all indexed by node id; ``-1`` encodes "none"):
+
+    ``parent``
+        parent id (``-1`` for the root),
+    ``weight`` / ``subtree_weight``
+        node weight ``w(v)`` and subtree weight ``W_T(v)``,
+    ``first_child`` / ``next_sibling``
+        classic binary-tree links in sibling order,
+    ``child_offset`` / ``child_ids``
+        CSR children view: the children of ``v`` in sibling order are
+        ``child_ids[child_offset[v]:child_offset[v + 1]]``,
+    ``labels`` / ``kinds`` / ``contents``
+        payload columns, kept so ``to_tree`` is an exact round trip.
+    """
+
+    __slots__ = (
+        "n",
+        "parent",
+        "weight",
+        "subtree_weight",
+        "first_child",
+        "next_sibling",
+        "child_offset",
+        "child_ids",
+        "labels",
+        "kinds",
+        "contents",
+    )
+
+    def __init__(
+        self,
+        n: int,
+        parent: list[int],
+        weight: list[int],
+        subtree_weight: list[int],
+        first_child: list[int],
+        next_sibling: list[int],
+        child_offset: list[int],
+        child_ids: list[int],
+        labels: list[str],
+        kinds: list[int],
+        contents: list[Optional[str]],
+    ):
+        self.n = n
+        self.parent = parent
+        self.weight = weight
+        self.subtree_weight = subtree_weight
+        self.first_child = first_child
+        self.next_sibling = next_sibling
+        self.child_offset = child_offset
+        self.child_ids = child_ids
+        self.labels = labels
+        self.kinds = kinds
+        self.contents = contents
+
+    # ------------------------------------------------------------------
+    # construction
+
+    @classmethod
+    def from_tree(cls, tree: Tree) -> "FlatTree":
+        """Flatten ``tree`` into arrays in a single pass over its nodes."""
+        nodes = tree.nodes
+        n = len(nodes)
+        parent = [-1] * n
+        weight = [0] * n
+        first_child = [-1] * n
+        next_sibling = [-1] * n
+        child_offset = [0] * (n + 1)
+        child_ids: list[int] = []
+        labels: list[str] = []
+        kinds: list[int] = []
+        contents: list[Optional[str]] = []
+        for i, node in enumerate(nodes):
+            if node.node_id != i:
+                raise TreeError(f"node at position {i} has id {node.node_id}")
+            weight[i] = node.weight
+            labels.append(node.label)
+            kinds.append(int(node.kind))
+            contents.append(node.content)
+            par = node.parent
+            if par is not None:
+                pid = par.node_id
+                if pid >= i:
+                    raise TreeError(f"node {i} created before its parent {pid}")
+                parent[i] = pid
+            children = node.children
+            if children:
+                first_child[i] = children[0].node_id
+                prev = children[0].node_id
+                for child in children[1:]:
+                    cid = child.node_id
+                    next_sibling[prev] = cid
+                    prev = cid
+                child_ids.extend(c.node_id for c in children)
+            child_offset[i + 1] = len(child_ids)
+        subtree_weight = weight[:]
+        for i in range(n - 1, 0, -1):
+            subtree_weight[parent[i]] += subtree_weight[i]
+        return cls(
+            n,
+            parent,
+            weight,
+            subtree_weight,
+            first_child,
+            next_sibling,
+            child_offset,
+            child_ids,
+            labels,
+            kinds,
+            contents,
+        )
+
+    # ------------------------------------------------------------------
+    # round trip
+
+    def children(self, node_id: int) -> list[int]:
+        """The child ids of ``node_id`` in sibling order."""
+        return self.child_ids[self.child_offset[node_id] : self.child_offset[node_id + 1]]
+
+    def to_tree(self) -> Tree:
+        """Rebuild an equivalent :class:`Tree` (exact round trip).
+
+        Nodes are recreated in id order so the new tree assigns the same
+        dense ids. For trees built purely with ``add_child`` the sibling
+        order equals the id order and children are appended directly; a
+        parent whose CSR child list is *not* id-sorted (``insert_child``
+        was used) gets its children placed via positional insertion.
+        """
+        kinds = self.kinds
+        labels = self.labels
+        contents = self.contents
+        weight = self.weight
+        tree = Tree(labels[0], weight[0], NodeKind(kinds[0]), contents[0])
+        parent = self.parent
+        offset = self.child_offset
+        child_ids = self.child_ids
+        # Final sibling position of every node under its parent.
+        position = [0] * self.n
+        sorted_children = [True] * self.n
+        for v in range(self.n):
+            prev = -1
+            for slot, cid in enumerate(child_ids[offset[v] : offset[v + 1]]):
+                position[cid] = slot
+                if cid < prev:
+                    sorted_children[v] = False
+                prev = cid
+        nodes = tree.nodes
+        for i in range(1, self.n):
+            pid = parent[i]
+            par = nodes[pid]
+            kind = NodeKind(kinds[i])
+            if sorted_children[pid]:
+                tree.add_child(par, labels[i], weight[i], kind, contents[i])
+            else:
+                # Among the already-created siblings (all with id < i),
+                # count how many precede i in the final order.
+                pos = 0
+                for cid in child_ids[offset[pid] : offset[pid + 1]]:
+                    if cid < i and position[cid] < position[i]:
+                        pos += 1
+                tree.insert_child(par, pos, labels[i], weight[i], kind, contents[i])
+        return tree
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FlatTree(n={self.n}, weight={self.subtree_weight[0] if self.n else 0})"

@@ -1,0 +1,294 @@
+"""Iterative fast-path kernels for DHW / GHDW / FDW.
+
+Each kernel is the reference algorithm re-expressed over a
+:class:`~repro.fastpath.flat.FlatTree`: one descending-id loop replaces
+the postorder generator (children have larger ids than parents, so the
+loop sees every subtree solution before its parent consumes it), and all
+child access goes through the CSR arrays — no ``TreeNode`` attribute
+lookups and no recursion in the hot loop.
+
+Two observations carry the speedup:
+
+* **Trivial fit.** If a node's *subtree* weight is at most ``K``, the
+  optimal solution is provably the empty chain with root weight
+  ``W_T(v)`` (candidate 1 of Lemma 2 applies at every step), so entire
+  below-capacity subtrees collapse in O(1) per node without touching the
+  DP. GHDW and FDW skip those nodes outright; DHW still derives the
+  nearly-optimal variant (Lemma 4) because ancestors may downgrade them.
+* **Shape memoization.** The DP answer for a subtree depends only on its
+  shape (weights + sibling order), so solved shapes are replayed from the
+  :class:`~repro.fastpath.cache.FastpathCache` instead of re-running the
+  DP — once per distinct shape instead of once per node.
+
+Every kernel produces a :class:`~repro.partition.interval.Partitioning`
+**bit-identical** to its reference implementation: the non-trivial solves
+run :class:`~repro.fastpath.dp.FastFlatDP` — the reference
+:class:`~repro.partition.flatdp.FlatDP` recurrence with its s-independent
+candidate scan hoisted per column (same tie-breaking, same lean rule,
+same Lemma-4/5 handling) — and the
+equivalence suite in ``tests/fastpath/`` pins that across randomized
+trees. ``tests/fastpath/test_equivalence.py`` is the contract; any change
+here must keep it green.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro import telemetry
+from repro.errors import TreeError
+from repro.fastpath.cache import FastpathCache, default_cache
+from repro.fastpath.dp import FastFlatDP
+from repro.fastpath.flat import FlatTree
+from repro.partition.flatdp import CARD, INF, ROOTWEIGHT, chain_intervals
+from repro.partition.interval import Partitioning, SiblingInterval
+from repro.tree.node import Tree
+
+#: cache-key mode tags. FDW shares GHDW's records: on a flat tree both
+#: run the identical plain DP, so the same shape yields the same chain.
+MODE_DHW = "dhw"
+MODE_GHDW = "ghdw"
+
+#: record field indices: (opt_chain, opt_rootweight, near_chain, delta)
+OPT_CHAIN, OPT_RW, NEAR_CHAIN, DELTA = range(4)
+
+
+def _solve_shape(
+    own_weight: int,
+    child_weights: list[int],
+    limit: int,
+    child_deltas: Optional[list[int]],
+    exclude_endpoints: bool,
+    want_near: bool,
+) -> tuple:
+    """Solve one flat subproblem; chains are (begin, end, nearlyopt)
+    triples of 0-based child indices in right-to-left construction order
+    (the exact :func:`~repro.partition.flatdp.chain_intervals` encoding).
+    """
+    dp = FastFlatDP(
+        child_weights,
+        limit,
+        deltas=child_deltas if want_near else None,
+        exclude_endpoints=exclude_endpoints,
+    )
+    total = own_weight + sum(child_weights)
+    if total <= limit:
+        # Candidate 1 of Lemma 2 is feasible at every step, so the DP's
+        # answer is the cardinality-0 base entry with root weight W_T(v).
+        opt_chain: tuple = ()
+        opt_rw = total
+        opt_card = 0
+    else:
+        opt = dp.top_entry(own_weight)
+        assert opt[CARD] is not INF, "fastpath subproblem must be feasible"
+        opt_chain = tuple(chain_intervals(opt))
+        opt_rw = opt[ROOTWEIGHT]
+        opt_card = opt[CARD]
+    near_chain = None
+    delta = 0
+    if want_near:
+        # Lemma 4: read the nearly-optimal variant off the same table at
+        # the inflated base root weight.
+        s_q = own_weight + limit - opt_rw + 1
+        if s_q <= limit:
+            near = dp.top_entry(s_q)
+            if near[CARD] is not INF:
+                assert near[CARD] >= opt_card + 1
+                if near[CARD] == opt_card + 1:
+                    near_chain = tuple(chain_intervals(near))
+                    delta = limit + 1 - near[ROOTWEIGHT]
+                    assert delta > 0
+    return (opt_chain, opt_rw, near_chain, delta)
+
+
+# ----------------------------------------------------------------------
+# DHW
+
+
+def dhw_fastpath(
+    tree: Tree,
+    limit: int,
+    *,
+    exclude_endpoints: bool = False,
+    cache: Optional[FastpathCache] = None,
+) -> Partitioning:
+    """Fast-path DHW: flatten, collapse bottom-up, extract top-down."""
+    if cache is None:
+        cache = default_cache()
+    with telemetry.span("dhw.fastpath"):
+        with telemetry.span("dhw.fastpath.flatten"):
+            ft = FlatTree.from_tree(tree)
+            shapes = cache.shape_ids(ft)
+        with telemetry.span("dhw.fastpath.dp"):
+            records = _dhw_collapse(ft, shapes, limit, exclude_endpoints, cache)
+        with telemetry.span("dhw.fastpath.extract"):
+            intervals = _dhw_extract(ft, records)
+    cache.flush_counters()
+    return Partitioning(intervals)
+
+
+def _dhw_collapse(
+    ft: FlatTree,
+    shapes: list[int],
+    limit: int,
+    exclude_endpoints: bool,
+    cache: FastpathCache,
+) -> list[Optional[tuple]]:
+    """Per-node solution records, children before parents (Fig. 7)."""
+    n = ft.n
+    weight = ft.weight
+    offset = ft.child_offset
+    child_ids = ft.child_ids
+    opt_rw = [0] * n
+    delta = [0] * n
+    records: list[Optional[tuple]] = [None] * n
+    cache_get = cache.get
+    cache_put = cache.put
+    for v in range(n - 1, -1, -1):
+        lo = offset[v]
+        hi = offset[v + 1]
+        if lo == hi:  # leaf: empty chain, no record needed
+            opt_rw[v] = weight[v]
+            continue
+        key = (MODE_DHW, shapes[v], limit, exclude_endpoints)
+        rec = cache_get(key)
+        if rec is None:
+            children = child_ids[lo:hi]
+            rec = _solve_shape(
+                weight[v],
+                [opt_rw[c] for c in children],
+                limit,
+                [delta[c] for c in children],
+                exclude_endpoints,
+                want_near=True,
+            )
+            cache_put(key, rec)
+        records[v] = rec
+        opt_rw[v] = rec[OPT_RW]
+        delta[v] = rec[DELTA]
+    return records
+
+
+def _dhw_extract(ft: FlatTree, records: list[Optional[tuple]]) -> set[SiblingInterval]:
+    """Top-down D-/Q-chain choice, mirroring ``DHWPartitioner._extract``."""
+    offset = ft.child_offset
+    child_ids = ft.child_ids
+    intervals = {SiblingInterval(0, 0)}
+    stack: list[tuple[int, bool]] = [(0, False)]
+    while stack:
+        v, use_near = stack.pop()
+        rec = records[v]
+        if rec is None:  # leaf
+            continue
+        chain = rec[NEAR_CHAIN] if use_near else rec[OPT_CHAIN]
+        assert chain is not None
+        children = child_ids[offset[v] : offset[v + 1]]
+        near_children: set[int] = set()
+        for begin, end, nearly in chain:
+            intervals.add(SiblingInterval(children[begin], children[end]))
+            near_children.update(nearly)
+        for idx, child in enumerate(children):
+            stack.append((child, idx in near_children))
+    return intervals
+
+
+# ----------------------------------------------------------------------
+# GHDW
+
+
+def ghdw_fastpath(
+    tree: Tree, limit: int, *, cache: Optional[FastpathCache] = None
+) -> Partitioning:
+    """Fast-path GHDW: one bottom-up collapse, intervals emitted inline."""
+    if cache is None:
+        cache = default_cache()
+    with telemetry.span("ghdw.fastpath"):
+        with telemetry.span("ghdw.fastpath.flatten"):
+            ft = FlatTree.from_tree(tree)
+            shapes = cache.shape_ids(ft)
+        with telemetry.span("ghdw.fastpath.dp"):
+            intervals = _ghdw_collapse(ft, shapes, limit, cache)
+    cache.flush_counters()
+    return Partitioning(intervals)
+
+
+def _ghdw_collapse(
+    ft: FlatTree, shapes: list[int], limit: int, cache: FastpathCache
+) -> set[SiblingInterval]:
+    n = ft.n
+    weight = ft.weight
+    subtree_weight = ft.subtree_weight
+    offset = ft.child_offset
+    child_ids = ft.child_ids
+    opt_rw = [0] * n
+    intervals = {SiblingInterval(0, 0)}
+    cache_get = cache.get
+    cache_put = cache.put
+    for v in range(n - 1, -1, -1):
+        if subtree_weight[v] <= limit:
+            # Trivial fit: the whole subtree joins one partition; no
+            # descendant of v emits an interval either (their subtrees
+            # fit a fortiori), so they all take this branch.
+            opt_rw[v] = subtree_weight[v]
+            continue
+        lo = offset[v]
+        hi = offset[v + 1]
+        children = child_ids[lo:hi]
+        key = (MODE_GHDW, shapes[v], limit)
+        rec = cache_get(key)
+        if rec is None:
+            rec = _solve_shape(
+                weight[v],
+                [opt_rw[c] for c in children],
+                limit,
+                None,
+                False,
+                want_near=False,
+            )
+            cache_put(key, rec)
+        opt_rw[v] = rec[OPT_RW]
+        for begin, end, _nearly in rec[OPT_CHAIN]:
+            intervals.add(SiblingInterval(children[begin], children[end]))
+    return intervals
+
+
+# ----------------------------------------------------------------------
+# FDW
+
+
+def fdw_fastpath(
+    tree: Tree, limit: int, *, cache: Optional[FastpathCache] = None
+) -> Partitioning:
+    """Fast-path FDW: a single root-level solve on a flat tree.
+
+    Shares GHDW's cache records — on a flat tree both algorithms run the
+    identical plain DP over the leaf weights.
+    """
+    if cache is None:
+        cache = default_cache()
+    with telemetry.span("fdw.fastpath"):
+        ft = FlatTree.from_tree(tree)
+        if ft.child_offset[1] != ft.n - 1:
+            raise TreeError(
+                "fdw_partition_flat requires a flat tree (all children are leaves)"
+            )
+        intervals = {SiblingInterval(0, 0)}
+        if ft.subtree_weight[0] > limit:
+            shapes = cache.shape_ids(ft)
+            children = ft.child_ids[ft.child_offset[0] : ft.child_offset[1]]
+            key = (MODE_GHDW, shapes[0], limit)
+            rec = cache.get(key)
+            if rec is None:
+                rec = _solve_shape(
+                    ft.weight[0],
+                    [ft.weight[c] for c in children],
+                    limit,
+                    None,
+                    False,
+                    want_near=False,
+                )
+                cache.put(key, rec)
+            for begin, end, _nearly in rec[OPT_CHAIN]:
+                intervals.add(SiblingInterval(children[begin], children[end]))
+    cache.flush_counters()
+    return Partitioning(intervals)

@@ -57,6 +57,12 @@ class Partitioner(abc.ABC):
     optimal: bool = False
     #: can the algorithm emit partitions before seeing the whole document?
     main_memory_friendly: bool = False
+    #: does the algorithm have a :mod:`repro.fastpath` kernel?
+    fastpath_capable: bool = False
+    #: tri-state fast-path preference: ``True``/``False`` pin it per
+    #: instance, ``None`` defers to the ``REPRO_FASTPATH`` environment
+    #: variable (see docs/PERFORMANCE.md)
+    fastpath: Optional[bool] = None
 
     def partition(
         self, tree: Tree, limit: int, *, check: Optional[bool] = None
@@ -118,6 +124,29 @@ class Partitioner(abc.ABC):
         if explaining:
             explain.finish_run(self.name, tree, result, limit)
         return result
+
+    def _fastpath_active(self) -> bool:
+        """Should this call take the :mod:`repro.fastpath` kernel?
+
+        Only capable algorithms ever do; the instance's ``fastpath``
+        argument wins over the ``REPRO_FASTPATH`` environment variable.
+        The kernel produces bit-identical partitionings but not the
+        reference implementation's per-decision bookkeeping, so the fast
+        path auto-disables under an active explain scope and under
+        ``collect_stats=True`` (docs/PERFORMANCE.md lists the rules).
+        """
+        if not self.fastpath_capable:
+            return False
+        use = self.fastpath
+        if use is None:
+            from repro.fastpath import env_enabled
+
+            use = env_enabled()
+        if not use:
+            return False
+        if explain.explaining():
+            return False
+        return not getattr(self, "collect_stats", False)
 
     def _emit_telemetry(self, tree: Tree, result: Partitioning, sp: telemetry.Span) -> None:
         """Record the per-algorithm metric set (telemetry is enabled).

@@ -69,17 +69,30 @@ class DHWPartitioner(Partitioner):
     name = "dhw"
     optimal = True
     main_memory_friendly = False  # decisions depend on the next-higher level
+    fastpath_capable = True
 
-    def __init__(self, collect_stats: bool = False, exclude_endpoints: bool = False):
+    def __init__(
+        self,
+        collect_stats: bool = False,
+        exclude_endpoints: bool = False,
+        fastpath: Optional[bool] = None,
+    ):
         """``exclude_endpoints`` enables the Sec. 3.3.6 optimization: the
         first and last node of an interval are never downgraded to a
         nearly-optimal subtree partitioning (the paper proves an optimal
-        one always suffices there), shrinking the candidate lists."""
+        one always suffices there), shrinking the candidate lists.
+        ``fastpath`` pins the :mod:`repro.fastpath` kernel on or off;
+        ``None`` defers to the ``REPRO_FASTPATH`` environment variable."""
         self.collect_stats = collect_stats
         self.exclude_endpoints = exclude_endpoints
+        self.fastpath = fastpath
         self.stats = DHWStats()
 
     def _partition(self, tree: Tree, limit: int) -> Partitioning:
+        if self._fastpath_active():
+            from repro.fastpath.kernels import dhw_fastpath
+
+            return dhw_fastpath(tree, limit, exclude_endpoints=self.exclude_endpoints)
         # Stats also feed telemetry (DP cells touched / Q-chains used per
         # run) and explain notes, so collect them whenever a measurement
         # or provenance session is active.

@@ -54,15 +54,11 @@ def validate_partitioning(tree: Tree, partitioning: Partitioning) -> None:
             seen.add(member.node_id)
 
 
-def partition_node_weights(tree: Tree, partitioning: Partitioning) -> list[int]:
-    """Partition weight ``W_P_T(v)`` of every node, indexed by node id.
-
-    One postorder pass: a node's partition weight is its own weight plus
-    the partition weights of its children that are *not* interval members
-    (those stay attached; members are cut into their own forest trees).
-    """
-    cut = partitioning.member_ids(tree)
-    cut.add(tree.root.node_id)
+def _forest_node_weights(tree: Tree, cut: set[int]) -> list[int]:
+    """Partition weight of every node given the cut set (one postorder
+    pass): a node's partition weight is its own weight plus the partition
+    weights of its children that are *not* cut into their own forest
+    trees."""
     weights = [0] * len(tree)
     for node in iter_postorder(tree):
         total = node.weight
@@ -73,14 +69,29 @@ def partition_node_weights(tree: Tree, partitioning: Partitioning) -> list[int]:
     return weights
 
 
+def partition_node_weights(tree: Tree, partitioning: Partitioning) -> list[int]:
+    """Partition weight ``W_P_T(v)`` of every node, indexed by node id."""
+    cut = partitioning.member_ids(tree)
+    cut.add(tree.root.node_id)
+    return _forest_node_weights(tree, cut)
+
+
 def partition_weights(
     tree: Tree, partitioning: Partitioning
 ) -> dict[SiblingInterval, int]:
-    """Partition weight of every interval, ``W_P_T(l, r)``."""
-    node_weights = partition_node_weights(tree, partitioning)
+    """Partition weight of every interval, ``W_P_T(l, r)``.
+
+    Interval members are materialized exactly once and shared between the
+    cut set and the per-interval weight sums, so the whole computation is
+    a single O(n) walk plus one postorder pass (no per-interval re-walks).
+    """
+    members = {iv: iv.nodes(tree) for iv in partitioning.intervals}
+    cut = {node.node_id for nodes in members.values() for node in nodes}
+    cut.add(tree.root.node_id)
+    node_weights = _forest_node_weights(tree, cut)
     return {
-        iv: sum(node_weights[n.node_id] for n in iv.nodes(tree))
-        for iv in partitioning.intervals
+        iv: sum(node_weights[node.node_id] for node in nodes)
+        for iv, nodes in members.items()
     }
 
 

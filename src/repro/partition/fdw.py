@@ -10,6 +10,8 @@ and DHW apply per inner node.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.errors import InfeasiblePartitioningError, TreeError
 from repro.obsv import explain
 from repro.partition.base import Partitioner, register
@@ -68,6 +70,16 @@ class FDWPartitioner(Partitioner):
     name = "fdw"
     optimal = True  # on its input class (flat trees)
     main_memory_friendly = False
+    fastpath_capable = True
+
+    def __init__(self, fastpath: Optional[bool] = None):
+        """``fastpath`` pins the :mod:`repro.fastpath` kernel on or off;
+        ``None`` defers to the ``REPRO_FASTPATH`` environment variable."""
+        self.fastpath = fastpath
 
     def _partition(self, tree: Tree, limit: int) -> Partitioning:
+        if self._fastpath_active():
+            from repro.fastpath.kernels import fdw_fastpath
+
+            return fdw_fastpath(tree, limit)
         return fdw_partition_flat(tree, limit)

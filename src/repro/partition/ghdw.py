@@ -15,6 +15,7 @@ cost is far lower (only reachable ``s`` values are materialized).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro import telemetry
 from repro.obsv import explain
@@ -41,12 +42,20 @@ class GHDWPartitioner(Partitioner):
     name = "ghdw"
     optimal = False
     main_memory_friendly = True  # subtrees are finalized as soon as they close
+    fastpath_capable = True
 
-    def __init__(self, collect_stats: bool = False):
+    def __init__(self, collect_stats: bool = False, fastpath: Optional[bool] = None):
+        """``fastpath`` pins the :mod:`repro.fastpath` kernel on or off;
+        ``None`` defers to the ``REPRO_FASTPATH`` environment variable."""
         self.collect_stats = collect_stats
+        self.fastpath = fastpath
         self.stats = GHDWStats()
 
     def _partition(self, tree: Tree, limit: int) -> Partitioning:
+        if self._fastpath_active():
+            from repro.fastpath.kernels import ghdw_fastpath
+
+            return ghdw_fastpath(tree, limit)
         # Stats also feed telemetry (DP cells touched per run).
         collect = self.collect_stats or telemetry.enabled()
         cells_before = self.stats.dp_cells

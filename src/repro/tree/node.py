@@ -102,7 +102,7 @@ class TreeNode:
 class Tree:
     """A rooted, ordered, weighted tree with dense integer node ids."""
 
-    __slots__ = ("nodes", "_subtree_weights")
+    __slots__ = ("nodes", "_subtree_weights", "_total_weight")
 
     def __init__(
         self,
@@ -114,6 +114,7 @@ class Tree:
         root = TreeNode(0, root_label, root_weight, kind, content)
         self.nodes: list[TreeNode] = [root]
         self._subtree_weights: Optional[list[int]] = None
+        self._total_weight: Optional[int] = None
 
     @property
     def root(self) -> TreeNode:
@@ -148,6 +149,7 @@ class Tree:
         parent.children.append(child)
         self.nodes.append(child)
         self._subtree_weights = None
+        self._total_weight = None
         return child
 
     def insert_child(
@@ -176,11 +178,18 @@ class Tree:
             parent.children[idx].index = idx
         self.nodes.append(child)
         self._subtree_weights = None
+        self._total_weight = None
         return child
 
     def total_weight(self) -> int:
-        """Sum of all node weights, ``W_T(t)``."""
-        return sum(n.weight for n in self.nodes)
+        """Sum of all node weights, ``W_T(t)``.
+
+        Cached until the tree is mutated, so repeated calls (reports,
+        benchmark rows, feasibility bounds) cost O(1) after the first.
+        """
+        if self._total_weight is None:
+            self._total_weight = sum(n.weight for n in self.nodes)
+        return self._total_weight
 
     def subtree_weight(self, node: TreeNode) -> int:
         """``W_T(v)``: total weight of the subtree induced by ``node``.

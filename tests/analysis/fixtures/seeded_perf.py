@@ -1,0 +1,62 @@
+"""Seeded PERF001 violations: loop-invariant weight walks inside loops.
+
+Not importable as part of the real package — this fixture only feeds the
+analyzer tests (see README.md in this directory).
+"""
+
+from repro.partition.evaluate import partition_weights, root_weight
+from repro.tree import measure
+
+
+def quadratic_feasibility(tree, partitioning, limit, intervals):
+    for iv in intervals:
+        weights = partition_weights(tree, partitioning)  # seed:PERF001-for
+        if weights[iv] > limit:
+            return False
+    return True
+
+
+def quadratic_while(tree, partitioning, budget):
+    spent = 0
+    while spent < budget:
+        spent += root_weight(tree, partitioning)  # seed:PERF001-while
+    return spent
+
+
+def method_receiver_walk(tree, nodes):
+    total = 0
+    for node in nodes:
+        total += sum(measure.subtree_weights(tree))  # seed:PERF001-attr
+    return total
+
+
+def nested_loops_report_once(tree, partitioning, rows, cols):
+    acc = 0
+    for _row in rows:
+        for _col in cols:
+            acc += root_weight(tree, partitioning)  # seed:PERF001-nested
+    return acc
+
+
+def per_iteration_walk_is_fine(tree, candidates, limit):
+    best = None
+    for cand in candidates:
+        weights = partition_weights(tree, cand)  # varies with cand: clean
+        if all(w <= limit for w in weights.values()):
+            best = cand
+    return best
+
+
+def rebound_tree_is_fine(trees, partitioning):
+    total = 0
+    for tree in trees:
+        total += root_weight(tree, partitioning)  # receiver rebinds: clean
+    return total
+
+
+def hoisted_is_fine(tree, partitioning, intervals, limit):
+    weights = partition_weights(tree, partitioning)
+    for iv in intervals:
+        if weights[iv] > limit:
+            return False
+    return True

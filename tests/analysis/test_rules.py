@@ -213,6 +213,50 @@ class TestSeededViolations:
             result = run_lint([target], select=["RB001"])
             assert len(result.violations) == expected, name
 
+    def test_repeated_weight_walk_reported_in_all_shapes(self, fixture_result):
+        tags = seed_lines(FIXTURES / "seeded_perf.py")
+        hits = found(fixture_result, "PERF001", "seeded_perf.py")
+        assert {v.lineno for v in hits} == {
+            tags["PERF001-for"],
+            tags["PERF001-while"],
+            tags["PERF001-attr"],
+            tags["PERF001-nested"],
+        }
+
+    def test_repeated_weight_walk_nested_loops_report_once(self, fixture_result):
+        tags = seed_lines(FIXTURES / "seeded_perf.py")
+        hits = [
+            v
+            for v in found(fixture_result, "PERF001", "seeded_perf.py")
+            if v.lineno == tags["PERF001-nested"]
+        ]
+        assert len(hits) == 1
+
+    def test_loop_variant_walks_not_flagged(self, fixture_result):
+        source = (FIXTURES / "seeded_perf.py").read_text().splitlines()
+        clean_lines = {
+            lineno
+            for lineno, line in enumerate(source, start=1)
+            if "clean" in line or "hoisted" in line
+        }
+        hits = found(fixture_result, "PERF001", "seeded_perf.py")
+        assert not clean_lines & {v.lineno for v in hits}
+
+    def test_weight_walk_skip_pragma(self, tmp_path):
+        target = tmp_path / "walker.py"
+        target.write_text(
+            textwrap.dedent(
+                """
+                def f(tree, p, items):
+                    for item in items:
+                        w = partition_weights(tree, p)  # repro-lint: skip=PERF001
+                    return w
+                """
+            )
+        )
+        result = run_lint([target], select=["PERF001"])
+        assert result.clean
+
     def test_render_is_file_line_code_message(self, fixture_result):
         for violation in fixture_result.violations:
             rendered = violation.render()

@@ -1,4 +1,4 @@
-"""The perf-baseline harness and the committed BENCH_PR4.json baseline."""
+"""The perf-baseline harness and the committed BENCH_PR5.json baseline."""
 
 from __future__ import annotations
 
@@ -11,17 +11,17 @@ import pytest
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 HARNESS = REPO_ROOT / "benchmarks" / "harness.py"
-BASELINE = REPO_ROOT / "BENCH_PR4.json"
+BASELINE = REPO_ROOT / "BENCH_PR5.json"
 
 SCHEMA = "repro-bench/1"
-SCENARIOS = {"table1_table2", "table3", "bulkload", "overhead"}
+SCENARIOS = {"table1_table2", "table3", "bulkload", "overhead", "fastpath"}
 TABLE_ALGORITHMS = {"dhw", "ghdw", "ekm", "rs", "dfs", "km", "bfs"}
 
 
 class TestCommittedBaseline:
     @pytest.fixture(scope="class")
     def baseline(self):
-        assert BASELINE.exists(), "committed baseline BENCH_PR4.json missing"
+        assert BASELINE.exists(), "committed baseline BENCH_PR5.json missing"
         return json.loads(BASELINE.read_text())
 
     def test_schema_and_scenarios(self, baseline):
@@ -78,7 +78,7 @@ class TestHarnessQuickRun:
 
     def test_check_validates_committed_baseline(self, quick_run):
         proc, _ = quick_run
-        assert "baseline BENCH_PR4.json OK" in proc.stderr
+        assert "baseline BENCH_PR5.json OK" in proc.stderr
 
     def test_quick_output_shape(self, quick_run):
         _, data = quick_run

@@ -1,0 +1,106 @@
+"""When does a partitioner take the fast path?
+
+Precedence: the instance's ``fastpath`` argument beats the
+``REPRO_FASTPATH`` environment variable; explain scopes and
+``collect_stats=True`` force the reference path regardless (they need the
+reference implementation's provenance bookkeeping).
+"""
+
+import pytest
+
+from repro.fastpath import FASTPATH_ENV, env_enabled
+from repro.fastpath import kernels
+from repro.obsv import explain_scope
+from repro.partition import get_algorithm
+from repro.partition.dhw import DHWPartitioner
+from repro.partition.ghdw import GHDWPartitioner
+from repro.tree.builders import tree_from_spec
+
+FIG3_SPEC = (
+    "a",
+    3,
+    [("b", 2), ("c", 1, [("d", 2), ("e", 2)]), ("f", 1), ("g", 1), ("h", 2)],
+)
+
+
+@pytest.fixture
+def kernel_spy(monkeypatch):
+    """Count dhw_fastpath invocations without changing behaviour."""
+    calls = []
+    original = kernels.dhw_fastpath
+
+    def spy(tree, limit, **kwargs):
+        calls.append((len(tree), limit))
+        return original(tree, limit, **kwargs)
+
+    monkeypatch.setattr(kernels, "dhw_fastpath", spy)
+    return calls
+
+
+@pytest.fixture
+def fig3():
+    return tree_from_spec(FIG3_SPEC)
+
+
+class TestEnvFlag:
+    def test_env_enabled_truthy_values(self, monkeypatch):
+        for raw in ("1", "true", "on", "YES"):
+            monkeypatch.setenv(FASTPATH_ENV, raw)
+            assert env_enabled()
+        for raw in ("", "0", "false", "off", "no"):
+            monkeypatch.setenv(FASTPATH_ENV, raw)
+            assert not env_enabled()
+        monkeypatch.delenv(FASTPATH_ENV)
+        assert not env_enabled()
+
+    def test_env_activates_default_instances(self, monkeypatch, fig3, kernel_spy):
+        monkeypatch.setenv(FASTPATH_ENV, "1")
+        DHWPartitioner().partition(fig3, 5)
+        assert len(kernel_spy) == 1
+
+    def test_env_off_keeps_reference_path(self, monkeypatch, fig3, kernel_spy):
+        monkeypatch.delenv(FASTPATH_ENV, raising=False)
+        DHWPartitioner().partition(fig3, 5)
+        assert kernel_spy == []
+
+
+class TestInstanceFlag:
+    def test_kwarg_true_takes_kernel(self, fig3, kernel_spy):
+        DHWPartitioner(fastpath=True).partition(fig3, 5)
+        assert len(kernel_spy) == 1
+
+    def test_kwarg_false_beats_env(self, monkeypatch, fig3, kernel_spy):
+        monkeypatch.setenv(FASTPATH_ENV, "1")
+        DHWPartitioner(fastpath=False).partition(fig3, 5)
+        assert kernel_spy == []
+
+    def test_incapable_algorithms_ignore_env(self, monkeypatch, fig3):
+        monkeypatch.setenv(FASTPATH_ENV, "1")
+        ekm = get_algorithm("ekm")
+        assert not ekm.fastpath_capable
+        assert not ekm._fastpath_active()
+        ekm.partition(fig3, 5)  # must not try to import a kernel
+
+
+class TestAutoDisable:
+    def test_explain_scope_forces_reference(self, fig3, kernel_spy):
+        with explain_scope():
+            DHWPartitioner(fastpath=True).partition(fig3, 5)
+        assert kernel_spy == []
+
+    def test_collect_stats_forces_reference(self, fig3, kernel_spy):
+        partitioner = DHWPartitioner(collect_stats=True, fastpath=True)
+        partitioner.partition(fig3, 5)
+        assert kernel_spy == []
+        assert partitioner.stats.dp_cells > 0  # stats actually collected
+
+    def test_ghdw_collect_stats_forces_reference(self, fig3):
+        partitioner = GHDWPartitioner(collect_stats=True, fastpath=True)
+        partitioner.partition(fig3, 5)
+        assert partitioner.stats.dp_cells > 0
+
+    def test_results_agree_across_activation_modes(self, monkeypatch, fig3):
+        reference = DHWPartitioner(fastpath=False).partition(fig3, 5)
+        monkeypatch.setenv(FASTPATH_ENV, "1")
+        assert DHWPartitioner().partition(fig3, 5) == reference
+        assert DHWPartitioner(fastpath=True).partition(fig3, 5) == reference

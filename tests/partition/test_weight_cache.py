@@ -1,0 +1,95 @@
+"""Regression tests: subtree/total weights are computed once, not per use.
+
+PR history: ``evaluate_partitioning`` used to recompute interval members
+and full-tree weights once per interval, and ``Tree.total_weight`` re-
+summed all nodes on every call. These tests pin the fixed costs by
+counting the underlying walks.
+"""
+
+import random
+
+from repro.datasets.random_trees import random_tree
+from repro.partition import evaluate as evaluate_mod
+from repro.partition.evaluate import evaluate_partitioning, partition_weights
+from repro.partition import get_algorithm
+from repro.tree.builders import flat_tree
+
+
+class TestTotalWeightCache:
+    def test_cached_after_first_call(self):
+        tree = random_tree(50, seed=1)
+        expected = sum(n.weight for n in tree.nodes)
+        assert tree.total_weight() == expected
+        # Poke the cache slot: a second call must not re-sum the nodes.
+        tree._total_weight = 12345
+        assert tree.total_weight() == 12345
+
+    def test_invalidated_by_add_child(self):
+        tree = flat_tree(1, [2, 3])
+        assert tree.total_weight() == 6
+        tree.add_child(tree.root, "x", 4)
+        assert tree.total_weight() == 10
+
+    def test_invalidated_by_insert_child(self):
+        tree = flat_tree(1, [2, 3])
+        assert tree.total_weight() == 6
+        tree.insert_child(tree.root, 0, "x", 4)
+        assert tree.total_weight() == 10
+
+
+class TestSingleWalkEvaluation:
+    def run_counted(self, monkeypatch, fn):
+        """Run ``fn`` counting postorder walks inside the evaluate module."""
+        walks = []
+        original = evaluate_mod.iter_postorder
+
+        def counting(tree):
+            walks.append(len(tree))
+            return original(tree)
+
+        monkeypatch.setattr(evaluate_mod, "iter_postorder", counting)
+        result = fn()
+        return result, walks
+
+    def test_partition_weights_is_one_postorder_pass(self, monkeypatch):
+        rng = random.Random(3)
+        for _ in range(5):
+            tree = random_tree(rng.randint(5, 60), rng=rng)
+            limit = rng.randint(tree.max_node_weight(), 12)
+            partitioning = get_algorithm("ekm").partition(tree, limit)
+            weights, walks = self.run_counted(
+                monkeypatch, lambda: partition_weights(tree, partitioning)
+            )
+            assert len(weights) == partitioning.cardinality
+            assert walks == [len(tree)], (
+                "partition_weights must walk the tree exactly once, "
+                f"walked {len(walks)} times"
+            )
+
+    def test_evaluate_partitioning_is_one_postorder_pass(self, monkeypatch):
+        tree = random_tree(80, seed=9)
+        limit = max(tree.max_node_weight(), 11)
+        partitioning = get_algorithm("ghdw").partition(tree, limit)
+        report, walks = self.run_counted(
+            monkeypatch, lambda: evaluate_partitioning(tree, partitioning, limit)
+        )
+        assert report.feasible
+        assert walks == [len(tree)]
+
+    def test_weights_unchanged_by_the_rewrite(self):
+        # Cross-check the shared-members fast version against a naive
+        # per-interval recomputation.
+        rng = random.Random(11)
+        for _ in range(10):
+            tree = random_tree(rng.randint(2, 40), rng=rng)
+            limit = rng.randint(tree.max_node_weight(), 10)
+            partitioning = get_algorithm("ekm").partition(tree, limit)
+            fast = partition_weights(tree, partitioning)
+            cut = partitioning.member_ids(tree)
+            cut.add(tree.root.node_id)
+            node_weights = evaluate_mod._forest_node_weights(tree, cut)
+            naive = {
+                iv: sum(node_weights[n.node_id] for n in iv.nodes(tree))
+                for iv in partitioning.intervals
+            }
+            assert fast == naive
