@@ -2,6 +2,7 @@
 #
 #   make verify       # everything below, in order
 #   make lint         # repro-lint (+ ruff/mypy when installed)
+#   make analyze      # baselined repro-lint gate + SARIF report (analysis.sarif)
 #   make test         # tier-1 pytest suite
 #   make bench        # harness smoke (--quick) + baseline check + regression gate
 #   make faults-smoke # small fault-injection matrix (crash/bitflip/torn)
@@ -14,9 +15,9 @@ export PYTHONPATH := src
 
 PYTHON ?= python
 
-.PHONY: verify lint test bench faults-smoke
+.PHONY: verify lint analyze test bench faults-smoke
 
-verify: lint test bench faults-smoke
+verify: lint analyze test bench faults-smoke
 	@echo "verify: OK"
 
 lint:
@@ -31,6 +32,15 @@ lint:
 		echo "lint: mypy not installed, skipping"; \
 	fi
 	$(PYTHON) -m repro.analysis.cli src/repro
+
+# The CI gate: every rule family (including the dataflow-driven CC/LIN
+# passes) against the committed baseline, emitting a SARIF report for
+# code-scanning upload. Fails on any new finding OR any stale baseline
+# entry (run `repro-lint --baseline analysis-baseline.json
+# --update-baseline src/repro` after fixing findings).
+analyze:
+	$(PYTHON) -m repro.analysis.cli --baseline analysis-baseline.json \
+		--format sarif --output analysis.sarif src/repro
 
 test:
 	$(PYTHON) -m pytest -x -q

@@ -8,6 +8,13 @@ This package is the correctness net around the partitioning system:
   detection over that graph, iterative Tarjan SCCs.
 * :mod:`repro.analysis.passes` / :mod:`repro.analysis.rules` — the lint
   pass framework and the repo-specific rules behind ``repro-lint``.
+* :mod:`repro.analysis.dataflow` — module-level def-use/escape analysis
+  (shared state, lock regions, worker entry points) over the call graph.
+* :mod:`repro.analysis.concurrency` / :mod:`repro.analysis.linearity` —
+  the CC (guarded writes, fork safety, atomic updates) and LIN
+  (accidental O(n²) in kernels) rule families built on it.
+* :mod:`repro.analysis.baseline` / :mod:`repro.analysis.sarif` — the
+  committed-baseline suppression workflow and SARIF 2.1.0 export.
 * :mod:`repro.analysis.contracts` — runtime verification that every
   algorithm's output is a feasible sibling partitioning and that the
   input tree survives untouched (``REPRO_CHECK_INVARIANTS=1``).
@@ -16,6 +23,13 @@ This package is the correctness net around the partitioning system:
 See ``docs/ANALYSIS.md`` for the pass catalogue and extension guide.
 """
 
+from repro.analysis.baseline import (
+    BaselineEntry,
+    BaselineResult,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
 from repro.analysis.callgraph import (
     CallEdge,
     CallGraph,
@@ -31,6 +45,13 @@ from repro.analysis.contracts import (
     tree_fingerprint,
     verify_partition_contract,
 )
+from repro.analysis.dataflow import (
+    DataflowInfo,
+    EntryPoint,
+    StateAccess,
+    StateVar,
+    build_dataflow,
+)
 from repro.analysis.passes import (
     LintContext,
     LintPass,
@@ -41,8 +62,20 @@ from repro.analysis.passes import (
     run_lint,
 )
 from repro.analysis.recursion import RecursionCycle, find_recursion_cycles
+from repro.analysis.sarif import to_sarif
 
 __all__ = [
+    "BaselineEntry",
+    "BaselineResult",
+    "apply_baseline",
+    "load_baseline",
+    "write_baseline",
+    "DataflowInfo",
+    "EntryPoint",
+    "StateAccess",
+    "StateVar",
+    "build_dataflow",
+    "to_sarif",
     "CallEdge",
     "CallGraph",
     "FunctionInfo",

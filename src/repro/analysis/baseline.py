@@ -1,0 +1,161 @@
+"""Committed-baseline suppression for ``repro-lint``.
+
+A baseline file records the findings a repository has consciously
+accepted, so a new rule family can gate CI at zero *new* findings
+without first fixing (or pragma-ing) every historical one. The
+workflow::
+
+    repro-lint --baseline analysis-baseline.json src/repro   # gate
+    repro-lint --baseline analysis-baseline.json \\
+               --update-baseline src/repro                   # regenerate
+
+Entries are fingerprinted by ``(path, code, message)`` with an
+occurrence count — deliberately *not* by line number, so unrelated edits
+above a finding don't invalidate the suppression, while a genuinely new
+duplicate of a baselined finding still fails the gate (count exceeded).
+
+Paths match by trailing segments: a baseline written as
+``src/repro/x.py`` suppresses the same finding reported against
+``/checkout/src/repro/x.py`` and vice versa, so the same file works from
+the repo root, CI checkouts and the test suite.
+
+Baselines go stale: when an entry no longer matches any live finding,
+:func:`apply_baseline` reports it and the CLI fails the run until the
+file is regenerated — a baseline must never quietly outlive the findings
+it suppresses.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path, PurePosixPath
+from typing import Iterable, Sequence
+
+from repro.analysis.passes import Violation
+from repro.errors import ReproError
+
+BASELINE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One accepted finding fingerprint with its occurrence budget."""
+
+    path: str
+    code: str
+    message: str
+    count: int = 1
+
+    def render(self) -> str:
+        return f"{self.path}: {self.code} {self.message} (x{self.count})"
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of subtracting a baseline from a lint run."""
+
+    remaining: list[Violation]
+    suppressed: int
+    stale: list[BaselineEntry]
+
+    @property
+    def clean(self) -> bool:
+        return not self.remaining and not self.stale
+
+
+def _segments(path: str) -> tuple[str, ...]:
+    return PurePosixPath(path.replace("\\", "/")).parts
+
+
+def _paths_match(stored: str, reported: str) -> bool:
+    """Trailing-segment path equality (absolute vs repo-relative)."""
+    a, b = _segments(stored), _segments(reported)
+    if not a or not b:
+        return False
+    shorter, longer = (a, b) if len(a) <= len(b) else (b, a)
+    return longer[-len(shorter):] == shorter
+
+
+def load_baseline(path: str | Path) -> list[BaselineEntry]:
+    """Parse a baseline file, validating shape and version."""
+    source = Path(path)
+    try:
+        payload = json.loads(source.read_text())
+    except OSError as exc:
+        raise ReproError(f"cannot read baseline {source}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"baseline {source} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("version") != BASELINE_VERSION:
+        raise ReproError(
+            f"baseline {source} has unsupported version "
+            f"{payload.get('version') if isinstance(payload, dict) else '?'} "
+            f"(expected {BASELINE_VERSION})"
+        )
+    entries = payload.get("entries")
+    if not isinstance(entries, list):
+        raise ReproError(f"baseline {source} has no entries list")
+    out: list[BaselineEntry] = []
+    for raw in entries:
+        try:
+            out.append(
+                BaselineEntry(
+                    path=raw["path"],
+                    code=raw["code"],
+                    message=raw["message"],
+                    count=int(raw.get("count", 1)),
+                )
+            )
+        except (TypeError, KeyError) as exc:
+            raise ReproError(f"baseline {source} entry malformed: {raw!r}") from exc
+    return out
+
+
+def apply_baseline(
+    violations: Sequence[Violation], entries: Iterable[BaselineEntry]
+) -> BaselineResult:
+    """Subtract baselined findings; report what's left and what's stale.
+
+    Each entry suppresses at most ``count`` matching findings — the
+    (count+1)-th duplicate is a *new* finding and stays. Entries that
+    match nothing are stale.
+    """
+    budgets: list[tuple[BaselineEntry, int]] = [(e, e.count) for e in entries]
+    remaining: list[Violation] = []
+    suppressed = 0
+    for violation in violations:
+        hit = False
+        for idx, (entry, budget) in enumerate(budgets):
+            if (
+                budget > 0
+                and entry.code == violation.code
+                and entry.message == violation.message
+                and _paths_match(entry.path, violation.path)
+            ):
+                budgets[idx] = (entry, budget - 1)
+                suppressed += 1
+                hit = True
+                break
+        if not hit:
+            remaining.append(violation)
+    stale = [entry for entry, budget in budgets if budget == entry.count]
+    return BaselineResult(remaining=remaining, suppressed=suppressed, stale=stale)
+
+
+def write_baseline(path: str | Path, violations: Sequence[Violation]) -> int:
+    """Regenerate ``path`` from the current findings; returns entry count."""
+    counts: dict[tuple[str, str, str], int] = {}
+    for violation in violations:
+        key = (violation.path.replace("\\", "/"), violation.code, violation.message)
+        counts[key] = counts.get(key, 0) + 1
+    entries = [
+        {"path": p, "code": c, "message": m, "count": n}
+        for (p, c, m), n in sorted(counts.items())
+    ]
+    payload = {
+        "version": BASELINE_VERSION,
+        "tool": "repro-lint",
+        "entries": entries,
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+    return len(entries)

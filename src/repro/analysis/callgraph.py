@@ -405,20 +405,72 @@ class _CallCollector:
                         stack_safe=id(call) in trampolined,
                     )
                 )
+        # Decorating a nested def/class implicitly *calls* the decorator
+        # in this frame; bare-name decorators have no ast.Call node, so
+        # resolve them here (factory decorators like `@retry(3)` already
+        # surface their factory call through _own_calls).
+        for expr in self._nested_decorators(node):
+            callees: list[str] = []
+            if isinstance(expr, ast.Name):
+                callees = self._resolve_name(expr.id, caller, scope_locals)
+            elif isinstance(expr, ast.Attribute):
+                callees = self._resolve_attribute(expr, caller)
+            for callee in callees:
+                self.graph.edges.append(
+                    CallEdge(
+                        caller=caller.qualname,
+                        callee=callee,
+                        path=self.source.path,
+                        lineno=expr.lineno,
+                    )
+                )
 
     @staticmethod
-    def _own_calls(node: ast.AST) -> list[ast.Call]:
-        """Call nodes of this body, excluding nested def/class bodies."""
+    def _own_calls(node: ast.FunctionDef | ast.AsyncFunctionDef) -> list[ast.Call]:
+        """Call nodes evaluated in *this* function's frame.
+
+        Starts from the body (the function's own decorators and argument
+        defaults run in the enclosing scope, not here) and stops at
+        nested def/class bodies — but keeps a nested definition's
+        decorators, default values and base-class expressions, because
+        those evaluate eagerly in this frame when the ``def``/``class``
+        statement executes.
+        """
         calls: list[ast.Call] = []
-        stack = list(ast.iter_child_nodes(node))
+        stack: list[ast.AST] = list(node.body)
         while stack:
             child = stack.pop()
-            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                stack.extend(child.decorator_list)
+                stack.extend(child.args.defaults)
+                stack.extend(d for d in child.args.kw_defaults if d is not None)
+                continue
+            if isinstance(child, ast.ClassDef):
+                stack.extend(child.decorator_list)
+                stack.extend(child.bases)
+                stack.extend(kw.value for kw in child.keywords)
                 continue
             if isinstance(child, ast.Call):
                 calls.append(child)
             stack.extend(ast.iter_child_nodes(child))
         return calls
+
+    @staticmethod
+    def _nested_decorators(
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> list[ast.expr]:
+        """Bare decorator expressions of defs/classes nested in this body."""
+        out: list[ast.expr] = []
+        stack: list[ast.AST] = list(node.body)
+        while stack:
+            child = stack.pop()
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                out.extend(
+                    d for d in child.decorator_list if not isinstance(d, ast.Call)
+                )
+                continue
+            stack.extend(ast.iter_child_nodes(child))
+        return out
 
     @staticmethod
     def _trampolined_calls(node: ast.AST) -> set[int]:
@@ -533,6 +585,28 @@ def build_callgraph(files: Iterable[SourceFile]) -> CallGraph:
     return graph
 
 
+def _own_nested_defs(
+    node: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> list[ast.FunctionDef | ast.AsyncFunctionDef]:
+    """Function definitions bound directly in this function's scope.
+
+    Walks through compound statements (``if``/``for``/``try``/``with``
+    blocks bind their defs in the same frame) but not into nested
+    def/class bodies, whose definitions live in a different scope.
+    """
+    out: list[ast.FunctionDef | ast.AsyncFunctionDef] = []
+    stack: list[ast.AST] = list(node.body)
+    while stack:
+        child = stack.pop()
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            out.append(child)
+            continue
+        if isinstance(child, (ast.ClassDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(child))
+    return out
+
+
 def _collect_calls_in_module(
     collector: _CallCollector, graph: CallGraph, source: SourceFile
 ) -> None:
@@ -548,12 +622,13 @@ def _collect_calls_in_module(
                 qualname = f"{scope_qual}.{child.name}"
                 info = graph.functions.get(qualname)
                 if info is not None:
-                    # visible nested defs: this function's own children
+                    # visible nested defs: every def bound in this
+                    # function's own scope, however deeply it sits inside
+                    # if/for/try blocks
                     nested = {
                         g.name: f"{qualname}.{g.name}"
-                        for g in ast.iter_child_nodes(child)
-                        if isinstance(g, (ast.FunctionDef, ast.AsyncFunctionDef))
-                        and f"{qualname}.{g.name}" in graph.functions
+                        for g in _own_nested_defs(child)
+                        if f"{qualname}.{g.name}" in graph.functions
                     }
                     visible = {**enclosing_locals, qualname.rsplit(".", 1)[-1]: qualname, **nested}
                     collector.collect(info, child, visible)

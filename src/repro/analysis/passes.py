@@ -14,10 +14,13 @@ import abc
 from dataclasses import dataclass, field
 from functools import cached_property
 from pathlib import Path
-from typing import Iterable, Iterator, Optional, Sequence
+from typing import TYPE_CHECKING, Iterable, Iterator, Optional, Sequence
 
 from repro.analysis.callgraph import CallGraph, SourceFile, build_callgraph, load_source_files
 from repro.errors import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.dataflow import DataflowInfo
 
 
 @dataclass(frozen=True, order=True)
@@ -43,6 +46,12 @@ class LintContext:
     @cached_property
     def callgraph(self) -> CallGraph:
         return build_callgraph(self.files)
+
+    @cached_property
+    def dataflow(self) -> "DataflowInfo":
+        from repro.analysis.dataflow import build_dataflow
+
+        return build_dataflow(self.files, self.callgraph)
 
     def file_for(self, path: str) -> Optional[SourceFile]:
         for source in self.files:
@@ -84,6 +93,8 @@ def register_lint_pass(cls: type[LintPass]) -> type[LintPass]:
 
 def available_passes() -> list[type[LintPass]]:
     """All registered passes (rule modules are imported on first use)."""
+    import repro.analysis.concurrency  # noqa: F401  - registration side effect
+    import repro.analysis.linearity  # noqa: F401  - registration side effect
     import repro.analysis.rules  # noqa: F401  - registration side effect
 
     return list(LINT_PASSES)
@@ -102,6 +113,34 @@ class LintResult:
         return not self.violations
 
 
+def code_matches(code: str, patterns: Iterable[str]) -> bool:
+    """Does a pass code match any selector?
+
+    A selector is either a full code (``CC003``) or a rule *family*
+    prefix (``CC``, ``LIN``) — an all-letter selector matches every code
+    it prefixes.
+    """
+    return any(
+        code == pattern or (pattern.isalpha() and code.startswith(pattern))
+        for pattern in patterns
+    )
+
+
+def select_passes(
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> list[type[LintPass]]:
+    """The registered passes surviving ``select``/``ignore`` filtering."""
+    selected = list(select) if select else None
+    ignored = list(ignore) if ignore else []
+    return [
+        cls
+        for cls in available_passes()
+        if (selected is None or code_matches(cls.code, selected))
+        and not code_matches(cls.code, ignored)
+    ]
+
+
 def run_lint(
     paths: Sequence[str | Path],
     select: Optional[Iterable[str]] = None,
@@ -109,16 +148,11 @@ def run_lint(
 ) -> LintResult:
     """Run the registered passes over files/directories.
 
-    ``select``/``ignore`` filter by pass code. Violations on lines with a
-    matching ``# repro-lint: skip`` pragma are dropped.
+    ``select``/``ignore`` filter by pass code or family prefix (``CC``
+    selects CC001–CC003). Violations on lines with a matching
+    ``# repro-lint: skip`` pragma are dropped.
     """
-    selected = set(select) if select else None
-    ignored = set(ignore) if ignore else set()
-    passes = [
-        cls()
-        for cls in available_passes()
-        if (selected is None or cls.code in selected) and cls.code not in ignored
-    ]
+    passes = [cls() for cls in select_passes(select, ignore)]
     ctx = LintContext(files=load_source_files([Path(p) for p in paths]))
     violations: list[Violation] = []
     for lint_pass in passes:

@@ -1,0 +1,74 @@
+"""SARIF 2.1.0 export for ``repro-lint`` findings.
+
+SARIF (Static Analysis Results Interchange Format) is the schema CI
+platforms ingest for code-scanning annotations. The export is minimal
+but valid: one run, the registered passes as ``rules``, one ``result``
+per finding with a physical location. Produced by
+``repro-lint --format sarif`` (optionally ``--output report.sarif``).
+"""
+
+from __future__ import annotations
+
+from pathlib import PurePosixPath
+from typing import Sequence
+
+from repro.analysis.passes import LintPass, Violation
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _uri(path: str) -> str:
+    return str(PurePosixPath(path.replace("\\", "/")))
+
+
+def to_sarif(
+    violations: Sequence[Violation], passes: Sequence[type[LintPass]]
+) -> dict:
+    """A SARIF ``log`` dict for the given findings and rule set."""
+    rules = [
+        {
+            "id": cls.code,
+            "name": cls.name,
+            "shortDescription": {"text": cls.description},
+        }
+        for cls in passes
+    ]
+    rule_index = {cls.code: idx for idx, cls in enumerate(passes)}
+    results = []
+    for violation in violations:
+        result = {
+            "ruleId": violation.code,
+            "level": "warning",
+            "message": {"text": violation.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": _uri(violation.path)},
+                        "region": {"startLine": violation.lineno},
+                    }
+                }
+            ],
+        }
+        if violation.code in rule_index:
+            result["ruleIndex"] = rule_index[violation.code]
+        results.append(result)
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": "docs/ANALYSIS.md",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }

@@ -81,6 +81,14 @@ class ImportJournal:
     Every record is one JSON line; ``seal`` and ``commit`` flush and
     ``os.fsync`` before returning, so a crash immediately after a fault
     point finds the sealed prefix on disk.
+
+    **Single-writer, fork-unsafe.** ``_handle`` is an open file
+    descriptor: sharing one journal across threads interleaves half
+    lines, and inheriting it across ``fork`` (repro-lint rule CC002)
+    leaves parent and child racing the same file offset. The streaming
+    importer honors this by journaling only from the coordinating
+    process — :mod:`repro.fastpath.parallel` workers never see it; they
+    return results and the coordinator appends.
     """
 
     def __init__(self, path: str | os.PathLike):

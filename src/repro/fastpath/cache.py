@@ -27,6 +27,7 @@ Kernels report per-run hit/miss/eviction deltas through
 from __future__ import annotations
 
 import os
+import threading
 from collections import OrderedDict
 from typing import Optional
 
@@ -53,7 +54,13 @@ def _cache_size_from_env() -> int:
 
 
 class FastpathCache:
-    """Shape intern table + LRU-bounded DP result cache."""
+    """Shape intern table + LRU-bounded DP result cache.
+
+    An instance is **single-thread property**: lookups mutate LRU order
+    and counters without locking, because the kernels cannot afford a
+    latch per probe. :func:`default_cache` hands each thread its own
+    instance; don't share one across threads without external locking.
+    """
 
     __slots__ = (
         "max_entries",
@@ -169,18 +176,26 @@ class FastpathCache:
         self._flushed = (self.hits, self.misses, self.evictions)
 
 
-_default_cache: Optional[FastpathCache] = None
+# The default cache is *per-thread*, not process-wide. A FastpathCache
+# does unlocked LRU bookkeeping (`hits += 1`, move_to_end) on every get,
+# so a single shared instance would race the moment two threads run
+# kernels concurrently (repro-lint rule CC003). Thread-local instances
+# keep the hot path completely lock-free — the kernels' bench floors
+# leave no room for a latch per lookup — while preserving full
+# shape-reuse within each thread.
+_tls = threading.local()
 
 
 def default_cache() -> FastpathCache:
-    """The process-wide cache shared by all fastpath partitioner runs."""
-    global _default_cache
-    if _default_cache is None:
-        _default_cache = FastpathCache()
-    return _default_cache
+    """This thread's cache, shared by all its fastpath partitioner runs."""
+    cache = getattr(_tls, "cache", None)
+    if cache is None:
+        cache = _tls.cache = FastpathCache()
+    return cache
 
 
 def clear_default_cache() -> None:
-    """Reset the shared cache (tests and benchmark cold-start runs)."""
-    global _default_cache
-    _default_cache = None
+    """Reset the calling thread's default cache (tests and benchmark
+    cold-start runs). Other threads' caches are untouched — each thread
+    owns its cache outright."""
+    _tls.cache = None

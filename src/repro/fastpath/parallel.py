@@ -66,6 +66,10 @@ def _load_chunk(args: tuple) -> tuple:
     """Worker: import one top-level subtree with local node ids.
 
     Module-level so it pickles under every multiprocessing start method.
+    Fork-safe by construction (repro-lint rule CC002): everything the
+    worker touches is built locally from the pickled ``args`` — no
+    module-level lock, open file, or RNG is reachable from here, so the
+    fan-out behaves identically under ``fork`` and ``spawn``.
     Returns ``(flat_tree, intervals, summary_fields, peak, total, events)``
     where intervals are ``(left, right, freed)`` triples in emission order
     and all node ids are local (0 = subtree root).

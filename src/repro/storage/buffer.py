@@ -27,6 +27,7 @@ the paper's measure-after-preload protocol).
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -88,15 +89,27 @@ _CORRUPT_READS = "storage.buffer.corrupt_reads"
 
 
 class BufferPool:
-    """LRU cache over a page table ("disk")."""
+    """LRU cache over a page table ("disk").
+
+    Thread-safe: one latch serializes every access to the LRU order and
+    the counters, because ``fetch`` is a read-modify-write even on a hit
+    (``move_to_end`` plus ``stats.hits += 1``). The latch is the
+    concurrency story the planned document-store service builds on —
+    many reader threads sharing one pool — and its contract is
+    machine-checked by repro-lint rule CC001 via the ``guarded-by``
+    annotations below.
+    """
 
     def __init__(self, pages: dict[int, Page], capacity: int):
         if capacity < 1:
             raise StorageError("buffer pool needs capacity >= 1")
         self._disk = pages
         self.capacity = capacity
-        self._cached: OrderedDict[int, Page] = OrderedDict()
-        self.stats = BufferStats()
+        #: reentrant so a fault-injection callback that re-enters the
+        #: pool (e.g. probing `is_cached` mid-evict) cannot self-deadlock
+        self._latch = threading.RLock()
+        self._cached: OrderedDict[int, Page] = OrderedDict()  # repro: guarded-by(_latch)
+        self.stats = BufferStats()  # repro: guarded-by(_latch)
 
     def fetch(self, page_id: int) -> Page:
         """Return the page, counting a hit or a (possibly evicting) miss.
@@ -109,42 +122,44 @@ class BufferPool:
         every other page stays fetchable, and a later read of the same
         page re-verifies instead of trusting stale state.
         """
-        page = self._cached.get(page_id)
-        if page is not None:
-            self.stats.hits += 1
+        with self._latch:
+            page = self._cached.get(page_id)
+            if page is not None:
+                self.stats.hits += 1
+                if telemetry.enabled():
+                    telemetry.count(_HITS)
+                self._cached.move_to_end(page_id)
+                return page
+            self.stats.misses += 1
             if telemetry.enabled():
-                telemetry.count(_HITS)
-            self._cached.move_to_end(page_id)
+                telemetry.count(_MISSES)
+            try:
+                page = self._disk[page_id]
+            except KeyError:
+                raise StorageError(f"unknown page {page_id}") from None
+            if faults.armed():
+                action = faults.fire("page.read", page_id=page_id)
+                if action is not None:
+                    action.apply_to_page(page)
+            try:
+                page.verify()
+            except CorruptPageError:
+                self.stats.corrupt_reads += 1
+                if telemetry.enabled():
+                    telemetry.count(_CORRUPT_READS)
+                raise
+            self._cached[page_id] = page
+            if len(self._cached) > self.capacity:
+                evicted_id, _ = self._cached.popitem(last=False)
+                self.stats.evictions += 1
+                if telemetry.enabled():
+                    telemetry.count(_EVICTIONS)
+                faults.check("buffer.evict", page_id=evicted_id)
             return page
-        self.stats.misses += 1
-        if telemetry.enabled():
-            telemetry.count(_MISSES)
-        try:
-            page = self._disk[page_id]
-        except KeyError:
-            raise StorageError(f"unknown page {page_id}") from None
-        if faults.armed():
-            action = faults.fire("page.read", page_id=page_id)
-            if action is not None:
-                action.apply_to_page(page)
-        try:
-            page.verify()
-        except CorruptPageError:
-            self.stats.corrupt_reads += 1
-            if telemetry.enabled():
-                telemetry.count(_CORRUPT_READS)
-            raise
-        self._cached[page_id] = page
-        if len(self._cached) > self.capacity:
-            evicted_id, _ = self._cached.popitem(last=False)
-            self.stats.evictions += 1
-            if telemetry.enabled():
-                telemetry.count(_EVICTIONS)
-            faults.check("buffer.evict", page_id=evicted_id)
-        return page
 
     def is_cached(self, page_id: int) -> bool:
-        return page_id in self._cached
+        with self._latch:
+            return page_id in self._cached
 
     def warm_up(self) -> None:
         """Touch every page once (the paper preloads before measuring).
@@ -152,17 +167,19 @@ class BufferPool:
         Preloading charges no hits/misses/evictions — it is not
         workload; the page count goes to ``stats.warmups`` instead.
         """
-        for page_id in self._disk:
-            if page_id not in self._cached:
-                self._cached[page_id] = self._disk[page_id]
-                if len(self._cached) > self.capacity:
-                    self._cached.popitem(last=False)
-            else:
-                self._cached.move_to_end(page_id)
-            self.stats.warmups += 1
-        if telemetry.enabled():
-            telemetry.count(_WARMUPS, len(self._disk))
+        with self._latch:
+            for page_id in self._disk:
+                if page_id not in self._cached:
+                    self._cached[page_id] = self._disk[page_id]
+                    if len(self._cached) > self.capacity:
+                        self._cached.popitem(last=False)
+                else:
+                    self._cached.move_to_end(page_id)
+                self.stats.warmups += 1
+            if telemetry.enabled():
+                telemetry.count(_WARMUPS, len(self._disk))
 
     def clear(self) -> None:
         """Drop all cached pages; the counters survive (see module doc)."""
-        self._cached.clear()
+        with self._latch:
+            self._cached.clear()

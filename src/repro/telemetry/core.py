@@ -89,41 +89,57 @@ def enabled_scope(on: bool = True) -> Iterator[None]:
 
 
 class Counter:
-    """A monotonically increasing integer total."""
+    """A monotonically increasing integer total.
 
-    __slots__ = ("name", "value")
+    ``inc`` is atomic: ``self.value += n`` alone compiles to separate
+    load and store bytecodes, so two threads interleaving there lose
+    updates (repro-lint rule CC003). Metrics created through a
+    :class:`MetricRegistry` share that registry's lock.
+    """
 
-    def __init__(self, name: str):
+    __slots__ = ("name", "value", "_lock")
+
+    def __init__(self, name: str, lock: Optional[threading.RLock] = None):
         self.name = name
-        self.value = 0
+        self._lock = lock if lock is not None else threading.RLock()
+        self.value = 0  # repro: guarded-by(_lock)
 
     def inc(self, n: int = 1) -> None:
-        self.value += n
+        with self._lock:
+            self.value += n
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Counter({self.name!r}, {self.value})"
 
 
 class Gauge:
-    """A point-in-time value; tracks the maximum it ever held."""
+    """A point-in-time value; tracks the maximum it ever held.
 
-    __slots__ = ("name", "value", "max")
+    ``set``/``set_max`` are compare-and-update sequences, so they hold
+    the (per-registry) lock to keep the value/max pair consistent under
+    concurrent writers.
+    """
 
-    def __init__(self, name: str):
+    __slots__ = ("name", "value", "max", "_lock")
+
+    def __init__(self, name: str, lock: Optional[threading.RLock] = None):
         self.name = name
-        self.value: float = 0
-        self.max: float = 0
+        self._lock = lock if lock is not None else threading.RLock()
+        self.value: float = 0  # repro: guarded-by(_lock)
+        self.max: float = 0  # repro: guarded-by(_lock)
 
     def set(self, value: float) -> None:
-        self.value = value
-        if value > self.max:
-            self.max = value
+        with self._lock:
+            self.value = value
+            if value > self.max:
+                self.max = value
 
     def set_max(self, value: float) -> None:
         """Keep only the high-water mark (``value`` if it is a new peak)."""
-        if value > self.max:
-            self.max = value
-        self.value = self.max
+        with self._lock:
+            if value > self.max:
+                self.max = value
+            self.value = self.max
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Gauge({self.name!r}, {self.value}, max={self.max})"
@@ -144,34 +160,39 @@ class Histogram:
     repeated ``repro-stats`` runs stay diffable.
     """
 
-    __slots__ = ("name", "count", "total", "min", "max", "last", "_samples", "_stride", "_tick")
+    __slots__ = (
+        "name", "count", "total", "min", "max", "last", "_samples", "_stride",
+        "_tick", "_lock",
+    )
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, lock: Optional[threading.RLock] = None):
         self.name = name
-        self.count = 0
-        self.total: float = 0.0
+        self._lock = lock if lock is not None else threading.RLock()
+        self.count = 0  # repro: guarded-by(_lock)
+        self.total: float = 0.0  # repro: guarded-by(_lock)
         self.min: Optional[float] = None
         self.max: Optional[float] = None
         self.last: Optional[float] = None
-        self._samples: list[float] = []
-        self._stride = 1
-        self._tick = 0
+        self._samples: list[float] = []  # repro: guarded-by(_lock)
+        self._stride = 1  # repro: guarded-by(_lock)
+        self._tick = 0  # repro: guarded-by(_lock)
 
     def observe(self, value: float) -> None:
-        self.count += 1
-        self.total += value
-        self.last = value
-        if self.min is None or value < self.min:
-            self.min = value
-        if self.max is None or value > self.max:
-            self.max = value
-        self._tick += 1
-        if self._tick >= self._stride:
-            self._tick = 0
-            self._samples.append(value)
-            if len(self._samples) >= _SAMPLE_CAP:
-                del self._samples[::2]
-                self._stride *= 2
+        with self._lock:
+            self.count += 1
+            self.total += value
+            self.last = value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+            self._tick += 1
+            if self._tick >= self._stride:
+                self._tick = 0
+                self._samples.append(value)
+                if len(self._samples) >= _SAMPLE_CAP:
+                    del self._samples[::2]
+                    self._stride *= 2
 
     @property
     def mean(self) -> float:
@@ -184,9 +205,10 @@ class Histogram:
         first observation. Exact while ``count < _SAMPLE_CAP``, an
         evenly-decimated approximation afterwards.
         """
-        if not self._samples:
+        with self._lock:
+            ordered = sorted(self._samples)
+        if not ordered:
             return None
-        ordered = sorted(self._samples)
         rank = -(-int(q * 1000) * len(ordered) // 1000)  # ceil without floats drifting
         return ordered[min(len(ordered) - 1, max(0, rank - 1))]
 
@@ -267,34 +289,40 @@ class MetricRegistry:
     """In-memory sink: all metrics plus a bounded trace of spans."""
 
     def __init__(self, max_trace: int = 10_000):
-        self.counters: dict[str, Counter] = {}
-        self.gauges: dict[str, Gauge] = {}
-        self.histograms: dict[str, Histogram] = {}
-        self.trace: list[SpanRecord] = []
+        #: reentrant so ``record_span`` can call the locked accessors;
+        #: every metric this registry creates shares it
+        self._lock = threading.RLock()
+        self.counters: dict[str, Counter] = {}  # repro: guarded-by(_lock)
+        self.gauges: dict[str, Gauge] = {}  # repro: guarded-by(_lock)
+        self.histograms: dict[str, Histogram] = {}  # repro: guarded-by(_lock)
+        self.trace: list[SpanRecord] = []  # repro: guarded-by(_lock)
         self.max_trace = max_trace
-        self.dropped_spans = 0
-        self.sinks: list[Sink] = []
-        self.sink_errors = 0
+        self.dropped_spans = 0  # repro: guarded-by(_lock)
+        self.sinks: list[Sink] = []  # repro: guarded-by(_lock)
+        self.sink_errors = 0  # repro: guarded-by(_lock)
 
     # get-or-create accessors ------------------------------------------------
 
     def counter(self, name: str) -> Counter:
-        metric = self.counters.get(name)
-        if metric is None:
-            metric = self.counters[name] = Counter(name)
-        return metric
+        with self._lock:
+            metric = self.counters.get(name)
+            if metric is None:
+                metric = self.counters[name] = Counter(name, lock=self._lock)
+            return metric
 
     def gauge(self, name: str) -> Gauge:
-        metric = self.gauges.get(name)
-        if metric is None:
-            metric = self.gauges[name] = Gauge(name)
-        return metric
+        with self._lock:
+            metric = self.gauges.get(name)
+            if metric is None:
+                metric = self.gauges[name] = Gauge(name, lock=self._lock)
+            return metric
 
     def histogram(self, name: str) -> Histogram:
-        metric = self.histograms.get(name)
-        if metric is None:
-            metric = self.histograms[name] = Histogram(name)
-        return metric
+        with self._lock:
+            metric = self.histograms.get(name)
+            if metric is None:
+                metric = self.histograms[name] = Histogram(name, lock=self._lock)
+            return metric
 
     # span intake ------------------------------------------------------------
 
@@ -307,33 +335,39 @@ class MetricRegistry:
         paths), so sink failures are counted in :attr:`sink_errors` and
         the remaining sinks still receive the record.
         """
-        self.histogram(f"span.{record.name}").observe(record.seconds)
-        if len(self.trace) < self.max_trace:
-            self.trace.append(record)
-        else:
-            self.dropped_spans += 1
-        for sink in self.sinks:
+        with self._lock:
+            self.histogram(f"span.{record.name}").observe(record.seconds)
+            if len(self.trace) < self.max_trace:
+                self.trace.append(record)
+            else:
+                self.dropped_spans += 1
+            sinks = list(self.sinks)
+        for sink in sinks:
             try:
                 sink.emit(record)
             except Exception:
-                self.sink_errors += 1
+                with self._lock:
+                    self.sink_errors += 1
 
     def add_sink(self, sink: Sink) -> None:
-        self.sinks.append(sink)
+        with self._lock:
+            self.sinks.append(sink)
 
     def remove_sink(self, sink: Sink) -> None:
-        self.sinks.remove(sink)
+        with self._lock:
+            self.sinks.remove(sink)
 
     # lifecycle --------------------------------------------------------------
 
     def reset(self) -> None:
         """Drop every metric and the trace (sinks stay attached)."""
-        self.counters.clear()
-        self.gauges.clear()
-        self.histograms.clear()
-        self.trace.clear()
-        self.dropped_spans = 0
-        self.sink_errors = 0
+        with self._lock:
+            self.counters.clear()
+            self.gauges.clear()
+            self.histograms.clear()
+            self.trace.clear()
+            self.dropped_spans = 0
+            self.sink_errors = 0
 
     @property
     def empty(self) -> bool:

@@ -1,0 +1,162 @@
+"""Seeded CC001/CC002/CC003 violations for the concurrency rule family.
+
+Not importable as part of the real package — this fixture only feeds the
+analyzer tests (see README.md in this directory).
+"""
+
+import threading
+from multiprocessing import Pool, Process
+from random import Random
+from threading import Thread
+
+_lock = threading.Lock()
+_registry = []  # repro: guarded-by(_lock)
+
+rng = Random(7)
+log = open("seed.log", "a")
+plain_cache = {}
+
+applied = 0
+MAX_RETRIES = 3  # ALL_CAPS constant: never classified as an accumulator
+
+
+# -- CC001: guarded module state ---------------------------------------------
+
+
+def register_unlocked(item):
+    _registry.append(item)  # seed:CC001-module-mutcall
+
+
+def replace_unlocked(items):
+    global _registry
+    _registry = list(items)  # seed:CC001-module-store
+
+
+def register_locked(item):
+    with _lock:
+        _registry.append(item)  # guard held: clean
+
+
+def register_asserting(item):  # repro: holds(_lock)
+    _registry.append(item)  # caller holds the guard: clean
+
+
+class Frames:
+    """CC001 on instance state: the latch contract on a frame table."""
+
+    def __init__(self):
+        self._latch = threading.Lock()
+        self._frames = {}  # repro: guarded-by(_latch)
+
+    def put_unlocked(self, key, frame):
+        self._frames[key] = frame  # seed:CC001-attr-subscript
+
+    def drop_unlocked(self, key):
+        self._frames.pop(key)  # seed:CC001-attr-mutcall
+
+    def put_locked(self, key, frame):
+        with self._latch:
+            self._frames[key] = frame  # guard held: clean
+
+    def _evict(self, key):  # repro: holds(_latch)
+        self._frames.pop(key)  # caller holds the guard: clean
+
+
+# -- CC002: fork-unsafe state reachable from worker entry points -------------
+
+
+def _stamp(record):
+    log.write(record)  # file handle: hazard when reached from a worker
+
+
+def work_chunk(chunk):
+    jitter = rng.random()  # rng read inside a process worker
+    _stamp(f"{chunk}:{jitter}")  # file reached through a call edge
+    return chunk
+
+
+def safe_chunk(chunk):
+    plain_cache[chunk] = chunk  # plain dict: no fork hazard
+    return chunk
+
+
+def fan_out(chunks):
+    with Pool() as pool:
+        pool.map(work_chunk, chunks)  # seed:CC002-pool
+        pool.map(safe_chunk, chunks)  # worker touches no hazard: clean
+
+
+def journal_worker(chunk):
+    _stamp(str(chunk))
+
+
+def spawn_one(chunk):
+    proc = Process(target=journal_worker, args=(chunk,))  # seed:CC002-process
+    proc.start()
+    return proc
+
+
+def thread_out(chunk):
+    # threads share the address space: rng use is CC003's problem, not CC002's
+    worker = Thread(target=work_chunk, args=(chunk,))
+    worker.start()
+    return worker
+
+
+# -- CC003: non-atomic read-modify-write on shared state ---------------------
+
+
+def bump_applied():
+    global applied
+    applied += 1  # seed:CC003-global
+
+
+class Recorder:
+    """Shared through the module-level ``recorder`` below."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0
+        self.locked_count = 0
+        self.total = 0.0
+
+    def inc(self):
+        self.count += 1  # seed:CC003-attr
+
+    def add(self, amount):
+        self.total += amount  # seed:CC003-attr-float
+
+    def inc_locked(self):
+        with self._lock:
+            self.locked_count += 1  # lock held: clean
+
+
+class Scratch:
+    """Never reachable from module scope: RMW on it is private, not shared."""
+
+    def __init__(self):
+        self.n = 0
+
+    def inc(self):
+        self.n += 1  # not shared: clean
+
+
+recorder = Recorder()
+
+
+def scratch_sum(items):
+    scratch = Scratch()
+    for item in items:
+        scratch.inc()
+    return scratch.n
+
+
+# -- LIN scope guard: this module is NOT a kernel module ---------------------
+
+
+def quadratic_sweep_outside_kernel(nodes):
+    pairs = 0
+    for _u in nodes:
+        for _v in nodes:  # outside kernel scope: LIN001 stays quiet
+            pairs += 1
+    return pairs

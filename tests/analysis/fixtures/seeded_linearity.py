@@ -1,0 +1,115 @@
+"""Seeded LIN001/LIN002 violations for the linearity rule family.
+
+The ``Partitioner`` subclass below opts the whole module into kernel
+scope (same detection as the PRT rules). Not importable as part of the
+real package — this fixture only feeds the analyzer tests (see README.md
+in this directory).
+"""
+
+from repro.partition.base import Partitioner
+
+
+class SeedPartitioner(Partitioner):
+    """Marks this module as partitioner-kernel code for the LIN rules."""
+
+    name = "seed-linearity"
+
+    def split(self, tree, limit):
+        return pairwise_conflicts(tree.nodes)
+
+
+# -- LIN001: independent nested node sweeps ----------------------------------
+
+
+def pairwise_conflicts(nodes):
+    conflicts = 0
+    for u in nodes:
+        for v in nodes:  # seed:LIN001-direct
+            if u is not v and u.weight == v.weight:
+                conflicts += 1
+    return conflicts
+
+
+def index_sweep(nodes):
+    hits = 0
+    for i in range(len(nodes)):
+        for j in range(len(nodes)):  # seed:LIN001-range
+            if i < j:
+                hits += 1
+    return hits
+
+
+def handshake_is_fine(nodes):
+    total = 0
+    for node in nodes:
+        for child in node.children:  # derived from `node`: O(n) total, clean
+            total += child.weight
+    return total
+
+
+def aliased_handshake_is_fine(nodes):
+    total = 0
+    for node in nodes:
+        children = node.children
+        for child in children[1:]:  # alias of `node.children`: clean
+            total += child.weight
+    return total
+
+
+def non_node_inner_is_fine(nodes, buckets):
+    placed = 0
+    for _node in nodes:
+        for _bucket in buckets:  # inner iterable is not a node collection
+            placed += 1
+    return placed
+
+
+# -- LIN002: O(n) list primitives inside per-node loops ----------------------
+
+
+def front_insert(nodes):
+    ordered = []
+    for node in nodes:
+        ordered.insert(0, node)  # seed:LIN002-insert
+    return ordered
+
+
+def queue_via_pop0(nodes):
+    pending = list(nodes)
+    drained = []
+    for _node in nodes:
+        drained.append(pending.pop(0))  # seed:LIN002-pop0
+    return drained
+
+
+def membership_on_list(nodes):
+    visited = []
+    for node in nodes:
+        if node in visited:  # seed:LIN002-in
+            continue
+        visited.append(node)
+    return visited
+
+
+def membership_on_set_is_fine(nodes):
+    visited = set()
+    for node in nodes:
+        if node in visited:  # set membership is O(1): clean
+            continue
+        visited.add(node)
+    return visited
+
+
+def pop_last_is_fine(nodes):
+    stack = list(nodes)
+    out = []
+    for _node in nodes:
+        out.append(stack.pop())  # pop() from the end is O(1): clean
+    return out
+
+
+def insert_outside_node_loop_is_fine(rows, node):
+    ordered = []
+    for _row in rows:  # not a node collection: LIN002 stays quiet
+        ordered.insert(0, node)
+    return ordered

@@ -208,3 +208,124 @@ class TestPragmasAndModules:
         target.write_text("")
         assert module_name_for(target) == "top.inner.leaf"
         assert module_name_for(pkg / "__init__.py") == "top.inner"
+
+
+class TestScopeAttribution:
+    """Decorators/defaults evaluate in the enclosing scope, and defs
+    bound inside compound statements are still visible locals —
+    regression coverage for the scope-attribution fixes."""
+
+    def test_own_decorator_call_not_attributed_to_decorated_function(self, tmp_path):
+        _, graph = analyze(
+            tmp_path,
+            mod="""
+            def deco(f):
+                return f
+
+            @deco
+            def worker():
+                return 1
+            """,
+        )
+        # `@deco` runs at module level, not inside worker's frame.
+        assert ("mod.worker", "mod.deco") not in edges_of(graph)
+
+    def test_nested_def_decorator_attributed_to_enclosing_function(self, tmp_path):
+        _, graph = analyze(
+            tmp_path,
+            mod="""
+            def deco(f):
+                return f
+
+            def outer():
+                @deco
+                def inner():
+                    return 1
+                return inner
+            """,
+        )
+        edges = edges_of(graph)
+        # the decorator call executes when `outer` runs ...
+        assert ("mod.outer", "mod.deco") in edges
+        # ... and must not be credited to `inner`, which never calls it.
+        assert ("mod.outer.inner", "mod.deco") not in edges
+
+    def test_nested_def_default_value_attributed_to_enclosing_function(self, tmp_path):
+        _, graph = analyze(
+            tmp_path,
+            mod="""
+            def make_default():
+                return 3
+
+            def outer():
+                def inner(x=make_default()):
+                    return x
+                return inner
+            """,
+        )
+        edges = edges_of(graph)
+        assert ("mod.outer", "mod.make_default") in edges
+        assert ("mod.outer.inner", "mod.make_default") not in edges
+
+    def test_decorator_argument_recursion_is_not_a_cycle(self, tmp_path):
+        """A decorated function whose decorator *names* it must not be
+        reported as self-recursive (the old traversal credited the
+        decorator call to the function itself)."""
+        _, graph = analyze(
+            tmp_path,
+            mod="""
+            def retry(fn):
+                return fn
+
+            @retry
+            def fetch():
+                return 1
+            """,
+        )
+        assert ("mod.fetch", "mod.retry") not in edges_of(graph)
+
+    def test_def_inside_if_is_visible_to_enclosing_function(self, tmp_path):
+        _, graph = analyze(
+            tmp_path,
+            mod="""
+            def outer(flag):
+                if flag:
+                    def helper():
+                        return 1
+                else:
+                    def helper():
+                        return 2
+                return helper()
+            """,
+        )
+        assert ("mod.outer", "mod.outer.helper") in edges_of(graph)
+
+    def test_def_inside_try_is_visible_and_can_self_recurse(self, tmp_path):
+        _, graph = analyze(
+            tmp_path,
+            mod="""
+            def outer():
+                try:
+                    def walk(n):
+                        return walk(n - 1)
+                finally:
+                    pass
+                return walk(5)
+            """,
+        )
+        edges = edges_of(graph)
+        assert ("mod.outer", "mod.outer.walk") in edges
+        assert ("mod.outer.walk", "mod.outer.walk") in edges
+
+    def test_def_inside_nested_class_not_visible_to_function_scope(self, tmp_path):
+        _, graph = analyze(
+            tmp_path,
+            mod="""
+            def outer():
+                class Local:
+                    def helper(self):
+                        return 1
+                return helper()  # unresolvable: bound to Local, not outer
+            """,
+        )
+        assert ("mod.outer", "mod.outer.Local.helper") not in edges_of(graph)

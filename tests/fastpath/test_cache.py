@@ -130,3 +130,63 @@ class TestConfiguration:
         assert default_cache() is first
         clear_default_cache()
         assert default_cache() is not first
+
+
+class TestThreadIsolation:
+    """The default cache is per-thread: unlocked LRU bookkeeping must
+    never be shared across threads (repro-lint rule CC003)."""
+
+    def test_each_thread_gets_its_own_default_cache(self):
+        import threading
+
+        clear_default_cache()
+        mine = default_cache()
+        theirs = []
+
+        def worker():
+            theirs.append(default_cache())
+
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join()
+        assert theirs[0] is not mine
+        assert default_cache() is mine  # this thread's is undisturbed
+
+    def test_concurrent_kernel_counters_stay_exact(self):
+        import sys
+        import threading
+
+        from repro.fastpath.flat import FlatTree
+        from repro.tree.builders import flat_tree
+
+        ft = FlatTree.from_tree(flat_tree(1, [2, 2, 2, 2]))
+        probes = 2_000
+        results = {}
+        previous = sys.getswitchinterval()
+        sys.setswitchinterval(1e-6)
+        try:
+
+            def worker(name):
+                clear_default_cache()
+                cache = default_cache()
+                cache.shape_ids(ft)
+                for i in range(probes):
+                    key = ("mode", i % 7, 16, False)
+                    if cache.get(key) is None:
+                        cache.put(key, ((), 0, (), 0))
+                results[name] = cache.stats()
+
+            pool = [
+                threading.Thread(target=worker, args=(n,)) for n in range(4)
+            ]
+            for t in pool:
+                t.start()
+            for t in pool:
+                t.join()
+        finally:
+            sys.setswitchinterval(previous)
+        # with one shared unlocked cache these totals lose updates; with
+        # per-thread caches every thread sees exactly its own probes
+        for stats in results.values():
+            assert stats["hits"] + stats["misses"] == probes
+            assert stats["misses"] == 7
