@@ -1,0 +1,344 @@
+#!/usr/bin/env python
+"""Service load generator: mixed ingest/query traffic, one JSON baseline.
+
+Boots the :mod:`repro.service` document store in-process and drives it
+with thousands of concurrent HTTP requests from an asyncio fan-out —
+``--concurrency`` worker coroutines, each on its own keep-alive
+connection, each following a schedule derived deterministically from
+``--seed``. Every worker issues mostly queries against a pool of shared
+documents plus one ingest of its own document (queried once after) and
+one health probe, so ingest write-locks and query read-locks contend the
+whole run.
+
+The scenario records the three properties the hammer test also checks,
+measured at benchmark scale:
+
+* **zero failed requests** — every response is a 2xx (``failed == 0``);
+* **no corrupt reads** — every query measurement equals the reference
+  run byte for byte (``corrupt_reads == 0``);
+* **lock-exact telemetry** — the server's counters equal the client-side
+  tallies exactly (``telemetry_exact``).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service.py [--quick] [--check]
+        [--seed N] [--concurrency N] [--per-worker N] [--output BENCH.json]
+
+``--quick`` shrinks the fan-out for CI smoke; ``--check`` first
+validates the committed ``BENCH_PR7.json`` with the same gate
+:mod:`benchmarks.compare` applies (a full-run baseline must have
+sustained >= 1000 requests with all three properties holding). The
+baseline-compare workflow mirrors ``harness.py``: commit a full run as
+``BENCH_PRn.json`` and diff it against its predecessor with
+``compare.py`` whenever the scenario exists on both sides.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import random
+import sys
+from pathlib import Path
+from time import perf_counter  # the load generator itself may read the clock
+from urllib.parse import quote
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro import telemetry  # noqa: E402
+from repro.service.app import ServiceConfig, ServiceThread  # noqa: E402
+from repro.service.client import ServiceClient  # noqa: E402
+
+SCHEMA = "repro-bench/1"
+BASELINE = REPO_ROOT / "BENCH_PR7.json"
+
+#: measurement keys that must be identical across every query response
+#: touching documents with identical content (the corrupt-read check)
+MEASUREMENT_KEYS = (
+    "results",
+    "intra_steps",
+    "cross_steps",
+    "cross_ratio",
+    "page_faults",
+    "cost",
+)
+SHARED_DOCUMENTS = 5
+QUERY_XPATH = "//keyword"
+
+
+def corpus_xml(persons: int) -> str:
+    """A synthetic people listing; every person carries one keyword."""
+    body = "".join(
+        f"<person id='p{i}'><name>person {i}</name>"
+        f"<interest><keyword>k{i % 7}</keyword></interest></person>"
+        for i in range(persons)
+    )
+    return f"<site><people>{body}</people></site>"
+
+
+class WorkerConnection:
+    """A minimal keep-alive HTTP/1.1 client for one worker coroutine."""
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        self.reader = reader
+        self.writer = writer
+
+    @classmethod
+    async def open(cls, port: int) -> "WorkerConnection":
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        return cls(reader, writer)
+
+    async def request(
+        self, method: str, target: str, body: bytes = b""
+    ) -> tuple[int, dict]:
+        head = f"{method} {target} HTTP/1.1\r\nhost: bench\r\n"
+        if body:
+            head += f"content-length: {len(body)}\r\n"
+        self.writer.write(head.encode("latin-1") + b"\r\n" + body)
+        await self.writer.drain()
+        blob = await self.reader.readuntil(b"\r\n\r\n")
+        lines = blob.decode("latin-1").split("\r\n")
+        status = int(lines[0].split(" ", 2)[1])
+        length = 0
+        for line in lines[1:]:
+            name, _, value = line.partition(":")
+            if name.strip().lower() == "content-length":
+                length = int(value.strip())
+        payload = await self.reader.readexactly(length)
+        return status, json.loads(payload) if payload else {}
+
+    async def close(self) -> None:
+        self.writer.close()
+        try:
+            await self.writer.wait_closed()
+        except OSError:
+            pass
+
+
+def worker_schedule(rng: random.Random, per_worker: int) -> list[tuple[str, int]]:
+    """``per_worker`` ops: shared queries + own ingest/query + a probe.
+
+    The op *mix* is fixed (counts must aggregate deterministically across
+    workers); only the positions and shared-document choices vary by
+    seed. The own-document query always follows its ingest.
+    """
+    ops: list[tuple[str, int]] = [
+        ("query", rng.randrange(SHARED_DOCUMENTS)) for _ in range(per_worker - 3)
+    ]
+    ingest_at = rng.randrange(len(ops) + 1)
+    ops[ingest_at:ingest_at] = [("ingest", 0), ("own-query", 0)]
+    ops.insert(rng.randrange(len(ops) + 1), ("healthz", 0))
+    return ops
+
+
+async def run_worker(
+    index: int,
+    port: int,
+    xml: bytes,
+    per_worker: int,
+    seed: int,
+    tallies: dict,
+    latencies: list,
+    failures: list,
+) -> None:
+    rng = random.Random(seed * 1_000_003 + index)
+    conn = await WorkerConnection.open(port)
+    try:
+        for op, pick in worker_schedule(rng, per_worker):
+            if op == "ingest":
+                method, target, body = "POST", f"/documents?id=own-{index}", xml
+            elif op == "healthz":
+                method, target, body = "GET", "/healthz", b""
+            else:
+                doc = f"own-{index}" if op == "own-query" else f"shared-{pick}"
+                method, body = "GET", b""
+                target = f"/documents/{doc}/query?xpath={quote(QUERY_XPATH)}"
+            start = perf_counter()
+            status, payload = await conn.request(method, target, body)
+            latencies.append(perf_counter() - start)
+            kind = "query" if op == "own-query" else op
+            tallies[kind] += 1
+            if status >= 400:
+                failures.append(f"worker {index}: {op} -> {status}: {payload}")
+            elif op in ("query", "own-query"):
+                measured = tuple(payload[key] for key in MEASUREMENT_KEYS)
+                if measured != tallies["reference"]:
+                    tallies["corrupt_reads"] += 1
+    finally:
+        await conn.close()
+
+
+def run_load(quick: bool, seed: int, concurrency: int, per_worker: int) -> dict:
+    xml = corpus_xml(40 if quick else 120).encode()
+    config = ServiceConfig(port=0, max_concurrency=concurrency, request_timeout=60.0)
+    with ServiceThread(config) as server:
+        with ServiceClient(port=server.port, timeout=60) as setup:
+            for doc in range(SHARED_DOCUMENTS):
+                setup.ingest(xml.decode(), doc_id=f"shared-{doc}")
+            reference_run = setup.query("shared-0", QUERY_XPATH)
+        reference = tuple(reference_run[key] for key in MEASUREMENT_KEYS)
+
+        tallies = {
+            "query": 0,
+            "ingest": 0,
+            "healthz": 0,
+            "corrupt_reads": 0,
+            "reference": reference,
+        }
+        latencies: list[float] = []
+        failures: list[str] = []
+
+        async def fan_out() -> float:
+            start = perf_counter()
+            await asyncio.gather(
+                *(
+                    run_worker(
+                        index,
+                        server.port,
+                        xml,
+                        per_worker,
+                        seed,
+                        tallies,
+                        latencies,
+                        failures,
+                    )
+                    for index in range(concurrency)
+                )
+            )
+            return perf_counter() - start
+
+        seconds = asyncio.run(fan_out())
+
+        with ServiceClient(port=server.port, timeout=60) as check:
+            snapshot = check.metrics_json()
+
+    counters = snapshot["counters"]
+    requests = concurrency * per_worker
+    setup_requests = SHARED_DOCUMENTS + 1  # shared ingests + reference query
+    expected = {
+        "requests": requests + setup_requests + 1,  # + the metrics scrape
+        # the scrape snapshots counters before its own 2xx is recorded
+        "responses_2xx": requests + setup_requests,
+        "queries": tallies["query"] + 1,
+        "ingested": tallies["ingest"] + SHARED_DOCUMENTS,
+    }
+    observed = {
+        "requests": counters.get("service.requests", 0),
+        "responses_2xx": counters.get("service.responses.2xx", 0),
+        "queries": counters.get("service.queries", 0),
+        "ingested": counters.get("service.documents.ingested", 0),
+    }
+    ordered = sorted(latencies)
+
+    def pct(fraction: float) -> float:
+        return ordered[min(len(ordered) - 1, int(fraction * len(ordered)))]
+
+    return {
+        "seed": seed,
+        "concurrency": concurrency,
+        "requests": requests,
+        "shared_documents": SHARED_DOCUMENTS,
+        "mix": {
+            "query": tallies["query"],
+            "ingest": tallies["ingest"],
+            "healthz": tallies["healthz"],
+        },
+        "failed": len(failures),
+        "failures": failures[:10],
+        "corrupt_reads": tallies["corrupt_reads"],
+        "telemetry_exact": observed == expected,
+        "telemetry": observed,
+        "query_reference": {
+            key: reference_run[key] for key in MEASUREMENT_KEYS
+        },
+        "seconds": seconds,
+        "requests_per_second": requests / seconds if seconds else 0.0,
+        "latency": {
+            "p50": pct(0.50),
+            "p95": pct(0.95),
+            "p99": pct(0.99),
+            "max": ordered[-1],
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="small fan-out (CI smoke)"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help=f"also validate the committed baseline ({BASELINE.name})",
+    )
+    parser.add_argument("--seed", type=int, default=2006)
+    parser.add_argument(
+        "--concurrency", type=int, default=None, help="worker connections"
+    )
+    parser.add_argument(
+        "--per-worker", type=int, default=None, help="requests per worker"
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="write the run's JSON here (default: stdout)",
+    )
+    args = parser.parse_args(argv)
+    if args.check:
+        bench_dir = str(REPO_ROOT / "benchmarks")
+        if bench_dir not in sys.path:
+            sys.path.insert(0, bench_dir)
+        from compare import check_service_baseline
+
+        status = check_service_baseline(BASELINE)
+        if status:
+            return status
+    concurrency = args.concurrency or (16 if args.quick else 64)
+    per_worker = args.per_worker or (25 if args.quick else 32)
+    print(
+        f"[bench-service] {concurrency} workers x {per_worker} requests ...",
+        file=sys.stderr,
+    )
+    scenario = run_load(args.quick, args.seed, concurrency, per_worker)
+    payload = {
+        "schema": SCHEMA,
+        "quick": args.quick,
+        "environment": telemetry.environment_fingerprint(),
+        "scenarios": {"service": scenario},
+    }
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    if args.output:
+        args.output.write_text(text)
+        print(f"[bench-service] wrote {args.output}", file=sys.stderr)
+    else:
+        sys.stdout.write(text)
+    print(
+        f"[bench-service] {scenario['requests']} requests in "
+        f"{scenario['seconds']:.2f}s "
+        f"({scenario['requests_per_second']:.0f} req/s), "
+        f"failed={scenario['failed']} "
+        f"corrupt_reads={scenario['corrupt_reads']} "
+        f"telemetry_exact={scenario['telemetry_exact']} "
+        f"p99={scenario['latency']['p99'] * 1000:.1f}ms",
+        file=sys.stderr,
+    )
+    problems = []
+    if scenario["failed"]:
+        problems.append(f"{scenario['failed']} failed request(s)")
+    if scenario["corrupt_reads"]:
+        problems.append(f"{scenario['corrupt_reads']} corrupt read(s)")
+    if not scenario["telemetry_exact"]:
+        problems.append("telemetry drift (counters != client tallies)")
+    for problem in problems:
+        print(f"[bench-service] FAILED: {problem}", file=sys.stderr)
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,7 +15,8 @@ Compares an *old* committed baseline against a *new* one and exits
 Two metric classes are treated differently:
 
 * **Deterministic metrics** (partition counts, root weights, DP cell
-  counts, query costs/result counts, spill/event counts) must match
+  counts, query costs/result counts, spill/event counts, the service
+  load generator's request mix and query measurements) must match
   **exactly** — the corpus generators and algorithms are seeded and
   deterministic, so *any* drift is a behavior change that must be
   explained, not noise. Regenerating the baseline is the explicit way to
@@ -45,6 +46,7 @@ TIME_THRESHOLDS = {
     "table1_table2": 0.60,
     "table3": 0.60,
     "bulkload": 0.60,
+    "service": 0.60,
 }
 #: absolute seconds floor below which timing diffs are ignored entirely
 #: (a ~10ms heuristic cell can double under scheduler jitter alone; real
@@ -56,6 +58,9 @@ OVERHEAD_BUDGET = 0.03
 #: (mirrors harness.check_baseline; quick baselines are not gated)
 FASTPATH_DUP_FLOOR = 2.0
 FASTPATH_TABLE2_FLOOR = 1.3
+#: minimum concurrent mixed requests a full-run service baseline must
+#: have sustained (the PR acceptance bar; quick runs are not gated)
+SERVICE_REQUEST_FLOOR = 1000
 
 
 class Comparison:
@@ -206,6 +211,62 @@ def check_fastpath(cmp: Comparison, new: dict, quick: bool) -> None:
             )
 
 
+def compare_service(cmp: Comparison, old: dict, new: dict) -> None:
+    """Diff the service load-generator scenario (deterministic + timing)."""
+    for key in ("seed", "concurrency", "requests", "shared_documents", "mix"):
+        cmp.exact(f"service.{key}", old.get(key), new.get(key))
+    for key, value in old.get("query_reference", {}).items():
+        cmp.exact(
+            f"service.query_reference.{key}",
+            value,
+            new.get("query_reference", {}).get(key),
+        )
+    cmp.seconds(
+        "service.seconds",
+        old["seconds"],
+        new["seconds"],
+        TIME_THRESHOLDS["service"],
+    )
+
+
+def check_service(cmp: Comparison, new: dict, quick: bool) -> None:
+    """Absolute gate on the candidate's service scenario.
+
+    The three load-generator invariants (zero failed requests, zero
+    corrupt reads, lock-exact telemetry) must hold on *every* baseline;
+    full-run baselines must additionally have sustained at least
+    ``SERVICE_REQUEST_FLOOR`` concurrent mixed requests.
+    """
+    cmp.exact("service.failed", 0, new.get("failed"))
+    cmp.exact("service.corrupt_reads", 0, new.get("corrupt_reads"))
+    cmp.exact("service.telemetry_exact", True, new.get("telemetry_exact"))
+    if not quick and new.get("requests", 0) < SERVICE_REQUEST_FLOOR:
+        cmp.regressions.append(
+            f"service.requests: {new.get('requests')} < "
+            f"{SERVICE_REQUEST_FLOOR} full-run floor"
+        )
+
+
+def check_service_baseline(path: Path) -> int:
+    """Validate a committed service baseline (the bench CI smoke gate)."""
+    try:
+        data = _load(path)
+    except NotComparable as exc:
+        print(f"[compare] service baseline: {exc}", file=sys.stderr)
+        return 1
+    scenario = data.get("scenarios", {}).get("service")
+    if scenario is None:
+        print(f"[compare] {path.name}: scenario 'service' missing", file=sys.stderr)
+        return 1
+    cmp = Comparison()
+    check_service(cmp, scenario, bool(data.get("quick")))
+    for line in cmp.regressions:
+        print(f"[compare] service baseline: {line}", file=sys.stderr)
+    if not cmp.regressions:
+        print(f"[compare] service baseline {path.name} OK ({SCHEMA})", file=sys.stderr)
+    return 1 if cmp.regressions else 0
+
+
 def compare_baselines(old: dict, new: dict) -> Comparison:
     _check_comparable(old, new)
     cmp = Comparison()
@@ -214,12 +275,15 @@ def compare_baselines(old: dict, new: dict) -> Comparison:
         "table3": compare_table3,
         "bulkload": compare_bulkload,
         "overhead": compare_overhead,
+        "service": compare_service,
     }
     for scenario, comparer in comparers.items():
         if scenario in old["scenarios"]:
             comparer(cmp, old["scenarios"][scenario], new["scenarios"][scenario])
     if "fastpath" in new.get("scenarios", {}):
         check_fastpath(cmp, new["scenarios"]["fastpath"], bool(new.get("quick")))
+    if "service" in new.get("scenarios", {}):
+        check_service(cmp, new["scenarios"]["service"], bool(new.get("quick")))
     return cmp
 
 

@@ -13,6 +13,7 @@ PRT002  partitioner overrides ``partition`` instead of ``_partition``
 OBS001  manual wall-clock timing outside ``repro.telemetry``
 OBS002  span opened with a computed name or an empty attrs dict literal
 RB001   broad exception handler that silently swallows outside test code
+RB002   blocking engine entry point called directly from an async body
 PERF001 loop-invariant O(n) subtree-weight walk recomputed per iteration
 ======  ================================================================
 
@@ -591,6 +592,108 @@ class ExceptionSwallowPass(LintPass):
     def _describe(handler_type: ast.expr) -> str:
         dotted = _dotted_name(handler_type)
         return dotted if dotted is not None else "Exception"
+
+
+#: blocking engine entry points (functions and methods) an async body
+#: must offload to the executor instead of calling inline — each one
+#: parses, partitions, or does page I/O for the whole document
+_BLOCKING_ENGINE_CALLS = frozenset(
+    {
+        # module-level entry points
+        "parse_tree",
+        "iter_events",
+        "partition_tree",
+        "run_query",
+        "evaluate",
+        "resume_import",
+        "tree_to_xml",
+        # method entry points (BulkLoader/ParallelBulkLoader.load,
+        # DocumentStore.build/.warm_up, Partitioner.partition)
+        "load",
+        "build",
+        "warm_up",
+        "partition",
+    }
+)
+
+#: wrapper call names that legitimately *receive* a blocking callable;
+#: the callable is passed uncalled, so no flagged Call node appears —
+#: this set only documents the sanctioned pattern for the message
+_EXECUTOR_OFFLOAD_WRAPPERS = ("run_blocking", "run_in_executor", "to_thread")
+
+
+@register_lint_pass
+class AsyncBlockingCallPass(LintPass):
+    """An asyncio event loop serves every connection on one thread: a
+    handler that calls ``parse_tree`` / ``run_query`` / ``loader.load``
+    inline stalls *all* requests for the duration of the parse or the
+    page walk. The service routes such work through its executor-offload
+    wrapper (``DocumentService.run_blocking``), which passes the callable
+    *uncalled* — so this pass simply flags any blocking engine entry
+    point invoked directly inside an ``async def`` body. Nested ``def``s
+    are exempt (their bodies run wherever they are scheduled — typically
+    on the executor), as are test files."""
+
+    code = "RB002"
+    name = "async-blocking-call"
+    description = (
+        "async function body calls a blocking engine entry point "
+        "directly; offload it via the executor wrapper "
+        f"({' / '.join(_EXECUTOR_OFFLOAD_WRAPPERS)}) so the event loop "
+        "keeps serving"
+    )
+
+    def run(self, ctx: LintContext) -> Iterator[Violation]:
+        for source in ctx.files:
+            filename = source.path.name
+            if filename.startswith("test_") or filename == "conftest.py":
+                continue
+            for node in ast.walk(source.tree):
+                if not isinstance(node, ast.AsyncFunctionDef):
+                    continue
+                for call, name in self._inline_calls(node):
+                    yield Violation(
+                        path=str(source.path),
+                        lineno=call.lineno,
+                        code=self.code,
+                        message=(
+                            f"async `{node.name}` calls blocking engine "
+                            f"entry point `{name}()` on the event loop; "
+                            "pass it uncalled through the executor-offload "
+                            "wrapper (e.g. `await run_blocking("
+                            f"{name}, ...)`)"
+                        ),
+                    )
+
+    @staticmethod
+    def _inline_calls(
+        fn: ast.AsyncFunctionDef,
+    ) -> Iterator[tuple[ast.Call, str]]:
+        """Blocking-call sites executing in ``fn``'s own async frame.
+
+        Explicit-stack walk (analyzer internals stay REC001-clean) that
+        does not descend into nested function/lambda scopes: their
+        bodies run wherever they get scheduled, and the enclosing
+        ``ast.walk`` visits nested ``async def``s on its own.
+        """
+        stack: list[ast.AST] = list(fn.body)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            if isinstance(node, ast.Call):
+                callee: Optional[str] = None
+                if isinstance(node.func, ast.Name):
+                    callee = node.func.id
+                elif isinstance(node.func, ast.Attribute):
+                    callee = node.func.attr
+                if callee in _BLOCKING_ENGINE_CALLS:
+                    arity = len(node.args) + len(node.keywords)
+                    # `partition` collides with str.partition(sep) — the
+                    # engine entry point always takes (tree, limit, ...)
+                    if callee != "partition" or arity >= 2:
+                        yield node, callee
+            stack.extend(ast.iter_child_nodes(node))
 
 
 @register_lint_pass

@@ -7,6 +7,7 @@ Installed as ``repro`` (see pyproject)::
     repro query doc.xml "//keyword" --algorithm ekm
     repro compare doc.xml --limit 256
     repro stats doc.xml --algorithm ekm --query "//keyword" [--json]
+    repro serve --port 8080 --max-concurrency 64
 
 ``repro compare`` runs every registered heuristic on the document and
 prints a Table-1-style summary; ``repro stats`` (also installed as
@@ -211,6 +212,8 @@ def cmd_stats(args: argparse.Namespace) -> int:
             fastpath = _fastpath_comparison(tree, args.algorithm, args.limit)
         if args.jsonl:
             telemetry.export_jsonl(sys.stdout, reg)
+        elif args.prom:
+            sys.stdout.write(telemetry.prometheus_text(reg))
         elif args.json:
             payload = telemetry.snapshot(reg)
             payload["environment"] = telemetry.environment_fingerprint()
@@ -240,6 +243,23 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the document-store HTTP service until interrupted."""
+    from repro.service.app import ServiceConfig, run as run_service
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        max_concurrency=args.max_concurrency,
+        request_timeout=args.timeout,
+        workers=args.workers,
+        journal_dir=args.journal_dir,
+        default_algorithm=args.algorithm,
+        default_limit=args.limit,
+    )
+    return run_service(config)
+
+
 def _add_stats_arguments(parser: argparse.ArgumentParser) -> None:
     _add_common(parser)
     parser.add_argument(
@@ -254,6 +274,12 @@ def _add_stats_arguments(parser: argparse.ArgumentParser) -> None:
     fmt.add_argument("--json", action="store_true", help="print a JSON snapshot")
     fmt.add_argument(
         "--jsonl", action="store_true", help="print a JSON-lines metric export"
+    )
+    fmt.add_argument(
+        "--prom",
+        action="store_true",
+        help="print the Prometheus text exposition (same format as the "
+        "service's GET /metrics)",
     )
     parser.add_argument(
         "--profile",
@@ -321,6 +347,38 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     _add_stats_arguments(p)
     p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser(
+        "serve", help="run the document-store HTTP service (docs/SERVICE.md)"
+    )
+    p.add_argument("--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8080, help="bind port; 0 = ephemeral (default: 8080)")
+    p.add_argument(
+        "--max-concurrency",
+        type=int,
+        default=64,
+        help="requests admitted at once (default: 64)",
+    )
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        help="per-request admission + execution timeout in seconds (default: 30)",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="executor threads for blocking engine work (default: stdlib sizing)",
+    )
+    p.add_argument(
+        "--journal-dir",
+        default=None,
+        help="directory for crash-safe ingest journals (default: private temp dir)",
+    )
+    p.add_argument("--algorithm", default="ekm", help="default partitioning algorithm (default: ekm)")
+    p.add_argument("--limit", type=int, default=256, help="default weight limit K (default: 256)")
+    p.set_defaults(func=cmd_serve)
 
     args = parser.parse_args(argv)
     # `query` puts xpath after document; reorder handled by argparse

@@ -1,0 +1,458 @@
+"""HTTP front end: router, connection handling, service lifecycle.
+
+The server is a hand-rolled HTTP/1.1 implementation over
+:func:`asyncio.start_server` — no ``http.server``, no third-party
+framework. It speaks the subset the document store needs: request line +
+headers, ``Content-Length`` bodies (chunked uploads are a 501),
+keep-alive connections, and problem-JSON errors for every protocol
+failure.
+
+Threading model:
+
+* **one event-loop thread** parses sockets, routes, and runs the
+  middleware; it never calls the engine,
+* **a bounded ThreadPoolExecutor** runs every blocking engine call via
+  :meth:`DocumentService.run_blocking` — the executor-offload wrapper
+  repro-lint rule RB002 checks async handler bodies for.
+
+:class:`ServiceThread` hosts a service on a dedicated loop thread so
+synchronous callers (tests, the smoke script, the load generator's
+setup) can start/stop one with a context manager.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import os
+import shutil
+import sys
+import tempfile
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+from urllib.parse import parse_qs, unquote, urlsplit
+
+from repro import telemetry
+from repro.service.handlers import Handlers
+from repro.service.middleware import (
+    Handler,
+    HeaderTooLargeError,
+    MethodNotAllowedError,
+    MiddlewareStack,
+    PayloadTooLargeError,
+    ProtocolError,
+    Request,
+    Response,
+    RouteNotFoundError,
+    ServiceError,
+    UnsupportedProtocolError,
+    map_exception,
+)
+from repro.service.state import StoreRegistry
+
+#: request-head size bound (request line + headers); also the stream limit
+MAX_HEADER_BYTES = 64 * 1024
+
+_STATUS_TEXT = {
+    200: "OK",
+    201: "Created",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    409: "Conflict",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+@dataclass
+class ServiceConfig:
+    """Tunables for one :class:`DocumentService` instance."""
+
+    host: str = "127.0.0.1"
+    #: 0 binds an ephemeral port (the bound port lands in ``service.port``)
+    port: int = 8080
+    #: admission-control bound: requests in flight at once
+    max_concurrency: int = 64
+    #: seconds a request may wait for admission, and then run
+    request_timeout: float = 30.0
+    #: executor threads for blocking engine work (None = stdlib default)
+    workers: Optional[int] = None
+    #: largest accepted request body
+    max_body_bytes: int = 64 * 1024 * 1024
+    #: where ingest journals live (None = private temp dir, cleaned on stop)
+    journal_dir: Optional[str] = None
+    default_algorithm: str = "ekm"
+    default_limit: int = 256
+    #: turn the telemetry registry on at startup (metrics endpoints need it)
+    enable_telemetry: bool = True
+
+
+class Router:
+    """Literal-and-placeholder segment router (``/documents/{doc_id}/query``)."""
+
+    def __init__(self) -> None:
+        self._routes: list[tuple[str, tuple[str, ...], Handler, str]] = []
+
+    def add(self, method: str, pattern: str, handler: Handler, name: str) -> None:
+        segments = tuple(seg for seg in pattern.split("/") if seg)
+        self._routes.append((method.upper(), segments, handler, name))
+
+    def resolve(
+        self, method: str, path: str
+    ) -> tuple[Handler, str, dict[str, str]]:
+        """Match a request; 404 on unknown path, 405 on wrong method."""
+        segments = tuple(seg for seg in path.split("/") if seg)
+        allowed: list[str] = []
+        for route_method, pattern, handler, name in self._routes:
+            params = _match_segments(pattern, segments)
+            if params is None:
+                continue
+            if route_method != method.upper():
+                allowed.append(route_method)
+                continue
+            return handler, name, params
+        if allowed:
+            raise MethodNotAllowedError(
+                f"{method} not allowed for {path!r} "
+                f"(allowed: {', '.join(sorted(set(allowed)))})"
+            )
+        raise RouteNotFoundError(f"no route matches {method} {path!r}")
+
+
+def _match_segments(
+    pattern: tuple[str, ...], segments: tuple[str, ...]
+) -> Optional[dict[str, str]]:
+    if len(pattern) != len(segments):
+        return None
+    params: dict[str, str] = {}
+    for expected, actual in zip(pattern, segments):
+        if expected.startswith("{") and expected.endswith("}"):
+            params[expected[1:-1]] = actual
+        elif expected != actual:
+            return None
+    return params
+
+
+class DocumentService:
+    """The document-store service: state + router + asyncio server."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None):
+        self.config = config or ServiceConfig()
+        if self.config.journal_dir is not None:
+            journal_dir = self.config.journal_dir
+            os.makedirs(journal_dir, exist_ok=True)
+            self._owns_journal_dir = False
+        else:
+            journal_dir = tempfile.mkdtemp(prefix="repro-service-")
+            self._owns_journal_dir = True
+        self.state = StoreRegistry(
+            journal_dir,
+            default_algorithm=self.config.default_algorithm,
+            default_limit=self.config.default_limit,
+        )
+        self.middleware = MiddlewareStack(
+            max_concurrency=self.config.max_concurrency,
+            request_timeout=self.config.request_timeout,
+        )
+        self.router = Router()
+        Handlers(self).install(self.router)
+        self.port = self.config.port
+        self.started_at = 0.0
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        # live connections (loop-thread only); stop() closes them so every
+        # connection task completes before the loop is torn down
+        self._connections: set[asyncio.StreamWriter] = set()
+        self._connection_tasks: set[asyncio.Task] = set()
+
+    # -- lifecycle -------------------------------------------------------
+
+    async def start(self) -> "DocumentService":
+        if self.config.enable_telemetry:
+            telemetry.enable()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.workers, thread_name_prefix="repro-service"
+        )
+        self.started_at = telemetry.clock()
+        self._server = await asyncio.start_server(
+            self._serve_connection,
+            host=self.config.host,
+            port=self.config.port,
+            limit=MAX_HEADER_BYTES,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        telemetry.count("service.starts")
+        return self
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for writer in list(self._connections):
+            writer.close()
+        if self._connection_tasks:
+            await asyncio.gather(
+                *list(self._connection_tasks), return_exceptions=True
+            )
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        if self._owns_journal_dir:
+            shutil.rmtree(self.state.journal_dir, ignore_errors=True)
+
+    async def run_blocking(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Any:
+        """Run a blocking engine call on the worker pool, never the loop.
+
+        This is the executor-offload wrapper repro-lint rule RB002
+        requires: async handler bodies must route blocking engine entry
+        points (parse / partition / ingest / query) through here so the
+        event loop keeps serving sockets while the engine works.
+        """
+        loop = asyncio.get_running_loop()
+        if kwargs:
+            return await loop.run_in_executor(
+                self._executor, functools.partial(fn, *args, **kwargs)
+            )
+        return await loop.run_in_executor(self._executor, fn, *args)
+
+    # -- connection handling ---------------------------------------------
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connection_tasks.add(task)
+        self._connections.add(writer)
+        telemetry.count("service.connections")
+        try:
+            keep_alive = True
+            while keep_alive:
+                try:
+                    request = await self._read_request(reader)
+                except ServiceError as exc:
+                    telemetry.count("service.protocol_errors")
+                    await self._send(writer, map_exception(exc), keep_alive=False)
+                    break
+                if request is None:
+                    break
+                keep_alive = _wants_keep_alive(request)
+                response = await self._dispatch(request)
+                await self._send(writer, response, keep_alive)
+        except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
+            telemetry.count("service.connections.aborted")
+        finally:
+            self._connections.discard(writer)
+            if task is not None:
+                self._connection_tasks.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except OSError:
+                telemetry.count("service.connections.aborted")
+
+    async def _read_request(self, reader: asyncio.StreamReader) -> Optional[Request]:
+        """Parse one request off the stream; ``None`` on clean EOF."""
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.IncompleteReadError as exc:
+            if not exc.partial:
+                return None
+            raise ProtocolError("truncated request head") from None
+        except asyncio.LimitOverrunError:
+            raise HeaderTooLargeError(
+                f"request head exceeds {MAX_HEADER_BYTES} bytes"
+            ) from None
+        lines = head.decode("latin-1").split("\r\n")
+        parts = lines[0].split(" ")
+        if len(parts) != 3:
+            raise ProtocolError(f"malformed request line: {lines[0]!r}")
+        method, target, version = parts
+        if version not in ("HTTP/1.1", "HTTP/1.0"):
+            raise ProtocolError(f"unsupported protocol version: {version!r}")
+        headers: dict[str, str] = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, sep, value = line.partition(":")
+            if not sep or not name.strip():
+                raise ProtocolError(f"malformed header line: {line!r}")
+            headers[name.strip().lower()] = value.strip()
+        if "chunked" in headers.get("transfer-encoding", "").lower():
+            raise UnsupportedProtocolError(
+                "chunked transfer encoding is not supported; "
+                "send a Content-Length body"
+            )
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            raise ProtocolError(
+                f"malformed Content-Length: {headers['content-length']!r}"
+            ) from None
+        if length < 0:
+            raise ProtocolError(f"negative Content-Length: {length}")
+        if length > self.config.max_body_bytes:
+            raise PayloadTooLargeError(
+                f"body of {length} bytes exceeds the "
+                f"{self.config.max_body_bytes}-byte limit"
+            )
+        body = await reader.readexactly(length) if length else b""
+        split = urlsplit(target)
+        params = {
+            key: values[-1]
+            for key, values in parse_qs(
+                split.query, keep_blank_values=True
+            ).items()
+        }
+        return Request(
+            method=method.upper(),
+            path=unquote(split.path) or "/",
+            params=params,
+            headers=headers,
+            body=body,
+            http_version=version.removeprefix("HTTP/"),
+        )
+
+    async def _dispatch(self, request: Request) -> Response:
+        try:
+            handler, name, path_params = self.router.resolve(
+                request.method, request.path
+            )
+        except ServiceError as exc:
+            # run the failure through the middleware anyway so 404/405s
+            # get request ids, counters and latency accounting too
+
+            async def _reraise(_request: Request, _exc: ServiceError = exc) -> Response:
+                raise _exc
+
+            return await self.middleware.run(request, _reraise)
+        request.route_name = name
+        request.path_params = path_params
+        return await self.middleware.run(request, handler)
+
+    async def _send(
+        self, writer: asyncio.StreamWriter, response: Response, keep_alive: bool
+    ) -> None:
+        headers = {
+            "content-type": response.content_type,
+            "content-length": str(len(response.body)),
+            "connection": "keep-alive" if keep_alive else "close",
+            "server": "repro-service/1",
+        }
+        headers.update(response.headers)
+        status_text = _STATUS_TEXT.get(response.status, "Unknown")
+        head = f"HTTP/1.1 {response.status} {status_text}\r\n" + "".join(
+            f"{name}: {value}\r\n" for name, value in headers.items()
+        )
+        writer.write(head.encode("latin-1") + b"\r\n" + response.body)
+        await writer.drain()
+
+
+def _wants_keep_alive(request: Request) -> bool:
+    connection = request.headers.get("connection", "").lower()
+    if request.http_version == "1.0":
+        return connection == "keep-alive"
+    return connection != "close"
+
+
+# ---------------------------------------------------------------------------
+# Hosting helpers
+# ---------------------------------------------------------------------------
+
+
+class ServiceThread:
+    """Host a :class:`DocumentService` on a dedicated event-loop thread.
+
+    For synchronous callers — tests, the smoke script, the load
+    generator — that need a live server without owning a loop::
+
+        with ServiceThread(ServiceConfig(port=0)) as server:
+            client = ServiceClient(port=server.port)
+            ...
+    """
+
+    def __init__(self, config: Optional[ServiceConfig] = None):
+        self.config = config or ServiceConfig(port=0)
+        self.service: Optional[DocumentService] = None
+        self.port = 0
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop_event: Optional[asyncio.Event] = None
+
+    def start(self) -> "ServiceThread":
+        self._thread = threading.Thread(
+            target=self._run, name="repro-service-loop", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise ServiceError("service thread did not come up within 30s")
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self
+
+    def stop(self) -> None:
+        if self._loop is not None and self._stop_event is not None:
+            loop, stop_event = self._loop, self._stop_event
+            loop.call_soon_threadsafe(stop_event.set)
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+            self._thread = None
+
+    def __enter__(self) -> "ServiceThread":
+        return self.start()
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        self.stop()
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        self.service = DocumentService(self.config)
+        try:
+            await self.service.start()
+        except BaseException as exc:  # surface bind failures to start()
+            self._startup_error = exc
+            self._ready.set()
+            return
+        self.port = self.service.port
+        self._ready.set()
+        await self._stop_event.wait()
+        await self.service.stop()
+
+
+async def _serve_until_cancelled(config: ServiceConfig) -> None:
+    service = DocumentService(config)
+    await service.start()
+    print(
+        f"repro-service listening on http://{config.host}:{service.port}",
+        file=sys.stderr,
+    )
+    try:
+        await asyncio.Event().wait()
+    finally:
+        await service.stop()
+
+
+def run(config: Optional[ServiceConfig] = None) -> int:
+    """Blocking entry point for ``repro serve`` (Ctrl-C stops it)."""
+    try:
+        asyncio.run(_serve_until_cancelled(config or ServiceConfig()))
+    except KeyboardInterrupt:
+        print("repro-service: shutting down", file=sys.stderr)
+    return 0

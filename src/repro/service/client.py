@@ -1,0 +1,191 @@
+"""Blocking HTTP client for the service (tests, smoke, load generator).
+
+Only the *server* side is hand-rolled; the client rides
+:mod:`http.client` from the stdlib. One :class:`ServiceClient` wraps one
+keep-alive connection and is **not** thread-safe — give each thread its
+own client (the load generator does exactly that).
+
+Error model: any problem-JSON response raises :class:`ServiceClientError`
+carrying the parsed problem document, so test assertions can look at
+``exc.status`` / ``exc.problem["detail"]`` instead of string-matching.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Optional, Union
+from urllib.parse import quote, urlencode
+
+from repro.errors import ReproError
+
+
+class ServiceClientError(ReproError):
+    """An error response (or transport failure) from the service."""
+
+    def __init__(
+        self,
+        message: str,
+        status: Optional[int] = None,
+        problem: Optional[dict[str, Any]] = None,
+    ):
+        super().__init__(message)
+        self.status = status
+        self.problem = problem or {}
+
+
+class ServiceClient:
+    """Minimal blocking client over one keep-alive connection."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8080, timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn = http.client.HTTPConnection(host, port, timeout=timeout)
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        self.close()
+
+    # -- transport -------------------------------------------------------
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        params: Optional[dict[str, Any]] = None,
+        body: Optional[bytes] = None,
+        headers: Optional[dict[str, str]] = None,
+    ) -> tuple[int, dict[str, str], bytes]:
+        """One round trip; returns ``(status, headers, body)`` raw.
+
+        Retries exactly once on a dropped connection — the server
+        closes keep-alive sockets on shutdown and on protocol errors,
+        and ``http.client`` surfaces that as ``BadStatusLine`` or a
+        connection reset on the *next* request.
+        """
+        target = quote(path)
+        if params:
+            target += "?" + urlencode(
+                {key: value for key, value in params.items() if value is not None}
+            )
+        for attempt in (1, 2):
+            try:
+                self._conn.request(method, target, body=body, headers=headers or {})
+                response = self._conn.getresponse()
+                data = response.read()
+            except (http.client.HTTPException, ConnectionError, OSError) as exc:
+                self._conn.close()
+                if attempt == 2:
+                    raise ServiceClientError(
+                        f"{method} {target} failed: {type(exc).__name__}: {exc}"
+                    ) from exc
+                continue
+            return (
+                response.status,
+                {name.lower(): value for name, value in response.getheaders()},
+                data,
+            )
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def request_json(
+        self,
+        method: str,
+        path: str,
+        params: Optional[dict[str, Any]] = None,
+        body: Optional[bytes] = None,
+        headers: Optional[dict[str, str]] = None,
+    ) -> dict[str, Any]:
+        """A round trip that decodes JSON and raises on error statuses."""
+        status, response_headers, data = self.request(
+            method, path, params=params, body=body, headers=headers
+        )
+        content_type = response_headers.get("content-type", "")
+        payload: Any = None
+        if "json" in content_type and data:
+            payload = json.loads(data.decode("utf-8"))
+        if status >= 400:
+            problem = payload if isinstance(payload, dict) else {}
+            detail = problem.get("detail") or data.decode("utf-8", "replace")
+            raise ServiceClientError(
+                f"{method} {path} -> {status}: {detail}",
+                status=status,
+                problem=problem,
+            )
+        if not isinstance(payload, dict):
+            raise ServiceClientError(
+                f"{method} {path} -> {status}: expected a JSON object body, "
+                f"got {content_type!r}"
+            )
+        return payload
+
+    # -- endpoints -------------------------------------------------------
+
+    def ingest(
+        self,
+        xml: Union[str, bytes],
+        doc_id: Optional[str] = None,
+        algorithm: Optional[str] = None,
+        limit: Optional[int] = None,
+        parallel: Optional[int] = None,
+        journal: bool = False,
+        resume: bool = False,
+    ) -> dict[str, Any]:
+        body = xml.encode("utf-8") if isinstance(xml, str) else xml
+        params: dict[str, Any] = {
+            "id": doc_id,
+            "algorithm": algorithm,
+            "limit": limit,
+            "parallel": parallel,
+        }
+        if journal:
+            params["journal"] = "1"
+        if resume:
+            params["resume"] = "1"
+        return self.request_json(
+            "POST",
+            "/documents",
+            params=params,
+            body=body,
+            headers={"content-type": "application/xml"},
+        )
+
+    def query(
+        self, doc_id: str, xpath: str, show: int = 0
+    ) -> dict[str, Any]:
+        params: dict[str, Any] = {"xpath": xpath}
+        if show:
+            params["show"] = show
+        return self.request_json(
+            "GET", f"/documents/{doc_id}/query", params=params
+        )
+
+    def documents(self) -> list[dict[str, Any]]:
+        return self.request_json("GET", "/documents")["documents"]
+
+    def document(self, doc_id: str) -> dict[str, Any]:
+        return self.request_json("GET", f"/documents/{doc_id}")
+
+    def delete(self, doc_id: str) -> dict[str, Any]:
+        return self.request_json("DELETE", f"/documents/{doc_id}")
+
+    def healthz(self) -> dict[str, Any]:
+        return self.request_json("GET", "/healthz")
+
+    def metrics_json(self) -> dict[str, Any]:
+        return self.request_json("GET", "/metrics", params={"format": "json"})
+
+    def metrics_text(self) -> str:
+        status, _headers, data = self.request(
+            "GET", "/metrics", params={"format": "prom"}
+        )
+        if status != 200:
+            raise ServiceClientError(
+                f"GET /metrics -> {status}", status=status
+            )
+        return data.decode("utf-8")

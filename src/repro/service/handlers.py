@@ -1,0 +1,169 @@
+"""Route handlers for the document-store service.
+
+Async methods here never touch the engine directly: every blocking call
+— parse, partition, page I/O, even registry dict work — rides
+``DocumentService.run_blocking`` so the event-loop thread only shuffles
+sockets and JSON. repro-lint rule RB002 enforces the discipline for the
+engine entry points.
+
+Exceptions are the two observability endpoints: ``/healthz`` and
+``/metrics`` read the telemetry registry (internally locked, microsecond
+critical sections) directly on the loop so they stay responsive even
+when the worker pool is saturated with ingests — exactly when you want a
+health probe to answer.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro import telemetry
+from repro.service.middleware import Request, Response, ValidationError
+
+if TYPE_CHECKING:  # import cycle: app builds Handlers
+    from repro.service.app import DocumentService, Router
+
+#: counters surfaced (and summed) by /healthz as degradation signals —
+#: every one of these is zero in a healthy process
+DEGRADATION_COUNTERS = (
+    "faults.injected",
+    "partition.fallback.downgrades",
+    "storage.buffer.corrupt_reads",
+    "service.documents.failed",
+    "service.errors.corrupt",
+    "service.errors.fault",
+    "service.errors.internal",
+    "service.errors.io",
+)
+
+
+class Handlers:
+    """The service's route handlers, bound to one :class:`DocumentService`."""
+
+    def __init__(self, service: "DocumentService"):
+        self.service = service
+        self.state = service.state
+
+    def install(self, router: "Router") -> None:
+        router.add("GET", "/", self.root, "root")
+        router.add("GET", "/healthz", self.healthz, "healthz")
+        router.add("GET", "/metrics", self.metrics, "metrics")
+        router.add("POST", "/documents", self.ingest, "ingest")
+        router.add("GET", "/documents", self.list_documents, "documents")
+        router.add("GET", "/documents/{doc_id}", self.document_info, "document")
+        router.add("DELETE", "/documents/{doc_id}", self.delete_document, "delete")
+        router.add("GET", "/documents/{doc_id}/query", self.query, "query")
+
+    # -- document lifecycle ----------------------------------------------
+
+    async def ingest(self, request: Request) -> Response:
+        """``POST /documents[?id=&algorithm=&limit=&parallel=&journal=&resume=]``
+
+        Body: the XML document. 201 with the document info on success.
+        """
+        if not request.body:
+            raise ValidationError("POST /documents requires a non-empty XML body")
+        info = await self.service.run_blocking(
+            self.state.ingest_document,
+            request.body,
+            doc_id=request.params.get("id"),
+            algorithm=request.params.get("algorithm"),
+            limit=request.param_int("limit", minimum=1),
+            parallel=request.param_int("parallel", minimum=1),
+            journal=request.param_flag("journal"),
+            resume=request.param_flag("resume"),
+        )
+        return Response.json(info, status=201)
+
+    async def query(self, request: Request) -> Response:
+        """``GET /documents/{doc_id}/query?xpath=...[&show=N]``"""
+        xpath = request.params.get("xpath")
+        if not xpath:
+            raise ValidationError("query requires an ?xpath=... parameter")
+        show = request.param_int("show", default=0, minimum=0)
+        payload = await self.service.run_blocking(
+            self.state.query_document,
+            request.path_params["doc_id"],
+            xpath,
+            show or 0,
+        )
+        return Response.json(payload)
+
+    async def list_documents(self, request: Request) -> Response:
+        documents = await self.service.run_blocking(self.state.list_documents)
+        return Response.json({"documents": documents})
+
+    async def document_info(self, request: Request) -> Response:
+        info = await self.service.run_blocking(
+            self.state.document_info, request.path_params["doc_id"]
+        )
+        return Response.json(info)
+
+    async def delete_document(self, request: Request) -> Response:
+        info = await self.service.run_blocking(
+            self.state.delete_document, request.path_params["doc_id"]
+        )
+        return Response.json(info)
+
+    # -- observability ---------------------------------------------------
+
+    async def root(self, request: Request) -> Response:
+        return Response.json(
+            {
+                "service": "repro-service",
+                "description": "tree-sibling-partitioned XML document store",
+                "endpoints": [
+                    "POST /documents",
+                    "GET /documents",
+                    "GET /documents/{doc_id}",
+                    "GET /documents/{doc_id}/query?xpath=...",
+                    "DELETE /documents/{doc_id}",
+                    "GET /healthz",
+                    "GET /metrics",
+                ],
+            }
+        )
+
+    async def healthz(self, request: Request) -> Response:
+        """Liveness + degradation counters; always 200 while serving."""
+        reg = telemetry.registry()
+        degradation = {}
+        for name in DEGRADATION_COUNTERS:
+            counter = reg.counters.get(name)
+            degradation[name] = counter.value if counter is not None else 0
+        degradation["telemetry.sink_errors"] = reg.sink_errors
+        degraded = any(value > 0 for value in degradation.values())
+        payload = {
+            "status": "degraded" if degraded else "ok",
+            "uptime_seconds": round(
+                telemetry.clock() - self.service.started_at, 3
+            ),
+            "documents": self.state.status_counts(),
+            "inflight": self.service.middleware.inflight,
+            "max_concurrency": self.service.middleware.max_concurrency,
+            "degradation": degradation,
+        }
+        return Response.json(payload)
+
+    async def metrics(self, request: Request) -> Response:
+        """``GET /metrics[?format=json|prom]`` — registry export.
+
+        Default is the Prometheus text exposition (what a scraper
+        expects); ``?format=json`` or an ``Accept: application/json``
+        header selects the JSON snapshot.
+        """
+        fmt = request.params.get("format")
+        if fmt not in (None, "json", "prom", "prometheus"):
+            raise ValidationError(
+                f"unknown metrics format {fmt!r} (use json or prom)"
+            )
+        reg = telemetry.registry()
+        wants_json = fmt == "json" or (
+            fmt is None and "application/json" in request.headers.get("accept", "")
+        )
+        if wants_json:
+            return Response.json(telemetry.snapshot(reg))
+        return Response.text(
+            telemetry.prometheus_text(reg),
+            content_type=telemetry.PROMETHEUS_CONTENT_TYPE,
+        )

@@ -1,0 +1,381 @@
+"""Request/response model, middleware stack and problem-JSON errors.
+
+This module is the service's base layer: :class:`Request` /
+:class:`Response` plus the :class:`ServiceError` hierarchy live here so
+``state.py``, ``handlers.py`` and ``app.py`` can all import them without
+cycles.
+
+The :class:`MiddlewareStack` wraps every routed handler call with
+
+* **request-id propagation** — an inbound ``X-Request-Id`` header is
+  honored, otherwise a sequential ``req-NNNNNNNN`` id is minted; the id
+  rides every response header and problem document,
+* **admission control** — a bounded :class:`asyncio.Semaphore` caps the
+  number of in-flight requests; waiting longer than the request timeout
+  for a slot is a 503,
+* **timeout** — the handler itself is bounded by
+  ``ServiceConfig.request_timeout`` (504 on expiry; an ingest that
+  times out keeps running on the executor and lands as ``ready`` or
+  ``failed`` later — the 504 only abandons the *wait*),
+* **error mapping** — every engine exception folds into an RFC-7807
+  problem-JSON response via :func:`map_exception`,
+* **per-request trace spans** — the telemetry span stack is
+  thread-local, which is wrong for asyncio (one loop thread interleaves
+  many requests), so the middleware measures with
+  :func:`repro.telemetry.clock` and records a synthetic
+  :class:`~repro.telemetry.SpanRecord` per request instead of nesting a
+  live ``Span`` across awaits.
+
+Middleware counters (``_next_request_id``, ``_inflight``) are plain
+ints: they are touched only from the single event-loop thread, never
+from the executor workers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any, Awaitable, Callable, Optional
+
+from repro import telemetry
+from repro.errors import (
+    ContractViolationError,
+    CorruptPageError,
+    InfeasiblePartitioningError,
+    InjectedFaultError,
+    JournalError,
+    QueryEvaluationError,
+    QuerySyntaxError,
+    ReproError,
+    XmlFormatError,
+)
+
+#: RFC 7807 media type for error bodies
+PROBLEM_CONTENT_TYPE = "application/problem+json"
+
+
+# ---------------------------------------------------------------------------
+# Service error hierarchy (each class carries its HTTP mapping)
+# ---------------------------------------------------------------------------
+
+
+class ServiceError(ReproError):
+    """Service-layer failure with a fixed HTTP status and problem title."""
+
+    status = 500
+    title = "Internal Server Error"
+
+
+class ValidationError(ServiceError):
+    """The request is syntactically fine but semantically unusable."""
+
+    status = 400
+    title = "Bad Request"
+
+
+class ProtocolError(ServiceError):
+    """The byte stream is not a well-formed HTTP/1.x request."""
+
+    status = 400
+    title = "Bad Request"
+
+
+class DocumentNotFoundError(ServiceError):
+    status = 404
+    title = "Not Found"
+
+
+class RouteNotFoundError(ServiceError):
+    status = 404
+    title = "Not Found"
+
+
+class MethodNotAllowedError(ServiceError):
+    status = 405
+    title = "Method Not Allowed"
+
+
+class DocumentConflictError(ServiceError):
+    """Document id already taken, or its state forbids the operation."""
+
+    status = 409
+    title = "Conflict"
+
+
+class PayloadTooLargeError(ServiceError):
+    status = 413
+    title = "Payload Too Large"
+
+
+class UnsupportedProtocolError(ServiceError):
+    """A well-formed request using a feature the server does not speak
+    (e.g. chunked transfer encoding)."""
+
+    status = 501
+    title = "Not Implemented"
+
+
+class HeaderTooLargeError(ServiceError):
+    status = 431
+    title = "Request Header Fields Too Large"
+
+
+# ---------------------------------------------------------------------------
+# Request / Response
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request (header names lower-cased, params last-wins)."""
+
+    method: str
+    path: str
+    params: dict[str, str]
+    headers: dict[str, str]
+    body: bytes = b""
+    http_version: str = "1.1"
+    #: placeholder captures from the matched route (``{doc_id}`` → value)
+    path_params: dict[str, str] = field(default_factory=dict)
+    route_name: str = "unrouted"
+    request_id: str = ""
+
+    def param_int(
+        self,
+        name: str,
+        default: Optional[int] = None,
+        minimum: Optional[int] = None,
+    ) -> Optional[int]:
+        """An integer query parameter, validated into a 400 on garbage."""
+        raw = self.params.get(name)
+        if raw is None:
+            return default
+        try:
+            value = int(raw)
+        except ValueError:
+            raise ValidationError(
+                f"query parameter {name!r} must be an integer, got {raw!r}"
+            ) from None
+        if minimum is not None and value < minimum:
+            raise ValidationError(
+                f"query parameter {name!r} must be >= {minimum}, got {value}"
+            )
+        return value
+
+    def param_flag(self, name: str) -> bool:
+        """A boolean query parameter (``?journal=1``; bare ``?journal`` is true)."""
+        raw = self.params.get(name)
+        if raw is None:
+            return False
+        return raw.strip().lower() not in ("0", "false", "no", "off")
+
+
+@dataclass
+class Response:
+    """One HTTP response; ``headers`` augment the standard set."""
+
+    status: int = 200
+    body: bytes = b""
+    content_type: str = "application/json"
+    headers: dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def json(cls, payload: Any, status: int = 200) -> "Response":
+        data = (json.dumps(payload, sort_keys=True, indent=2) + "\n").encode("utf-8")
+        return cls(status=status, body=data)
+
+    @classmethod
+    def text(
+        cls,
+        content: str,
+        status: int = 200,
+        content_type: str = "text/plain; charset=utf-8",
+    ) -> "Response":
+        return cls(status=status, body=content.encode("utf-8"), content_type=content_type)
+
+
+def problem(
+    status: int,
+    title: str,
+    detail: str,
+    request_id: str = "",
+    **extra: Any,
+) -> Response:
+    """An RFC 7807 problem-JSON response."""
+    payload: dict[str, Any] = {
+        "type": "about:blank",
+        "title": title,
+        "status": status,
+        "detail": detail,
+    }
+    if request_id:
+        payload["request_id"] = request_id
+    payload.update(extra)
+    response = Response.json(payload, status=status)
+    response.content_type = PROBLEM_CONTENT_TYPE
+    return response
+
+
+def map_exception(exc: BaseException, request_id: str = "") -> Response:
+    """Fold an exception into its problem-JSON response.
+
+    The mapping is ordered most-specific-first because the engine's
+    error hierarchy nests (``InjectedFaultError``/``JournalError``/
+    ``CorruptPageError`` all derive from ``StorageError``). Faults and
+    I/O failures during ingest are *retryable* 503s — the journal
+    survives, so the client can re-POST with ``?resume=1``.
+    """
+    if isinstance(exc, ServiceError):
+        return problem(exc.status, exc.title, str(exc), request_id)
+    if isinstance(exc, InjectedFaultError):
+        telemetry.count("service.errors.fault")
+        return problem(
+            503, "Service Unavailable", str(exc), request_id, resumable=True
+        )
+    if isinstance(exc, JournalError):
+        return problem(409, "Conflict", str(exc), request_id)
+    if isinstance(exc, CorruptPageError):
+        telemetry.count("service.errors.corrupt")
+        return problem(500, "Internal Server Error", str(exc), request_id)
+    if isinstance(exc, (XmlFormatError, QuerySyntaxError, QueryEvaluationError)):
+        return problem(400, "Bad Request", str(exc), request_id)
+    if isinstance(exc, InfeasiblePartitioningError):
+        return problem(422, "Unprocessable Entity", str(exc), request_id)
+    if isinstance(exc, ContractViolationError):
+        telemetry.count("service.errors.internal")
+        return problem(500, "Internal Server Error", str(exc), request_id)
+    if isinstance(exc, ReproError):
+        # remaining engine errors reject the *input* (unknown algorithm,
+        # malformed weights, ...), not the server
+        return problem(400, "Bad Request", str(exc), request_id)
+    if isinstance(exc, OSError):
+        telemetry.count("service.errors.io")
+        return problem(
+            503,
+            "Service Unavailable",
+            f"backend I/O failure: {exc}",
+            request_id,
+            resumable=True,
+        )
+    telemetry.count("service.errors.internal")
+    return problem(
+        500,
+        "Internal Server Error",
+        f"unexpected {type(exc).__name__}: {exc}",
+        request_id,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Middleware stack
+# ---------------------------------------------------------------------------
+
+
+Handler = Callable[[Request], Awaitable[Response]]
+
+
+class _Saturated(Exception):
+    """Internal: no admission slot freed up within the request timeout."""
+
+
+class MiddlewareStack:
+    """Per-request pipeline: id, admission, timeout, timing, error mapping."""
+
+    def __init__(self, max_concurrency: int = 64, request_timeout: float = 30.0):
+        self.max_concurrency = max_concurrency
+        self.request_timeout = request_timeout
+        self._semaphore = asyncio.Semaphore(max_concurrency)
+        self._next_request_id = 0
+        self._inflight = 0
+
+    @property
+    def inflight(self) -> int:
+        """Requests currently admitted (loop-thread read)."""
+        return self._inflight
+
+    async def run(self, request: Request, handler: Handler) -> Response:
+        self._next_request_id += 1
+        request.request_id = (
+            request.headers.get("x-request-id", "").strip()
+            or f"req-{self._next_request_id:08d}"
+        )
+        telemetry.count("service.requests")
+        telemetry.count(f"service.requests.{request.route_name}")
+        start = telemetry.clock()
+        error: Optional[str] = None
+        try:
+            response = await self._admit_and_call(request, handler)
+        except _Saturated:
+            telemetry.count("service.rejected.saturated")
+            error = "Saturated"
+            response = problem(
+                503,
+                "Service Unavailable",
+                f"admission queue saturated "
+                f"({self.max_concurrency} requests in flight)",
+                request.request_id,
+                retryable=True,
+            )
+        except (TimeoutError, asyncio.TimeoutError):
+            telemetry.count("service.timeouts")
+            error = "TimeoutError"
+            response = problem(
+                504,
+                "Gateway Timeout",
+                f"request exceeded {self.request_timeout:g}s",
+                request.request_id,
+            )
+        except Exception as exc:
+            error = type(exc).__name__
+            response = map_exception(exc, request.request_id)
+        elapsed = telemetry.clock() - start
+        self._finish(request, response, start, elapsed, error)
+        return response
+
+    async def _admit_and_call(self, request: Request, handler: Handler) -> Response:
+        try:
+            await asyncio.wait_for(
+                self._semaphore.acquire(), timeout=self.request_timeout
+            )
+        except (TimeoutError, asyncio.TimeoutError):
+            raise _Saturated() from None
+        self._inflight += 1
+        telemetry.gauge_set("service.inflight", self._inflight)
+        try:
+            return await asyncio.wait_for(
+                handler(request), timeout=self.request_timeout
+            )
+        finally:
+            self._inflight -= 1
+            self._semaphore.release()
+
+    def _finish(
+        self,
+        request: Request,
+        response: Response,
+        start: float,
+        elapsed: float,
+        error: Optional[str],
+    ) -> None:
+        response.headers.setdefault("x-request-id", request.request_id)
+        telemetry.count(f"service.responses.{response.status // 100}xx")
+        telemetry.observe("service.request.seconds", elapsed)
+        telemetry.observe(f"service.route.{request.route_name}.seconds", elapsed)
+        if telemetry.enabled():
+            telemetry.registry().record_span(
+                telemetry.SpanRecord(
+                    name="service.request",
+                    path=f"service.request/{request.route_name}",
+                    seconds=elapsed,
+                    depth=0,
+                    start=start,
+                    error=error,
+                    attrs={
+                        "route": request.route_name,
+                        "method": request.method,
+                        "status": response.status,
+                        "request_id": request.request_id,
+                    },
+                )
+            )

@@ -38,6 +38,7 @@ from repro.telemetry.core import (
     Span,
     SpanRecord,
     capture,
+    clock,
     count,
     current_span,
     disable,
@@ -53,10 +54,12 @@ from repro.telemetry.core import (
 )
 from repro.telemetry.env import environment_fingerprint
 from repro.telemetry.export import (
+    PROMETHEUS_CONTENT_TYPE,
     SCHEMA,
     export_jsonl,
     format_metrics,
     load_jsonl,
+    prometheus_text,
     snapshot,
 )
 
@@ -66,11 +69,13 @@ __all__ = [
     "Histogram",
     "JsonLinesSink",
     "MetricRegistry",
+    "PROMETHEUS_CONTENT_TYPE",
     "SCHEMA",
     "Sink",
     "Span",
     "SpanRecord",
     "capture",
+    "clock",
     "count",
     "current_span",
     "disable",
@@ -84,6 +89,7 @@ __all__ = [
     "gauge_set",
     "load_jsonl",
     "observe",
+    "prometheus_text",
     "registry",
     "set_registry",
     "snapshot",

@@ -446,6 +446,22 @@ def gauge_max(name: str, value: float) -> None:
     _registry.gauge(name).set_max(value)
 
 
+def clock() -> float:
+    """A monotonic clock reading in seconds (arbitrary epoch).
+
+    The sanctioned escape hatch for code that cannot scope a
+    :class:`Span` around the region it measures. The span stack is
+    **thread-local**, which is exactly right for threads but wrong for
+    asyncio: one event-loop thread interleaves many logical requests, so
+    a span opened before an ``await`` would adopt whatever request
+    happens to be on top of the stack when it closes. Such callers take
+    two :func:`clock` readings and feed the difference to
+    :func:`observe` — keeping OBS001's property that only
+    :mod:`repro.telemetry` ever reads the process clock.
+    """
+    return perf_counter()
+
+
 # thread-local span stack
 _tls = threading.local()
 

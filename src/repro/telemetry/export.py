@@ -10,7 +10,9 @@ of rotting silently:
   (one metric or span per line, ``meta`` header first) that round-trips
   back into the snapshot shape;
 * :func:`format_metrics` — the table the ``repro stats`` subcommand
-  prints.
+  prints;
+* :func:`prometheus_text` — the Prometheus/OpenMetrics text exposition
+  served by ``GET /metrics`` and ``repro-stats --prom``.
 """
 
 from __future__ import annotations
@@ -123,6 +125,78 @@ def load_jsonl(stream: TextIO) -> dict[str, Any]:
     if trace:
         out["trace"] = trace
     return out
+
+
+#: Content-Type a Prometheus scraper expects for the text exposition
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: quantile labels emitted per histogram (matching the JSON p50/p95/p99)
+_PROM_QUANTILES = (("0.5", 0.50), ("0.95", 0.95), ("0.99", 0.99))
+
+
+def _prom_name(name: str, prefix: str = "repro_") -> str:
+    """Sanitize a registry metric name into a Prometheus metric name.
+
+    Prometheus names match ``[a-zA-Z_:][a-zA-Z0-9_:]*``; our dotted
+    names (``service.requests``, ``span.query.run``) map every
+    disallowed character to ``_``. The mapping is not injective in
+    general, but registry names only use ``[a-z0-9._-]`` in practice,
+    and the sorted rendering keeps any collision deterministic.
+    """
+    safe = "".join(
+        ch if (ch.isascii() and ch.isalnum()) or ch == "_" else "_" for ch in name
+    )
+    if safe and safe[0].isdigit():
+        safe = "_" + safe
+    return prefix + safe
+
+
+def _prom_value(value: float) -> str:
+    """Render a sample value; ``repr`` keeps floats round-trippable."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ReproError(f"non-numeric metric value: {value!r}")
+    return repr(value)
+
+
+def prometheus_text(reg: Optional[MetricRegistry] = None) -> str:
+    """Render the registry in the Prometheus text exposition format.
+
+    Deterministic: metric names are sorted within each kind and the
+    float rendering is ``repr``-stable, so the same registry state
+    always yields byte-identical output (pinned by tests).
+
+    * counters → ``<name>_total`` counter samples,
+    * gauges → ``<name>`` plus a ``<name>_max`` high-water-mark gauge,
+    * histograms → Prometheus *summaries*: ``{quantile="0.5|0.95|0.99"}``
+      samples from the deterministic reservoir plus ``_sum``/``_count``.
+
+    Registry names are sanitized via :func:`_prom_name` (dots become
+    underscores, everything gains a ``repro_`` prefix).
+    """
+    reg = reg if reg is not None else _default_registry()
+    lines: list[str] = []
+    for name, counter in sorted(reg.counters.items()):
+        metric = _prom_name(name) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_prom_value(counter.value)}")
+    for name, gauge in sorted(reg.gauges.items()):
+        metric = _prom_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_prom_value(gauge.value)}")
+        lines.append(f"# TYPE {metric}_max gauge")
+        lines.append(f"{metric}_max {_prom_value(gauge.max)}")
+    for name, histogram in sorted(reg.histograms.items()):
+        metric = _prom_name(name)
+        lines.append(f"# TYPE {metric} summary")
+        for label, q in _PROM_QUANTILES:
+            value = histogram.quantile(q)
+            if value is not None:
+                lines.append(f'{metric}{{quantile="{label}"}} {_prom_value(value)}')
+        lines.append(f"{metric}_sum {_prom_value(histogram.total)}")
+        lines.append(f"{metric}_count {_prom_value(histogram.count)}")
+    if not lines:
+        return ""
+    return "\n".join(lines) + "\n"
 
 
 def format_metrics(reg: Optional[MetricRegistry] = None) -> str:

@@ -213,6 +213,47 @@ class TestSeededViolations:
             result = run_lint([target], select=["RB001"])
             assert len(result.violations) == expected, name
 
+    def test_async_blocking_calls_reported_in_all_shapes(self, fixture_result):
+        tags = seed_lines(FIXTURES / "seeded_async.py")
+        hits = found(fixture_result, "RB002", "seeded_async.py")
+        assert {v.lineno for v in hits} == {
+            tags["RB002-parse"],
+            tags["RB002-load"],
+            tags["RB002-build"],
+            tags["RB002-warmup"],
+            tags["RB002-query"],
+            tags["RB002-resume"],
+            tags["RB002-partition"],
+        }
+        assert all("executor-offload" in v.message for v in hits)
+
+    def test_async_blocking_offload_and_str_partition_not_flagged(
+        self, fixture_result
+    ):
+        hits = found(fixture_result, "RB002", "seeded_async.py")
+        source = (FIXTURES / "seeded_async.py").read_text().splitlines()
+        for violation in hits:
+            line = source[violation.lineno - 1]
+            assert "run_blocking" not in line
+            assert 'partition(":")' not in line
+
+    def test_async_blocking_in_test_files_is_exempt(self, tmp_path):
+        blocking = textwrap.dedent(
+            """
+            async def handler(loader, body):
+                return loader.load(body)
+            """
+        )
+        for name, expected in [
+            ("test_service.py", 0),
+            ("conftest.py", 0),
+            ("handlers.py", 1),
+        ]:
+            target = tmp_path / name
+            target.write_text(blocking)
+            result = run_lint([target], select=["RB002"])
+            assert len(result.violations) == expected, name
+
     def test_repeated_weight_walk_reported_in_all_shapes(self, fixture_result):
         tags = seed_lines(FIXTURES / "seeded_perf.py")
         hits = found(fixture_result, "PERF001", "seeded_perf.py")

@@ -1,0 +1,59 @@
+"""Shared fixtures for the service suite.
+
+Every server fixture runs against a **fresh telemetry registry** and
+restores the previous registry + enabled state afterwards —
+``DocumentService.start`` turns telemetry on process-wide, and the rest
+of the test suite (the disabled-overhead guards in particular) must not
+see that leak.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import pytest
+
+from repro import telemetry
+from repro.service.app import ServiceConfig, ServiceThread
+from repro.service.client import ServiceClient
+
+SAMPLE_XML = (
+    "<site><people>"
+    + "".join(
+        f"<person id='p{i}'><name>person {i}</name>"
+        f"<interest><keyword>k{i % 5}</keyword></interest></person>"
+        for i in range(30)
+    )
+    + "</people></site>"
+)
+
+
+@pytest.fixture
+def fresh_telemetry() -> Iterator[telemetry.MetricRegistry]:
+    fresh = telemetry.MetricRegistry()
+    previous = telemetry.set_registry(fresh)
+    was_enabled = telemetry.enabled()
+    try:
+        yield fresh
+    finally:
+        telemetry.set_registry(previous)
+        if not was_enabled:
+            telemetry.disable()
+
+
+@pytest.fixture
+def server(fresh_telemetry, tmp_path) -> Iterator[ServiceThread]:
+    config = ServiceConfig(
+        port=0,
+        max_concurrency=16,
+        request_timeout=30.0,
+        journal_dir=str(tmp_path / "journals"),
+    )
+    with ServiceThread(config) as thread:
+        yield thread
+
+
+@pytest.fixture
+def client(server) -> Iterator[ServiceClient]:
+    with ServiceClient(port=server.port) as conn:
+        yield conn

@@ -10,12 +10,14 @@ import pytest
 from repro import telemetry
 from repro.errors import ReproError
 from repro.telemetry import (
+    PROMETHEUS_CONTENT_TYPE,
     SCHEMA,
     MetricRegistry,
     environment_fingerprint,
     export_jsonl,
     format_metrics,
     load_jsonl,
+    prometheus_text,
     snapshot,
 )
 
@@ -243,6 +245,70 @@ class TestFormatMetrics:
         export_jsonl(buf_a, reg_a)
         export_jsonl(buf_b, reg_b)
         assert buf_a.getvalue() == buf_b.getvalue()
+
+
+class TestPrometheusText:
+    def test_exposition_pinned(self):
+        """The full text format, byte for byte: scrapers depend on it."""
+        reg = MetricRegistry()
+        previous = telemetry.set_registry(reg)
+        with telemetry.enabled_scope():
+            telemetry.count("service.requests", 7)
+            telemetry.gauge_set("resident.weight", 12)
+            telemetry.observe("cells", 3.0)
+            telemetry.observe("cells", 1.0)
+        telemetry.set_registry(previous)
+        assert prometheus_text(reg) == (
+            "# TYPE repro_service_requests_total counter\n"
+            "repro_service_requests_total 7\n"
+            "# TYPE repro_resident_weight gauge\n"
+            "repro_resident_weight 12\n"
+            "# TYPE repro_resident_weight_max gauge\n"
+            "repro_resident_weight_max 12\n"
+            "# TYPE repro_cells summary\n"
+            'repro_cells{quantile="0.5"} 1.0\n'
+            'repro_cells{quantile="0.95"} 3.0\n'
+            'repro_cells{quantile="0.99"} 3.0\n'
+            "repro_cells_sum 4.0\n"
+            "repro_cells_count 2\n"
+        )
+
+    def test_order_is_deterministic_and_sorted(self):
+        reg_a, reg_b = MetricRegistry(), MetricRegistry()
+        for reg, names in (
+            (reg_a, ("zeta", "alpha", "mid")),
+            (reg_b, ("mid", "zeta", "alpha")),
+        ):
+            previous = telemetry.set_registry(reg)
+            with telemetry.enabled_scope():
+                for name in names:
+                    telemetry.count(name)
+                    telemetry.gauge_set(f"g.{name}", 1)
+                    telemetry.observe(f"h.{name}", 1.0)
+            telemetry.set_registry(previous)
+        assert prometheus_text(reg_a) == prometheus_text(reg_b)
+        # within each kind the sample names come out sorted
+        lines = prometheus_text(reg_a).splitlines()
+        counters = [l.split()[0] for l in lines if l.endswith("_total") and " " in l]
+        gauges = [l.split()[0] for l in lines if l.startswith("repro_g_")]
+        assert counters == sorted(counters)
+        assert gauges == sorted(gauges)
+
+    def test_names_sanitized(self, populated):
+        text = prometheus_text(populated)
+        assert "repro_span_outer_count" in text
+        names = {
+            line.split()[0].partition("{")[0]
+            for line in text.splitlines()
+            if line.startswith("repro_")
+        }
+        assert all("." not in name for name in names)
+
+    def test_empty_registry_is_empty_exposition(self):
+        assert prometheus_text(MetricRegistry()) == ""
+
+    def test_content_type_constant(self):
+        assert PROMETHEUS_CONTENT_TYPE.startswith("text/plain; version=0.0.4")
 
 
 class TestEnvironmentFingerprint:

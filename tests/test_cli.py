@@ -108,6 +108,19 @@ class TestStatsCommand:
         assert lines[0] == {"kind": "meta", "schema": "repro-telemetry/1"}
         assert any(l["kind"] == "counter" for l in lines)
 
+    def test_prometheus_export(self, doc_path, capsys):
+        assert main(["stats", doc_path, "--prom"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_partition_ekm_runs_total counter" in out
+        assert "repro_partition_ekm_runs_total 1" in out
+        assert out.endswith("\n")
+        totals = [
+            line.split()[0]
+            for line in out.splitlines()
+            if not line.startswith("#") and line.split()[0].endswith("_total")
+        ]
+        assert totals == sorted(totals)
+
     def test_stats_main_entry_point(self, doc_path, capsys):
         from repro.cli import stats_main
 
