@@ -6,6 +6,7 @@
 #   make test         # tier-1 pytest suite
 #   make bench        # harness smoke (--quick) + baseline check + regression gate
 #   make faults-smoke # small fault-injection matrix (crash/bitflip/torn)
+#   make chaos-smoke  # WAL crash-matrix slice: kill update flushes, recover, diff
 #   make service-smoke# boot the document-store service and exercise every endpoint
 #
 # ruff and mypy are optional deep-net linters (pyproject [lint] extra);
@@ -16,9 +17,9 @@ export PYTHONPATH := src
 
 PYTHON ?= python
 
-.PHONY: verify lint analyze test bench faults-smoke service-smoke
+.PHONY: verify lint analyze test bench faults-smoke chaos-smoke service-smoke
 
-verify: lint analyze test bench faults-smoke service-smoke
+verify: lint analyze test bench faults-smoke chaos-smoke service-smoke
 	@echo "verify: OK"
 
 lint:
@@ -50,9 +51,13 @@ bench:
 	$(PYTHON) benchmarks/harness.py --quick --check --output /dev/null
 	$(PYTHON) benchmarks/compare.py BENCH_PR4.json BENCH_PR5.json
 	$(PYTHON) benchmarks/bench_service.py --quick --check --output /dev/null
+	$(PYTHON) benchmarks/bench_recovery.py --quick --check --output /dev/null
 
 faults-smoke:
 	$(PYTHON) -m repro.faults.cli --scale 0.002 --crash-points 2 --flip-pages 2
+
+chaos-smoke:
+	$(PYTHON) -m repro.faults.cli --updates --crash-points 2 --batches 2 --ops-per-batch 8
 
 service-smoke:
 	$(PYTHON) -m repro.service.smoke

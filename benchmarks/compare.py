@@ -47,6 +47,7 @@ TIME_THRESHOLDS = {
     "table3": 0.60,
     "bulkload": 0.60,
     "service": 0.60,
+    "recovery": 0.60,
 }
 #: absolute seconds floor below which timing diffs are ignored entirely
 #: (a ~10ms heuristic cell can double under scheduler jitter alone; real
@@ -61,6 +62,10 @@ FASTPATH_TABLE2_FLOOR = 1.3
 #: minimum concurrent mixed requests a full-run service baseline must
 #: have sustained (the PR acceptance bar; quick runs are not gated)
 SERVICE_REQUEST_FLOOR = 1000
+#: hard ceiling on the write-ahead-log overhead fraction a full-run
+#: recovery baseline may report (quick runs flush batches too small for
+#: the per-commit fsync floor to amortize, so they are not gated)
+WAL_OVERHEAD_BUDGET = 0.10
 
 
 class Comparison:
@@ -247,6 +252,87 @@ def check_service(cmp: Comparison, new: dict, quick: bool) -> None:
         )
 
 
+def compare_recovery(cmp: Comparison, old: dict, new: dict) -> None:
+    """Diff the WAL/recovery scenario (deterministic + timing)."""
+    for key in ("seed", "scale", "limit", "batches", "ops_per_batch", "nodes"):
+        cmp.exact(f"recovery.{key}", old.get(key), new.get(key))
+    old_rec = old.get("recovery", {})
+    new_rec = new.get("recovery", {})
+    cmp.exact(
+        "recovery.recovery.records_redone",
+        old_rec.get("records_redone"),
+        new_rec.get("records_redone"),
+    )
+    cmp.exact(
+        "recovery.recovery.replayed_transactions",
+        old_rec.get("replayed_transactions"),
+        new_rec.get("replayed_transactions"),
+    )
+    cmp.exact(
+        "recovery.crash_matrix.scenarios",
+        old.get("crash_matrix", {}).get("scenarios"),
+        new.get("crash_matrix", {}).get("scenarios"),
+    )
+    for key in ("plain_seconds", "wal_seconds"):
+        cmp.seconds(
+            f"recovery.{key}",
+            old[key],
+            new[key],
+            TIME_THRESHOLDS["recovery"],
+        )
+
+
+def check_recovery(cmp: Comparison, new: dict, quick: bool) -> None:
+    """Absolute gate on the candidate's recovery scenario.
+
+    Crash-safety invariants (byte-identity with and without the log,
+    recovery rebuilding post-flush bytes, every crash-matrix cell
+    passing) must hold on *every* baseline; full-run baselines must
+    additionally keep the WAL overhead under ``WAL_OVERHEAD_BUDGET``.
+    """
+    cmp.exact("recovery.identical_bytes", True, new.get("identical_bytes"))
+    cmp.exact(
+        "recovery.recovery.recovered_identical",
+        True,
+        new.get("recovery", {}).get("recovered_identical"),
+    )
+    matrix = new.get("crash_matrix", {})
+    cmp.exact("recovery.crash_matrix.ok", True, matrix.get("ok"))
+    cmp.exact(
+        "recovery.crash_matrix.passed",
+        matrix.get("scenarios"),
+        matrix.get("passed"),
+    )
+    if not quick:
+        cmp.bound(
+            "recovery.overhead_fraction",
+            new.get("overhead_fraction", 1.0),
+            WAL_OVERHEAD_BUDGET,
+        )
+
+
+def check_recovery_baseline(path: Path) -> int:
+    """Validate a committed recovery baseline (the bench CI smoke gate)."""
+    try:
+        data = _load(path)
+    except NotComparable as exc:
+        print(f"[compare] recovery baseline: {exc}", file=sys.stderr)
+        return 1
+    scenario = data.get("scenarios", {}).get("recovery")
+    if scenario is None:
+        print(f"[compare] {path.name}: scenario 'recovery' missing", file=sys.stderr)
+        return 1
+    cmp = Comparison()
+    check_recovery(cmp, scenario, bool(data.get("quick")))
+    for line in cmp.regressions:
+        print(f"[compare] recovery baseline: {line}", file=sys.stderr)
+    if not cmp.regressions:
+        print(
+            f"[compare] recovery baseline {path.name} OK ({SCHEMA})", file=sys.stderr
+        )
+    return 1 if cmp.regressions else 0
+
+
 def check_service_baseline(path: Path) -> int:
     """Validate a committed service baseline (the bench CI smoke gate)."""
     try:
@@ -276,6 +362,7 @@ def compare_baselines(old: dict, new: dict) -> Comparison:
         "bulkload": compare_bulkload,
         "overhead": compare_overhead,
         "service": compare_service,
+        "recovery": compare_recovery,
     }
     for scenario, comparer in comparers.items():
         if scenario in old["scenarios"]:
@@ -284,6 +371,8 @@ def compare_baselines(old: dict, new: dict) -> Comparison:
         check_fastpath(cmp, new["scenarios"]["fastpath"], bool(new.get("quick")))
     if "service" in new.get("scenarios", {}):
         check_service(cmp, new["scenarios"]["service"], bool(new.get("quick")))
+    if "recovery" in new.get("scenarios", {}):
+        check_recovery(cmp, new["scenarios"]["recovery"], bool(new.get("quick")))
     return cmp
 
 

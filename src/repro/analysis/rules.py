@@ -14,6 +14,7 @@ OBS001  manual wall-clock timing outside ``repro.telemetry``
 OBS002  span opened with a computed name or an empty attrs dict literal
 RB001   broad exception handler that silently swallows outside test code
 RB002   blocking engine entry point called directly from an async body
+RB003   rename/close on a durability-critical path without a prior fsync
 PERF001 loop-invariant O(n) subtree-weight walk recomputed per iteration
 ======  ================================================================
 
@@ -694,6 +695,225 @@ class AsyncBlockingCallPass(LintPass):
                     if callee != "partition" or arity >= 2:
                         yield node, callee
             stack.extend(ast.iter_child_nodes(node))
+
+
+#: module/file-name fragments that mark durability-critical code — the
+#: modules whose whole point is surviving a crash
+_DURABILITY_NAME_FRAGMENTS = ("wal", "journal", "recovery", "checkpoint", "durab")
+
+#: atomic-rename entry points whose crash-safety depends on the renamed
+#: content being durable *first*
+_RENAME_CALLS = frozenset(
+    {"os.replace", "os.rename", "os.renames", "shutil.move"}
+)
+
+#: the calls that actually reach the platter (``flush()`` does not)
+_SYNC_NAMES = frozenset({"fsync", "fdatasync"})
+
+
+@register_lint_pass
+class DurabilityFsyncPass(LintPass):
+    """The WAL/journal/checkpoint protocols all hinge on one ordering:
+    bytes are *on disk* before anything points at them. ``os.replace``
+    publishes a file under its final name — done before an ``fsync`` of
+    the content, a crash can leave the name pointing at a hole (the
+    classic zero-length-file-after-rename bug). Likewise, closing a
+    write handle only hands the bytes to the page cache; durability
+    needs ``os.fsync(handle.fileno())`` first. This pass enforces both
+    orderings, but only inside durability-critical modules (name
+    contains ``wal``/``journal``/``recovery``/``checkpoint``/``durab``)
+    — everywhere else, losing buffered bytes on a crash is an accepted
+    trade."""
+
+    code = "RB003"
+    name = "durability-fsync"
+    description = (
+        "durability-critical module renames a file (`os.replace`/"
+        "`os.rename`/`shutil.move`) or closes a write handle without a "
+        "preceding `os.fsync`/`os.fdatasync`; a crash can publish "
+        "unsynced (possibly empty) content"
+    )
+
+    def run(self, ctx: LintContext) -> Iterator[Violation]:
+        for source in ctx.files:
+            filename = source.path.name
+            if filename.startswith("test_") or filename == "conftest.py":
+                continue
+            name_pool = f"{source.module} {filename}".lower()
+            if not any(f in name_pool for f in _DURABILITY_NAME_FRAGMENTS):
+                continue
+            bare_renames = self._rename_bindings(source.tree)
+            frames: list[list[ast.stmt]] = [list(source.tree.body)]
+            for node in ast.walk(source.tree):
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    frames.append(list(node.body))
+            for frame in frames:
+                yield from self._check_frame(source, frame, bare_renames)
+
+    def _check_frame(
+        self,
+        source: SourceFile,
+        body: list[ast.stmt],
+        bare_renames: dict[str, str],
+    ) -> Iterator[Violation]:
+        """One function (or module) frame; nested defs are their own frame."""
+        path = str(source.path)
+        sync_lines: list[int] = []
+        renames: list[tuple[ast.Call, str]] = []
+        # write-handle lifecycle: var -> lineno of its write-mode open()
+        opened: dict[str, int] = {}
+        closes: list[tuple[ast.Call, str, int]] = []  # node, var, open lineno
+        withs: list[ast.With] = []
+        # pre-order, source-ordered walk (close() sites must see the
+        # open() assignments that precede them), nested defs skipped
+        stack: list[ast.AST] = list(reversed(body))
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            if isinstance(node, ast.With):
+                for item in node.items:
+                    if (
+                        isinstance(item.context_expr, ast.Call)
+                        and self._is_open_call(item.context_expr)
+                        and self._opens_for_write(item.context_expr)
+                    ):
+                        withs.append(node)
+                        break
+            elif isinstance(node, ast.Assign):
+                if (
+                    isinstance(node.value, ast.Call)
+                    and self._is_open_call(node.value)
+                    and self._opens_for_write(node.value)
+                ):
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            opened[target.id] = node.lineno
+            elif isinstance(node, ast.Call):
+                if self._is_sync_call(node.func):
+                    sync_lines.append(node.lineno)
+                rename = self._rename_name(node.func, bare_renames)
+                if rename is not None:
+                    renames.append((node, rename))
+                if (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "close"
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id in opened
+                ):
+                    var = node.func.value.id
+                    closes.append((node, var, opened[var]))
+            stack.extend(reversed(list(ast.iter_child_nodes(node))))
+        for call, name in renames:
+            if not any(line < call.lineno for line in sync_lines):
+                yield Violation(
+                    path=path,
+                    lineno=call.lineno,
+                    code=self.code,
+                    message=(
+                        f"`{name}()` publishes a file with no preceding "
+                        "fsync in this function; sync the content first "
+                        "or a crash can leave the name pointing at "
+                        "unsynced bytes"
+                    ),
+                )
+        for call, var, open_line in closes:
+            if not any(
+                open_line < line <= call.lineno for line in sync_lines
+            ):
+                yield Violation(
+                    path=path,
+                    lineno=call.lineno,
+                    code=self.code,
+                    message=(
+                        f"write handle `{var}` closed without "
+                        "`os.fsync(...fileno())`; close() only reaches "
+                        "the page cache, not the platter"
+                    ),
+                )
+        for with_node in withs:
+            if not self._with_body_syncs(with_node):
+                yield Violation(
+                    path=path,
+                    lineno=with_node.lineno,
+                    code=self.code,
+                    message=(
+                        "`with open(..., <write mode>)` block never "
+                        "fsyncs; the implicit close at block exit leaves "
+                        "the bytes in the page cache"
+                    ),
+                )
+
+    def _with_body_syncs(self, with_node: ast.With) -> bool:
+        stack: list[ast.AST] = list(with_node.body)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            if isinstance(node, ast.Call) and self._is_sync_call(node.func):
+                return True
+            stack.extend(ast.iter_child_nodes(node))
+        return False
+
+    @staticmethod
+    def _is_sync_call(func: ast.expr) -> bool:
+        if isinstance(func, ast.Name):
+            return func.id in _SYNC_NAMES
+        return isinstance(func, ast.Attribute) and func.attr in _SYNC_NAMES
+
+    @staticmethod
+    def _is_open_call(call: ast.Call) -> bool:
+        """``open(...)`` / ``io.open(...)`` only — not ``os.open`` (fd
+        API, used for directory fsyncs) and not arbitrary ``.open()``
+        methods."""
+        func = call.func
+        if isinstance(func, ast.Name):
+            return func.id == "open"
+        return (
+            isinstance(func, ast.Attribute)
+            and func.attr == "open"
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "io"
+        )
+
+    @staticmethod
+    def _opens_for_write(call: ast.Call) -> bool:
+        mode_expr: Optional[ast.expr] = (
+            call.args[1] if len(call.args) > 1 else None
+        )
+        if mode_expr is None:
+            for kw in call.keywords:
+                if kw.arg == "mode":
+                    mode_expr = kw.value
+        if not isinstance(mode_expr, ast.Constant) or not isinstance(
+            mode_expr.value, str
+        ):
+            return False  # default "r", or a computed mode we can't judge
+        return any(ch in mode_expr.value for ch in "wax+")
+
+    @staticmethod
+    def _rename_name(
+        func: ast.expr, bare_renames: dict[str, str]
+    ) -> Optional[str]:
+        dotted = _dotted_name(func)
+        if dotted is not None and dotted in _RENAME_CALLS:
+            return dotted
+        if isinstance(func, ast.Name) and func.id in bare_renames:
+            return bare_renames[func.id]
+        return None
+
+    @staticmethod
+    def _rename_bindings(tree: ast.AST) -> dict[str, str]:
+        """Local names bound to the rename entry points via import-from."""
+        bindings: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ImportFrom):
+                continue
+            for alias in node.names:
+                canonical = f"{node.module}.{alias.name}"
+                if canonical in _RENAME_CALLS:
+                    bindings[alias.asname or alias.name] = canonical
+        return bindings
 
 
 @register_lint_pass

@@ -8,6 +8,7 @@ Installed as ``repro`` (see pyproject)::
     repro compare doc.xml --limit 256
     repro stats doc.xml --algorithm ekm --query "//keyword" [--json]
     repro serve --port 8080 --max-concurrency 64
+    repro recover journals/store.wal [--trim] [--json]
 
 ``repro compare`` runs every registered heuristic on the document and
 prints a Table-1-style summary; ``repro stats`` (also installed as
@@ -243,6 +244,84 @@ def cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_recover(args: argparse.Namespace) -> int:
+    """Inspect (and optionally repair) a write-ahead log file.
+
+    Pages live in process memory in this reproduction, so cold recovery
+    proper happens where the pages are (:func:`repro.recovery.
+    recover_store`); what an operator holds after a crash is the log
+    file, and this verb answers the operational questions about it: is
+    it readable, what would replay, is there crash residue (a torn tail
+    or an uncommitted transaction), and — with ``--trim`` — truncates a
+    torn tail in place. Interior corruption (a lying log) exits 1;
+    untreated crash residue exits 2; a clean log exits 0.
+    """
+    from repro.recovery import read_wal, trim_torn_tail
+
+    trimmed = 0
+    if args.trim:
+        trimmed = trim_torn_tail(args.wal)
+    state = read_wal(args.wal)
+    residue = state.torn_bytes > 0 or state.open_txn is not None
+    if args.json:
+        payload = {
+            "wal": args.wal,
+            "frames": state.frames,
+            "committed_transactions": [
+                {
+                    "txn_id": txn.txn_id,
+                    "dirty_records": txn.dirty,
+                    "images": len(txn.images),
+                }
+                for txn in state.committed
+            ],
+            "open_transaction": (
+                None if state.open_txn is None else state.open_txn.txn_id
+            ),
+            "torn_bytes": state.torn_bytes,
+            "valid_bytes": state.valid_bytes,
+            "trimmed_bytes": trimmed,
+            "labels": None if state.labels is None else len(state.labels),
+            "record_limit": state.record_limit,
+            "next_txn": state.next_txn,
+            "clean": not residue,
+        }
+        json.dump(payload, sys.stdout, indent=2, sort_keys=True)
+        print()
+    else:
+        print(
+            f"log: {args.wal} ({state.valid_bytes} valid bytes, "
+            f"{state.frames} frame(s))"
+        )
+        for txn in state.committed:
+            print(
+                f"  committed txn {txn.txn_id}: {len(txn.images)} image(s), "
+                f"dirty records {txn.dirty}"
+            )
+        if state.open_txn is not None:
+            print(
+                f"  open txn {state.open_txn.txn_id}: "
+                f"{len(state.open_txn.images)} image(s) — uncommitted, "
+                "discarded on recovery"
+            )
+        if trimmed:
+            print(f"  trimmed {trimmed}B torn tail")
+        elif state.torn_bytes:
+            print(
+                f"  torn tail: {state.torn_bytes}B after the last valid "
+                "frame (--trim to repair)"
+            )
+        if state.labels is None:
+            print("  snapshot: none — the log was never attached to a store")
+        else:
+            print(
+                f"  snapshot: {len(state.labels)} label(s), "
+                f"K={state.record_limit}; next txn {state.next_txn}"
+            )
+        print("  clean" if not residue else "  crash residue present")
+    return 2 if residue else 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """Run the document-store HTTP service until interrupted."""
     from repro.service.app import ServiceConfig, run as run_service
@@ -379,6 +458,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     p.add_argument("--algorithm", default="ekm", help="default partitioning algorithm (default: ekm)")
     p.add_argument("--limit", type=int, default=256, help="default weight limit K (default: 256)")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "recover",
+        help="inspect or repair a write-ahead log (docs/ROBUSTNESS.md)",
+    )
+    p.add_argument("wal", help="path to a .wal file")
+    p.add_argument(
+        "--trim",
+        action="store_true",
+        help="truncate a torn tail in place (no-op on a clean log)",
+    )
+    p.add_argument("--json", action="store_true", help="print a JSON report")
+    p.set_defaults(func=cmd_recover)
 
     args = parser.parse_args(argv)
     # `query` puts xpath after document; reorder handled by argparse

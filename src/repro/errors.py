@@ -91,6 +91,27 @@ class JournalError(StorageError):
     document, or disagrees with a deterministic replay."""
 
 
+class WalError(StorageError):
+    """The write-ahead log is unusable: interior corruption (a frame
+    fails its CRC32 with more frames following), a frame inconsistent
+    with the transaction protocol, or misuse of the log API.
+
+    A *torn tail* — an incomplete or checksum-failing final frame — is
+    **not** an error: it is the expected shape of a crash mid-append and
+    is reported (and discarded) by :func:`repro.recovery.wal.read_wal`.
+    """
+
+
+class RecoveryError(StorageError):
+    """Crash recovery could not restore a consistent store.
+
+    Raised by :mod:`repro.recovery.manager` when the surviving pages plus
+    the write-ahead log are not enough — e.g. a corrupt page holds
+    records with no logged after-image, or a record fails to decode even
+    after redo. Recovery never silently returns a partial store.
+    """
+
+
 class InjectedFaultError(StorageError):
     """A fault deliberately injected by :mod:`repro.faults`.
 

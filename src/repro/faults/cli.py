@@ -4,11 +4,15 @@ Examples::
 
     repro-faults                          # smoke matrix (sampled points)
     repro-faults --full                   # every spill boundary and page
+    repro-faults --updates                # chaos crash matrix for updates
+    repro-faults --updates --full         # kill at every WAL boundary
     repro-faults --algorithm rs -K 32     # different import configuration
+    repro-faults --list-points            # every named fault point
     repro-faults document.xml             # your own document
 
 Exit status is 0 only when every scenario passed, so the command slots
-directly into ``make verify`` (the *faults-smoke* target).
+directly into ``make verify`` (the *faults-smoke* and *chaos-smoke*
+targets).
 """
 
 from __future__ import annotations
@@ -17,7 +21,8 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
-from repro.faults.matrix import run_fault_matrix
+from repro.faults.matrix import run_fault_matrix, run_update_crash_matrix
+from repro.faults.plan import FAULT_POINTS
 
 #: "unbounded" caps for --full (every boundary / page of a smoke document)
 _FULL = 1 << 20
@@ -74,28 +79,71 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--full",
         action="store_true",
-        help="exhaustive matrix: every spill boundary, every page",
+        help="exhaustive matrix: every spill boundary, every page "
+        "(with --updates: every WAL record boundary)",
+    )
+    parser.add_argument(
+        "--updates",
+        action="store_true",
+        help="run the chaos crash matrix for WAL-logged in-place updates "
+        "instead of the bulk-load matrix",
+    )
+    parser.add_argument(
+        "--batches",
+        type=int,
+        default=3,
+        help="update batches (flush transactions) in the scripted "
+        "workload (--updates only; default: 3)",
+    )
+    parser.add_argument(
+        "--ops-per-batch",
+        type=int,
+        default=10,
+        help="update operations per batch (--updates only; default: 10)",
+    )
+    parser.add_argument(
+        "--list-points",
+        action="store_true",
+        help="print every named fault point and exit",
     )
     parser.add_argument(
         "-q", "--quiet", action="store_true", help="print failures only"
     )
     args = parser.parse_args(argv)
 
+    if args.list_points:
+        for point in FAULT_POINTS:
+            print(point)
+        return 0
+
     source = None
     if args.document is not None:
         with open(args.document, encoding="utf-8") as handle:
             source = handle.read()
 
-    report = run_fault_matrix(
-        source=source,
-        algorithm=args.algorithm,
-        limit=args.limit,
-        spill_threshold=args.spill_threshold,
-        seed=args.seed,
-        max_crash_points=_FULL if args.full else args.crash_points,
-        max_flip_pages=_FULL if args.full else args.flip_pages,
-        scale=args.scale,
-    )
+    if args.updates:
+        report = run_update_crash_matrix(
+            source=source,
+            algorithm=args.algorithm,
+            limit=args.limit,
+            spill_threshold=args.spill_threshold,
+            seed=args.seed,
+            batches=args.batches,
+            ops_per_batch=args.ops_per_batch,
+            max_crash_points=_FULL if args.full else args.crash_points,
+            scale=args.scale if args.scale != 0.004 else 0.002,
+        )
+    else:
+        report = run_fault_matrix(
+            source=source,
+            algorithm=args.algorithm,
+            limit=args.limit,
+            spill_threshold=args.spill_threshold,
+            seed=args.seed,
+            max_crash_points=_FULL if args.full else args.crash_points,
+            max_flip_pages=_FULL if args.full else args.flip_pages,
+            scale=args.scale,
+        )
     if args.quiet:
         for scenario in report.failures():
             print(f"FAIL {scenario.name} ({scenario.rule}): {scenario.detail}")

@@ -15,27 +15,55 @@ this package only makes possible:
 * **Torn writes** — a store is built under an injected short write; the
   matrix asserts full reconstruction refuses the damaged store.
 
+:func:`run_update_crash_matrix` is the **chaos crash matrix** for
+in-place updates: a deterministic scripted update workload runs against
+a WAL-attached store and is killed at every sampled WAL record boundary
+(``wal.append``), group-commit fsync (``wal.fsync``) and page apply
+(``updates.flush``); each time, only the page images and the log file
+"survive", :func:`repro.recovery.recover_store` rebuilds the store, and
+the matrix asserts the recovered bytes land exactly on a flush boundary
+of the uninterrupted control run, then replays the remaining script and
+asserts final byte-identity, partitioning equality and full
+reconstruction (zero corrupt reads). Extra cells tear the log's tail,
+bit-flip its interior (must be refused loudly), bit-flip a surviving
+page (must be repaired from logged images) and crash recovery itself
+mid-redo (must be idempotent).
+
 Every scenario is deterministic (seeded plans, fixed document), so a
 failure reproduces exactly from its printed rule spec. The matrix is
 exposed as the ``repro-faults`` command line (:mod:`repro.faults.cli`)
-and a trimmed version runs in ``make verify`` (*faults-smoke*).
+and a trimmed version runs in ``make verify`` (*faults-smoke* and
+*chaos-smoke*).
 """
 
 from __future__ import annotations
 
+import copy
 import hashlib
 import os
 import tempfile
 from dataclasses import dataclass, field
-from typing import Optional
+from random import Random
+from typing import Callable, Optional
 
 from repro.bulkload.importer import BulkLoader, ImportResult
 from repro.bulkload.journal import resume_import
 from repro.datasets.xmark import xmark_document
-from repro.errors import CorruptPageError, InjectedFaultError, StorageError
+from repro.errors import (
+    CorruptPageError,
+    InjectedFaultError,
+    StorageError,
+    WalError,
+)
 from repro.faults.plan import FaultPlan, FaultRule, active
+from repro.recovery.manager import recover_store
+from repro.recovery.wal import WriteAheadLog, read_wal
+from repro.storage.constants import StorageConfig
+from repro.storage.page import Page
 from repro.storage.reconstruct import verify_store_integrity
 from repro.storage.store import DocumentStore
+from repro.storage.updates import StoreUpdater
+from repro.tree.node import NodeKind
 from repro.xmlio.serialize import tree_to_xml
 
 
@@ -249,3 +277,309 @@ def _torn_write_scenario(baseline: ImportResult, seed: int) -> FaultScenario:
             return FaultScenario(name, rule.spec(), True, "damage detected")
     except Exception as exc:  # pragma: no cover - diagnostic path
         return FaultScenario(name, rule.spec(), False, f"unexpected {exc!r}")
+
+
+# ---------------------------------------------------------------------------
+# The chaos crash matrix: in-place updates killed at every WAL boundary.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _UpdateWorkload:
+    """Everything one update-crash scenario needs, computed once."""
+
+    base: ImportResult
+    config: StorageConfig
+    #: batches of concrete ops; each batch ends in one WAL-logged flush
+    script: list
+    #: store fingerprint before any batch and after each batch's flush —
+    #: the only byte states a crash may legally recover to
+    checkpoints: list
+    final_partitioning: object
+    seed: int
+    tmp: str
+
+
+def _update_script(tree, seed: int, batches: int, ops_per_batch: int) -> list:
+    """A deterministic update script against the *initial* tree.
+
+    Every op references node ids that exist before the script starts, so
+    the same batch replays identically from any flush boundary — inserts
+    allocate node ids from the tree size, which is itself a function of
+    the boundary.
+    """
+    rng = Random(seed)
+    elements = [n.node_id for n in tree if n.kind is NodeKind.ELEMENT]
+    texts = [n.node_id for n in tree if n.kind is NodeKind.TEXT]
+    script = []
+    for index in range(batches):
+        ops = []
+        for op in range(ops_per_batch):
+            if texts and rng.random() < 0.3:
+                ops.append(
+                    (
+                        "content",
+                        rng.choice(texts),
+                        f"upd-{index}-{op}-" + "x" * rng.randrange(1, 17),
+                    )
+                )
+            else:
+                ops.append(("insert", rng.choice(elements), f"n{index}x{op}"))
+        script.append(ops)
+    return script
+
+
+def _apply_batch(store: DocumentStore, ops) -> None:
+    updater = StoreUpdater(store)
+    for op in ops:
+        try:
+            if op[0] == "insert":
+                updater.insert_node(op[1], op[2])
+            else:
+                updater.update_content(op[1], op[2])
+        except StorageError:
+            continue  # a no-room outcome is deterministic and replays so
+    updater.flush()
+
+
+def _fresh_store(base: ImportResult, config: StorageConfig) -> DocumentStore:
+    # deepcopy: updates mutate the tree, and every scenario must start
+    # from the same pristine document
+    return DocumentStore.build(copy.deepcopy(base.tree), base.partitioning, config)
+
+
+def _surviving_pages(store: DocumentStore) -> dict:
+    """What a crash leaves behind: the page images, nothing in memory."""
+    return {
+        page_id: Page(page.page_id, page.config, dict(page.slots), page.version, page.checksum)
+        for page_id, page in store.manager.pages.items()
+    }
+
+
+def _control_run(
+    base: ImportResult, config: StorageConfig, script, tmp: str, seed: int
+):
+    """The uninterrupted run: per-boundary fingerprints + fault-point
+    hit counts (which bound the crash sweep)."""
+    store = _fresh_store(base, config)
+    wal = WriteAheadLog(os.path.join(tmp, "updates-control.wal")).open()
+    store.attach_wal(wal)
+    checkpoints = [store_fingerprint(store)]
+    with active(FaultPlan([], seed=seed)) as plan:
+        for ops in script:
+            _apply_batch(store, ops)
+            checkpoints.append(store_fingerprint(store))
+    wal.close()
+    final_partitioning = StoreUpdater(store).current_partitioning()
+    return checkpoints, dict(plan.hits), final_partitioning
+
+
+def _update_crash_scenario(
+    workload: _UpdateWorkload,
+    rule: FaultRule,
+    index: int,
+    *,
+    suffix: str = "",
+    damage: Optional[Callable] = None,
+    recovery_rule: Optional[FaultRule] = None,
+) -> FaultScenario:
+    """Kill the scripted workload with ``rule``; recover; resume; compare.
+
+    ``damage`` optionally corrupts the surviving pages / log before
+    recovery (torn tails, bit rot); ``recovery_rule`` optionally crashes
+    the *first* recovery attempt mid-redo (the double-crash drill).
+    """
+    name = f"update-crash@{rule.point}#{rule.hit}{suffix}"
+    wal_path = os.path.join(workload.tmp, f"updates-crash-{index}.wal")
+    store = _fresh_store(workload.base, workload.config)
+    wal = WriteAheadLog(wal_path).open()
+    store.attach_wal(wal)
+    crashed = False
+    try:
+        with active(FaultPlan([rule], seed=workload.seed)):
+            try:
+                for ops in workload.script:
+                    _apply_batch(store, ops)
+            except (InjectedFaultError, OSError):
+                crashed = True
+    finally:
+        wal.close()
+    if not crashed:
+        return FaultScenario(name, rule.spec(), False, "fault never fired")
+    surviving = _surviving_pages(store)
+    detail = ""
+    if damage is not None:
+        detail = damage(surviving, wal_path, Random(workload.seed * 31 + index)) or ""
+    if recovery_rule is not None:
+        try:
+            with active(FaultPlan([recovery_rule], seed=workload.seed + 1)):
+                recover_store(surviving, wal_path, workload.config)
+            return FaultScenario(
+                name, rule.spec(), False, "recovery fault never fired"
+            )
+        except (InjectedFaultError, OSError):
+            pass  # recovery itself crashed; the retry below must succeed
+    try:
+        recovered, _report = recover_store(surviving, wal_path, workload.config)
+    except Exception as exc:
+        return FaultScenario(name, rule.spec(), False, f"recovery failed: {exc!r}")
+    fingerprint = store_fingerprint(recovered)
+    if fingerprint not in workload.checkpoints:
+        return FaultScenario(
+            name, rule.spec(), False, "recovered bytes match no flush boundary"
+        )
+    boundary = workload.checkpoints.index(fingerprint)
+    resume_wal = WriteAheadLog(wal_path).open()
+    recovered.attach_wal(resume_wal)
+    try:
+        for ops in workload.script[boundary:]:
+            _apply_batch(recovered, ops)
+    finally:
+        resume_wal.close()
+    if store_fingerprint(recovered) != workload.checkpoints[-1]:
+        return FaultScenario(name, rule.spec(), False, "final store bytes diverged")
+    if StoreUpdater(recovered).current_partitioning() != workload.final_partitioning:
+        return FaultScenario(name, rule.spec(), False, "final partitioning diverged")
+    try:
+        verify_store_integrity(recovered)
+    except StorageError as exc:
+        return FaultScenario(name, rule.spec(), False, f"corrupt read: {exc!r}")
+    note = f"recovered at boundary {boundary}/{len(workload.checkpoints) - 1}"
+    if detail:
+        note += f"; {detail}"
+    return FaultScenario(name, rule.spec(), True, note)
+
+
+def _tear_wal_tail(surviving, wal_path: str, rng: Random) -> str:
+    """Shear 1-11 bytes off the log — a torn final frame."""
+    size = os.path.getsize(wal_path)
+    drop = rng.randrange(1, 12)
+    with open(wal_path, "r+b") as handle:
+        handle.truncate(max(0, size - drop))
+    return f"tore {drop}B off the log tail"
+
+
+def _flip_imaged_page_slot(surviving, wal_path: str, rng: Random) -> str:
+    """Bit-flip a surviving page slot the log holds an after-image of —
+    page repair, not redo, is what must fix this."""
+    images = read_wal(wal_path).latest_images()
+    for record_id in sorted(images):
+        for page in surviving.values():
+            blob = page.slots.get(record_id)
+            if blob:
+                at = rng.randrange(len(blob))
+                bit = 1 << rng.randrange(8)
+                page.slots[record_id] = (
+                    blob[:at] + bytes([blob[at] ^ bit]) + blob[at + 1 :]
+                )
+                return f"flipped a bit in record {record_id} on page {page.page_id}"
+    return "no imaged slot to flip"
+
+
+def _wal_interior_corruption_scenario(
+    workload: _UpdateWorkload, index: int
+) -> FaultScenario:
+    """A bit-flip *inside* the log (not its tail) must refuse to replay."""
+    rule = FaultRule("updates.flush", "raise", hit=1)
+    name = "update-crash@wal-interior-bitflip"
+    wal_path = os.path.join(workload.tmp, f"updates-crash-{index}.wal")
+    store = _fresh_store(workload.base, workload.config)
+    wal = WriteAheadLog(wal_path).open()
+    store.attach_wal(wal)
+    try:
+        with active(FaultPlan([rule], seed=workload.seed)):
+            try:
+                for ops in workload.script:
+                    _apply_batch(store, ops)
+                return FaultScenario(name, rule.spec(), False, "fault never fired")
+            except InjectedFaultError:
+                pass
+    finally:
+        wal.close()
+    with open(wal_path, "r+b") as handle:
+        data = bytearray(handle.read())
+        data[9] ^= 0x40  # inside the first frame's payload; frames follow
+        handle.seek(0)
+        handle.write(bytes(data))
+    try:
+        recover_store(_surviving_pages(store), wal_path, workload.config)
+    except WalError:
+        return FaultScenario(name, rule.spec(), True, "interior corruption refused")
+    except Exception as exc:  # pragma: no cover - diagnostic path
+        return FaultScenario(name, rule.spec(), False, f"unexpected {exc!r}")
+    return FaultScenario(name, rule.spec(), False, "corrupt log replayed silently")
+
+
+def run_update_crash_matrix(
+    source: Optional[str] = None,
+    algorithm: str = "ekm",
+    limit: int = 64,
+    spill_threshold: int = 256,
+    seed: int = 2006,
+    batches: int = 3,
+    ops_per_batch: int = 10,
+    max_crash_points: int = 6,
+    scale: float = 0.002,
+) -> MatrixReport:
+    """Kill a WAL-logged update workload at every sampled boundary.
+
+    ``max_crash_points`` bounds the sweep *per fault point* for smoke
+    use; pass a large value for the exhaustive run (``repro-faults
+    --updates --full`` covers every WAL record boundary).
+    """
+    if source is None:
+        source = tree_to_xml(xmark_document(scale=scale, seed=seed))
+    report = MatrixReport()
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+        base = BulkLoader(algorithm, limit, spill_threshold).load(
+            source, journal_path=os.path.join(tmp, "updates-base.journal")
+        )
+        config = StorageConfig(record_limit=limit)
+        script = _update_script(base.tree, seed, batches, ops_per_batch)
+        checkpoints, hits, final_partitioning = _control_run(
+            base, config, script, tmp, seed
+        )
+        workload = _UpdateWorkload(
+            base, config, script, checkpoints, final_partitioning, seed, tmp
+        )
+
+        cells: list[tuple[FaultRule, dict]] = []
+        for hit in _sample(hits.get("updates.flush", 0), max_crash_points):
+            cells.append((FaultRule("updates.flush", "raise", hit=hit), {}))
+        for hit in _sample(hits.get("wal.append", 0), max_crash_points):
+            cells.append((FaultRule("wal.append", "raise", hit=hit), {}))
+        # wal.fsync hit 1 is the attach-time snapshot, before any update
+        # exists to recover — the sweep starts at the first group commit
+        for hit in _sample(hits.get("wal.fsync", 0), max_crash_points):
+            if hit >= 2:
+                cells.append((FaultRule("wal.fsync", "io-error", hit=hit), {}))
+        mid_append = max(2, hits.get("wal.append", 2) // 2)
+        cells.append(
+            (
+                FaultRule("wal.append", "raise", hit=mid_append),
+                {"suffix": "+torn-tail", "damage": _tear_wal_tail},
+            )
+        )
+        cells.append(
+            (
+                FaultRule("updates.flush", "raise", hit=1),
+                {"suffix": "+page-bitflip", "damage": _flip_imaged_page_slot},
+            )
+        )
+        cells.append(
+            (
+                FaultRule("updates.flush", "raise", hit=1),
+                {
+                    "suffix": "+crash-in-recovery",
+                    "recovery_rule": FaultRule("updates.flush", "raise", hit=1),
+                },
+            )
+        )
+        for index, (rule, extra) in enumerate(cells):
+            report.scenarios.append(
+                _update_crash_scenario(workload, rule, index, **extra)
+            )
+        report.scenarios.append(
+            _wal_interior_corruption_scenario(workload, len(cells))
+        )
+    return report

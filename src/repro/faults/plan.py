@@ -18,6 +18,12 @@ Fault points wired into the stack (see ``docs/ROBUSTNESS.md``):
 ``bulkload.spill``  the importer sealed a spill boundary in its journal
 ``bulkload.finalize``  the importer is about to commit its journal
 ``parser.event``    one XML parse event was produced
+``wal.append``      a frame landed in the write-ahead log (fires after the
+                    frame is written + flushed, i.e. *at* the record
+                    boundary a crash would leave behind)
+``wal.fsync``       the log is about to fsync a group commit / checkpoint
+``updates.flush``   an updated record blob is about to be applied to its
+                    page (and re-applied during recovery redo)
 ==================  =======================================================
 
 Actions:
@@ -57,6 +63,9 @@ FAULT_POINTS = (
     "bulkload.spill",
     "bulkload.finalize",
     "parser.event",
+    "wal.append",
+    "wal.fsync",
+    "updates.flush",
 )
 
 #: every action a rule may request

@@ -1,0 +1,36 @@
+"""Crash-safe in-place updates: write-ahead logging and redo recovery.
+
+:mod:`repro.recovery.wal` is the log (length+CRC32 frames, group
+commit, atomic checkpoint/truncation); :mod:`repro.recovery.manager`
+is the ARIES-lite redo recovery that turns surviving page images plus
+the log back into a consistent :class:`~repro.storage.store.DocumentStore`.
+See ``docs/ROBUSTNESS.md`` for the protocol and its guarantees.
+"""
+
+from repro.recovery.manager import (
+    RecoveryReport,
+    attach_pages,
+    recover,
+    recover_store,
+)
+from repro.recovery.wal import (
+    WalState,
+    WalTransaction,
+    WriteAheadLog,
+    read_wal,
+    trim_torn_tail,
+    write_checkpoint,
+)
+
+__all__ = [
+    "RecoveryReport",
+    "WalState",
+    "WalTransaction",
+    "WriteAheadLog",
+    "attach_pages",
+    "read_wal",
+    "recover",
+    "recover_store",
+    "trim_torn_tail",
+    "write_checkpoint",
+]

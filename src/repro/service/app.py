@@ -183,6 +183,9 @@ class DocumentService:
         self._executor = ThreadPoolExecutor(
             max_workers=self.config.workers, thread_name_prefix="repro-service"
         )
+        # crash-leftover sweep (torn WAL tails, orphan ingest journals)
+        # runs before the socket binds: no request ever races recovery
+        await self.run_blocking(self.state.boot_recovery)
         self.started_at = telemetry.clock()
         self._server = await asyncio.start_server(
             self._serve_connection,

@@ -8,16 +8,73 @@ own client (the load generator does exactly that).
 Error model: any problem-JSON response raises :class:`ServiceClientError`
 carrying the parsed problem document, so test assertions can look at
 ``exc.status`` / ``exc.problem["detail"]`` instead of string-matching.
+
+Resilience: pass a :class:`RetryPolicy` to retry transient failures —
+503 (saturated admission queue, injected fault, backend I/O hiccup) and
+504 (request timeout) — with capped exponential backoff and seeded
+jitter. The server stamps ``Retry-After`` on those statuses; the client
+honors it as a floor under its own backoff. Every retry bumps the
+``service.client.retries`` counter.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
-from typing import Any, Optional, Union
+import random
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Union
 from urllib.parse import quote, urlencode
 
+from repro import telemetry
 from repro.errors import ReproError
+
+#: statuses worth retrying: both are transient by the server's contract
+#: (saturation clears, faults/I/O errors are resumable, timeouts pass)
+RETRYABLE_STATUSES = (503, 504)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with capped exponential backoff and seeded jitter.
+
+    ``attempts`` counts *total* tries, so ``attempts=4`` means one
+    initial request plus at most three retries. The delay before retry
+    *n* (1-based) is ``min(max_delay, base_delay * multiplier**(n-1))``,
+    spread by ``jitter`` (a ±fraction, drawn from a :class:`random.Random`
+    seeded per client — deterministic in tests, decorrelated across the
+    load generator's worker threads), then floored by any ``Retry-After``
+    the server sent.
+    """
+
+    attempts: int = 4
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    multiplier: float = 2.0
+    jitter: float = 0.5
+    seed: int = 0
+    statuses: tuple[int, ...] = RETRYABLE_STATUSES
+
+    def backoff(self, retry_number: int, rng: random.Random) -> float:
+        """Jittered delay before retry ``retry_number`` (1-based)."""
+        if retry_number < 1:
+            raise ValueError(f"retry_number must be >= 1, got {retry_number}")
+        delay = min(
+            self.max_delay, self.base_delay * self.multiplier ** (retry_number - 1)
+        )
+        if self.jitter:
+            delay *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return max(0.0, delay)
+
+
+def _retry_after_seconds(headers: dict[str, str]) -> float:
+    """Parse a ``Retry-After`` header; 0 when absent or not delta-seconds."""
+    raw = headers.get("retry-after", "").strip()
+    try:
+        return max(0.0, float(raw))
+    except ValueError:
+        return 0.0  # HTTP-date form (or garbage): fall back to backoff only
 
 
 class ServiceClientError(ReproError):
@@ -37,10 +94,22 @@ class ServiceClientError(ReproError):
 class ServiceClient:
     """Minimal blocking client over one keep-alive connection."""
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 8080, timeout: float = 30.0):
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        timeout: float = 30.0,
+        retry: Optional[RetryPolicy] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retry = retry
+        #: retries performed over this client's lifetime
+        self.retries = 0
+        self._sleep = sleep
+        self._rng = random.Random(retry.seed if retry is not None else 0)
         self._conn = http.client.HTTPConnection(host, port, timeout=timeout)
 
     def close(self) -> None:
@@ -101,10 +170,34 @@ class ServiceClient:
         body: Optional[bytes] = None,
         headers: Optional[dict[str, str]] = None,
     ) -> dict[str, Any]:
-        """A round trip that decodes JSON and raises on error statuses."""
-        status, response_headers, data = self.request(
-            method, path, params=params, body=body, headers=headers
-        )
+        """A round trip that decodes JSON and raises on error statuses.
+
+        With a :class:`RetryPolicy` attached, transient statuses (the
+        policy's ``statuses``; 503/504 by default) are retried up to
+        ``attempts`` total tries. The wait before each retry is the
+        policy's jittered backoff or the server's ``Retry-After``,
+        whichever is larger.
+        """
+        policy = self.retry
+        attempts = policy.attempts if policy is not None else 1
+        for attempt in range(1, attempts + 1):
+            status, response_headers, data = self.request(
+                method, path, params=params, body=body, headers=headers
+            )
+            if (
+                policy is None
+                or attempt == attempts
+                or status not in policy.statuses
+            ):
+                break
+            wait = max(
+                policy.backoff(attempt, self._rng),
+                _retry_after_seconds(response_headers),
+            )
+            self.retries += 1
+            telemetry.count("service.client.retries")
+            telemetry.count(f"service.client.retries.{status}")
+            self._sleep(wait)
         content_type = response_headers.get("content-type", "")
         payload: Any = None
         if "json" in content_type and data:

@@ -34,6 +34,7 @@ DEGRADATION_COUNTERS = (
     "service.errors.fault",
     "service.errors.internal",
     "service.errors.io",
+    "service.recovery.wal_quarantined",
 )
 
 
@@ -142,6 +143,8 @@ class Handlers:
             "inflight": self.service.middleware.inflight,
             "max_concurrency": self.service.middleware.max_concurrency,
             "degradation": degradation,
+            # what boot_recovery swept out of the journal dir at startup
+            "recovery": self.state.recovery,
         }
         return Response.json(payload)
 

@@ -54,6 +54,11 @@ from repro.errors import (
 #: RFC 7807 media type for error bodies
 PROBLEM_CONTENT_TYPE = "application/problem+json"
 
+#: ``Retry-After`` value (seconds) stamped on transient 503/504 responses
+#: so well-behaved clients (:class:`repro.service.client.RetryPolicy`)
+#: know the outage is expected to clear quickly
+RETRY_AFTER_SECONDS = 1
+
 
 # ---------------------------------------------------------------------------
 # Service error hierarchy (each class carries its HTTP mapping)
@@ -214,6 +219,10 @@ def problem(
     payload.update(extra)
     response = Response.json(payload, status=status)
     response.content_type = PROBLEM_CONTENT_TYPE
+    if status in (503, 504):
+        # transient by construction: saturation clears as requests
+        # finish, injected faults / I/O hiccups clear on resume
+        response.headers["retry-after"] = str(RETRY_AFTER_SECONDS)
     return response
 
 

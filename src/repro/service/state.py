@@ -38,7 +38,9 @@ from typing import Any, Iterator, Optional
 from repro import telemetry
 from repro.bulkload.importer import BulkLoader, ImportResult
 from repro.bulkload.journal import resume_import
+from repro.errors import WalError
 from repro.query.engine import evaluate, run_query, string_value
+from repro.recovery import read_wal, trim_torn_tail
 from repro.service.middleware import (
     DocumentConflictError,
     DocumentNotFoundError,
@@ -169,6 +171,56 @@ class StoreRegistry:
         self._lock = threading.Lock()
         self._entries: dict[str, DocumentEntry] = {}  # repro: guarded-by(_lock)
         self._seq = 0  # repro: guarded-by(_lock)
+        #: last :meth:`boot_recovery` summary, surfaced by ``/healthz``
+        self.recovery: dict[str, Any] = {}
+
+    # -- boot-time recovery ------------------------------------------------
+
+    def boot_recovery(self) -> dict[str, Any]:
+        """Sweep the journal directory for crash leftovers at startup.
+
+        A previous process that died mid-flush leaves ``*.wal`` files;
+        one that died mid-ingest leaves ``*.journal`` files. The sweep
+        trims torn WAL tails (so the next attach starts from a clean
+        prefix), tallies what survived, and quarantines unreadable logs
+        by renaming them to ``*.wal.corrupt`` — boot must come up even
+        when a log is lying. Orphan ingest journals are only counted:
+        replaying one needs the original document bytes, which arrive
+        with the client's ``?resume=1`` re-POST.
+        """
+        summary = {
+            "wal_logs": 0,
+            "wal_committed_transactions": 0,
+            "wal_torn_bytes_trimmed": 0,
+            "wal_quarantined": 0,
+            "orphan_journals": 0,
+        }
+        try:
+            names = sorted(os.listdir(self.journal_dir))
+        except OSError:
+            names = []
+        for name in names:
+            path = os.path.join(self.journal_dir, name)
+            if name.endswith(".wal"):
+                summary["wal_logs"] += 1
+                try:
+                    summary["wal_torn_bytes_trimmed"] += trim_torn_tail(path)
+                    summary["wal_committed_transactions"] += len(
+                        read_wal(path).committed
+                    )
+                except (WalError, OSError):
+                    os.replace(path, path + ".corrupt")
+                    summary["wal_quarantined"] += 1
+                    telemetry.count("service.recovery.wal_quarantined")
+            elif name.endswith(".journal"):
+                summary["orphan_journals"] += 1
+        telemetry.count("service.recovery.boots")
+        if summary["orphan_journals"]:
+            telemetry.count(
+                "service.recovery.orphan_journals", summary["orphan_journals"]
+            )
+        self.recovery = summary
+        return summary
 
     # -- registry map (lock held for dict ops only) ----------------------
 

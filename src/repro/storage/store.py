@@ -22,6 +22,7 @@ from typing import Iterator, Optional
 
 from repro import telemetry
 from repro.errors import StorageError
+from repro.partition.assignment import intervals_from_assignment
 from repro.partition.evaluate import assignment_from_partitioning
 from repro.partition.interval import Partitioning
 from repro.storage.buffer import BufferPool
@@ -70,6 +71,10 @@ class DocumentStore:
         #: optional hook called with (source_id, target_id) on every
         #: navigation step — used by workload profiling
         self.edge_recorder = None
+        #: optional write-ahead log (see :meth:`attach_wal`); updates
+        #: flushed through :class:`~repro.storage.updates.StoreUpdater`
+        #: become crash-recoverable once one is attached
+        self.wal = None
 
         # label dictionary
         self.labels: list[str] = []
@@ -147,6 +152,76 @@ class DocumentStore:
         config: StorageConfig = DEFAULT_CONFIG,
     ) -> "DocumentStore":
         return cls(tree, partitioning, config)
+
+    @classmethod
+    def adopt(
+        cls,
+        manager: RecordManager,
+        tree: Tree,
+        record_of: list,
+        labels: list,
+        config: StorageConfig = DEFAULT_CONFIG,
+    ) -> "DocumentStore":
+        """Wrap an existing page set instead of serializing a fresh one.
+
+        This is the recovery constructor: :func:`repro.recovery.manager.
+        recover_store` rebuilds the tree and assignment from surviving
+        page images and must adopt those pages *byte-identically* — a
+        round-trip through :meth:`build` would re-pack records and change
+        the page layout, destroying the crash-matrix equality it exists
+        to prove.
+        """
+        store = cls.__new__(cls)
+        store.config = config
+        store.stats = NavigationStats()
+        store.edge_recorder = None
+        store.wal = None
+        store.labels = []
+        store._label_ids = {}
+        store.codec = RecordCodec(
+            record_header=config.record_header, capacity_bytes=None
+        )
+        store.manager = manager
+        store.rebind(tree, record_of, labels)
+        return store
+
+    def rebind(self, tree: Tree, record_of: list, labels: list) -> None:
+        """Swap in recovered in-memory state around the existing pages.
+
+        Everything derivable is re-derived: the partitioning from the
+        assignment, record weights from node weights, document-order
+        ranks lazily, and a fresh buffer pool over the (possibly
+        repaired) pages.
+        """
+        self.tree = tree
+        self.labels = list(labels)
+        self._label_ids = {label: lid for lid, label in enumerate(self.labels)}
+        self.record_of = list(record_of)
+        count = max(self.record_of, default=-1) + 1
+        for record_id in self.manager.page_of_record:
+            count = max(count, record_id + 1)
+        self.record_count = count
+        self.partitioning = Partitioning(
+            intervals_from_assignment(tree, self.record_of)
+        )
+        self.record_weights = [0] * count
+        for node in tree:
+            self.record_weights[self.record_of[node.node_id]] += node.weight
+        self.buffer = BufferPool(self.manager.pages, self.config.buffer_pages)
+        self._order_ranks = None
+        self.stats.reset()
+
+    def attach_wal(self, wal) -> None:
+        """Route update flushes through ``wal`` (a
+        :class:`~repro.recovery.wal.WriteAheadLog`, already open).
+
+        An empty log immediately gets a checkpoint frame carrying the
+        label dictionary and record limit — cold recovery needs that
+        snapshot even if the store crashes before its first commit.
+        """
+        self.wal = wal
+        if wal.frames == 0:
+            wal.checkpoint(self.labels, self.config.record_limit)
 
     # -- accounting ------------------------------------------------------
 

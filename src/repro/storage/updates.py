@@ -25,7 +25,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro import telemetry
 from repro.errors import StorageError
+from repro.faults import plan as faults
 from repro.partition.assignment import intervals_from_assignment
 from repro.partition.interval import Partitioning
 from repro.storage.store import DocumentStore
@@ -117,14 +119,43 @@ class StoreUpdater:
         )
 
     def flush(self) -> None:
-        """Re-encode all dirty records onto their pages."""
+        """Re-encode all dirty records onto their pages.
+
+        With a write-ahead log attached (``store.attach_wal``), the
+        flush is one crash-recoverable transaction: every dirty blob is
+        logged (BEGIN + after-images + group-commit fsync at COMMIT)
+        *before* any page is touched, each page apply passes the
+        ``updates.flush`` fault point, and a checkpoint truncates the
+        log once the pages hold everything. A crash anywhere inside
+        leaves either the pre-flush or the post-flush page bytes for
+        :mod:`repro.recovery` — never a torn middle.
+        """
+        if not self._dirty:
+            return
         store = self.store
-        for record_id in sorted(self._dirty):
-            blob = store.codec.encode(store.rebuild_record(record_id))
-            if record_id in store.manager.page_of_record:
-                store.manager.replace(record_id, blob)
-            else:
-                store.manager.store(record_id, blob)
+        wal = store.wal
+        dirty = sorted(self._dirty)
+        with telemetry.span("storage.updates.flush"):
+            blobs = [
+                (record_id, store.codec.encode(store.rebuild_record(record_id)))
+                for record_id in dirty
+            ]
+            if wal is not None:
+                txn_id = wal.begin(
+                    dirty, labels=store.labels, record_limit=self.limit
+                )
+                for record_id, blob in blobs:
+                    wal.log_image(txn_id, record_id, blob)
+                wal.commit(txn_id)
+            for record_id, blob in blobs:
+                if faults.armed():
+                    faults.check("updates.flush", record_id=record_id)
+                if record_id in store.manager.page_of_record:
+                    store.manager.replace(record_id, blob)
+                else:
+                    store.manager.store(record_id, blob)
+            if wal is not None:
+                wal.checkpoint(store.labels, self.limit)
         self._dirty.clear()
 
     # -- placement ----------------------------------------------------------

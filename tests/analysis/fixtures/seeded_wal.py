@@ -1,0 +1,75 @@
+"""Seeded RB003 violations: durability paths missing their fsync.
+
+Not importable as part of the real package — this fixture only feeds the
+analyzer tests (see README.md in this directory). The filename contains
+``wal`` on purpose: RB003 only fires in durability-critical modules, and
+these seeds must stay in scope.
+"""
+
+import io
+import os
+import shutil
+from os import replace as publish
+
+
+def rename_without_fsync(tmp, path):
+    with open(tmp, "wb") as handle:  # seed:RB003-with-nofsync
+        handle.write(b"frame")
+        handle.flush()  # flush is the page cache, not the platter
+    os.replace(tmp, path)  # seed:RB003-replace
+
+
+def rename_via_os_rename(tmp, path):
+    os.rename(tmp, path)  # seed:RB003-rename
+
+
+def rename_via_shutil_move(tmp, path):
+    shutil.move(tmp, path)  # seed:RB003-move
+
+
+def rename_via_bare_import(tmp, path):
+    publish(tmp, path)  # seed:RB003-bare
+
+
+def close_without_fsync(path, frame):
+    handle = open(path, "ab")
+    handle.write(frame)
+    handle.close()  # seed:RB003-close
+
+
+def io_open_close_without_fsync(path, frame):
+    handle = io.open(path, mode="wb")
+    handle.write(frame)
+    handle.close()  # seed:RB003-ioclose
+
+
+def checkpoint_rewrite_is_fine(tmp, path):
+    with open(tmp, "wb") as handle:
+        handle.write(b"frame")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)  # preceded by fsync: not RB003
+
+
+def close_after_fsync_is_fine(path, frame):
+    handle = open(path, "ab")
+    handle.write(frame)
+    handle.flush()
+    os.fdatasync(handle.fileno())
+    handle.close()
+
+
+def read_handles_are_fine(path):
+    with open(path, "rb") as handle:
+        return handle.read()
+
+
+def fd_api_is_fine(directory):
+    # os.open is the fd API (used for directory fsyncs), not a handle
+    fd = os.open(directory, os.O_RDONLY)
+    os.fsync(fd)
+    os.close(fd)
+
+
+def sanctioned_rename(tmp, path):
+    os.replace(tmp, path)  # repro-lint: skip=RB003

@@ -254,6 +254,60 @@ class TestSeededViolations:
             result = run_lint([target], select=["RB002"])
             assert len(result.violations) == expected, name
 
+    def test_durability_fsync_reported_in_all_shapes(self, fixture_result):
+        tags = seed_lines(FIXTURES / "seeded_wal.py")
+        hits = found(fixture_result, "RB003", "seeded_wal.py")
+        assert {v.lineno for v in hits} == {
+            tags["RB003-with-nofsync"],
+            tags["RB003-replace"],
+            tags["RB003-rename"],
+            tags["RB003-move"],
+            tags["RB003-bare"],
+            tags["RB003-close"],
+            tags["RB003-ioclose"],
+        }
+
+    def test_durability_fsync_sanctioned_shapes_not_flagged(self, fixture_result):
+        hits = found(fixture_result, "RB003", "seeded_wal.py")
+        source = (FIXTURES / "seeded_wal.py").read_text().splitlines()
+        flagged = {source[v.lineno - 1] for v in hits}
+        for line in flagged:
+            assert "skip=RB003" not in line
+            assert "is_fine" not in line
+            assert "os.open" not in line
+
+    def test_durability_fsync_scoped_to_durability_modules(self, tmp_path):
+        snippet = textwrap.dedent(
+            """
+            import os
+
+            def publish(tmp, path):
+                os.replace(tmp, path)
+            """
+        )
+        for name, expected in [
+            ("cache.py", 0),  # out of scope: crash loss is accepted there
+            ("wal.py", 1),
+            ("checkpointer.py", 1),
+            ("test_wal.py", 0),  # test code is exempt by filename
+        ]:
+            target = tmp_path / name
+            target.write_text(snippet)
+            result = run_lint([target], select=["RB003"])
+            assert len(result.violations) == expected, name
+
+    def test_durability_fsync_real_recovery_modules_are_clean(self):
+        from tests.analysis.conftest import REPO_SRC
+
+        result = run_lint(
+            [
+                REPO_SRC / "recovery",
+                REPO_SRC / "bulkload" / "journal.py",
+            ],
+            select=["RB003"],
+        )
+        assert result.clean, [str(v) for v in result.violations]
+
     def test_repeated_weight_walk_reported_in_all_shapes(self, fixture_result):
         tags = seed_lines(FIXTURES / "seeded_perf.py")
         hits = found(fixture_result, "PERF001", "seeded_perf.py")

@@ -76,6 +76,31 @@ def make_baseline() -> dict:
                 "nodes": 4000,
                 "overhead_fraction": 0.01,
             },
+            "recovery": {
+                "seed": 2006,
+                "scale": 0.01,
+                "limit": 64,
+                "batches": 5,
+                "ops_per_batch": 120,
+                "repeats": 5,
+                "nodes": 27000,
+                "plain_seconds": 0.5,
+                "wal_seconds": 0.52,
+                "overhead_fraction": 0.04,
+                "identical_bytes": True,
+                "recovery": {
+                    "seconds": 0.7,
+                    "records_redone": 123,
+                    "replayed_transactions": [5],
+                    "recovered_identical": True,
+                },
+                "crash_matrix": {
+                    "scenarios": 15,
+                    "passed": 15,
+                    "ok": True,
+                    "failures": [],
+                },
+            },
             "fastpath": {
                 "scale": 0.25,
                 "repeats": 3,
@@ -283,6 +308,57 @@ class TestFastpathGate:
         assert any("speedup" in r for r in cmp.regressions)
 
 
+class TestRecoveryGate:
+    def test_wal_overhead_budget_enforced_on_full_baselines(self):
+        base = make_baseline()
+        new = copy.deepcopy(base)
+        new["scenarios"]["recovery"]["overhead_fraction"] = 0.12
+        cmp = compare.compare_baselines(base, new)
+        assert any("overhead_fraction" in r and "budget" in r for r in cmp.regressions)
+
+    def test_quick_baselines_skip_the_overhead_budget(self):
+        base = make_baseline()
+        base["quick"] = True
+        new = copy.deepcopy(base)
+        new["scenarios"]["recovery"]["overhead_fraction"] = 0.25
+        cmp = compare.compare_baselines(base, new)
+        assert cmp.regressions == []
+
+    def test_crash_safety_invariants_gate_even_quick_runs(self):
+        base = make_baseline()
+        base["quick"] = True
+        new = copy.deepcopy(base)
+        new["scenarios"]["recovery"]["identical_bytes"] = False
+        cmp = compare.compare_baselines(base, new)
+        assert any("identical_bytes" in r for r in cmp.regressions)
+
+        new = copy.deepcopy(base)
+        new["scenarios"]["recovery"]["recovery"]["recovered_identical"] = False
+        cmp = compare.compare_baselines(base, new)
+        assert any("recovered_identical" in r for r in cmp.regressions)
+
+        new = copy.deepcopy(base)
+        new["scenarios"]["recovery"]["crash_matrix"]["ok"] = False
+        new["scenarios"]["recovery"]["crash_matrix"]["passed"] = 14
+        cmp = compare.compare_baselines(base, new)
+        assert any("crash_matrix" in r for r in cmp.regressions)
+
+    def test_redo_drift_is_deterministic_metric_drift(self):
+        base = make_baseline()
+        new = copy.deepcopy(base)
+        new["scenarios"]["recovery"]["recovery"]["records_redone"] = 99
+        cmp = compare.compare_baselines(base, new)
+        assert any("records_redone" in r for r in cmp.regressions)
+
+    def test_gate_runs_even_when_old_lacks_the_scenario(self):
+        base = make_baseline()
+        del base["scenarios"]["recovery"]  # e.g. comparing against PR7
+        new = make_baseline()
+        new["scenarios"]["recovery"]["crash_matrix"]["ok"] = False
+        cmp = compare.compare_baselines(base, new)
+        assert any("crash_matrix.ok" in r for r in cmp.regressions)
+
+
 class TestCommittedBaselines:
     def test_pr2_to_pr4_gate_passes(self):
         old = json.loads((REPO_ROOT / "BENCH_PR2.json").read_text())
@@ -315,3 +391,15 @@ class TestCommittedBaselines:
                 else compare.FASTPATH_TABLE2_FLOOR
             )
             assert row["speedup"] >= floor, row
+
+    def test_committed_recovery_baseline_passes_its_gate(self):
+        assert compare.check_recovery_baseline(REPO_ROOT / "BENCH_PR8.json") == 0
+
+    def test_committed_recovery_baseline_meets_wal_budget(self):
+        new = json.loads((REPO_ROOT / "BENCH_PR8.json").read_text())
+        scenario = new["scenarios"]["recovery"]
+        assert scenario["overhead_fraction"] < compare.WAL_OVERHEAD_BUDGET
+        assert scenario["identical_bytes"]
+        assert scenario["recovery"]["recovered_identical"]
+        matrix = scenario["crash_matrix"]
+        assert matrix["ok"] and matrix["passed"] == matrix["scenarios"]

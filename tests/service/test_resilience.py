@@ -1,0 +1,218 @@
+"""Service resilience: client retry/backoff and boot-time recovery.
+
+The flaky-server tests monkeypatch registry methods on a live
+:class:`ServiceThread` — the service and the test share a process, so an
+instance-attribute shadow on the registry turns a healthy server into a
+deterministically flaky one without touching sockets or timing.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import struct
+
+import pytest
+
+from repro import telemetry
+from repro.recovery import WriteAheadLog, read_wal
+from repro.service.app import ServiceConfig, ServiceThread
+from repro.service.client import (
+    RetryPolicy,
+    ServiceClient,
+    ServiceClientError,
+    _retry_after_seconds,
+)
+from repro.service.middleware import map_exception, problem
+from repro.service.state import StoreRegistry
+from repro.errors import InjectedFaultError
+
+
+class TestRetryPolicy:
+    def test_backoff_without_jitter_is_capped_exponential(self):
+        policy = RetryPolicy(
+            base_delay=0.1, multiplier=2.0, max_delay=0.5, jitter=0.0
+        )
+        rng = random.Random(0)
+        delays = [policy.backoff(n, rng) for n in (1, 2, 3, 4, 5)]
+        assert delays == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+    def test_jitter_stays_within_fraction_and_is_seeded(self):
+        policy = RetryPolicy(base_delay=1.0, max_delay=1.0, jitter=0.5)
+        delays = [policy.backoff(1, random.Random(11)) for _ in range(20)]
+        assert all(0.5 <= d <= 1.5 for d in delays)
+        again = [policy.backoff(1, random.Random(11)) for _ in range(20)]
+        assert delays == again  # same seed, same sequence
+
+    def test_backoff_rejects_non_positive_retry_number(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().backoff(0, random.Random(0))
+
+    def test_retry_after_parsing(self):
+        assert _retry_after_seconds({"retry-after": "2"}) == 2.0
+        assert _retry_after_seconds({"retry-after": "0.25"}) == 0.25
+        assert _retry_after_seconds({}) == 0.0
+        # HTTP-date form is legal but unsupported: fall back to backoff
+        assert (
+            _retry_after_seconds({"retry-after": "Wed, 21 Oct 2015 07:28:00 GMT"})
+            == 0.0
+        )
+        assert _retry_after_seconds({"retry-after": "-3"}) == 0.0
+
+
+class TestRetryAfterHeaders:
+    def test_transient_statuses_carry_retry_after(self):
+        assert problem(503, "t", "d").headers["retry-after"] == "1"
+        assert problem(504, "t", "d").headers["retry-after"] == "1"
+        assert "retry-after" not in problem(400, "t", "d").headers
+
+    def test_mapped_fault_and_io_errors_carry_retry_after(self):
+        fault = map_exception(InjectedFaultError("boom"))
+        assert (fault.status, fault.headers["retry-after"]) == (503, "1")
+        io = map_exception(OSError("disk gone"))
+        assert (io.status, io.headers["retry-after"]) == (503, "1")
+        bad = map_exception(ValueError("nope"))
+        assert "retry-after" not in bad.headers
+
+
+class TestClientRetries:
+    def _flaky(self, server, failures: int, exc: Exception):
+        """Make the live registry's list_documents fail ``failures`` times."""
+        state = server.service.state
+        original = state.list_documents
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] <= failures:
+                raise exc
+            return original()
+
+        state.list_documents = flaky
+        return calls
+
+    def test_retries_until_success_and_honors_retry_after(self, server):
+        calls = self._flaky(server, 2, OSError("transient disk hiccup"))
+        sleeps: list[float] = []
+        client = ServiceClient(
+            port=server.port,
+            retry=RetryPolicy(attempts=4, base_delay=0.01, seed=7),
+            sleep=sleeps.append,
+        )
+        with client:
+            before = telemetry.registry().counter("service.client.retries").value
+            assert client.documents() == []
+        assert calls["n"] == 3
+        assert client.retries == 2
+        assert len(sleeps) == 2
+        # server said Retry-After: 1 and backoff is ~0.01s, so the
+        # header is the floor both times
+        assert all(wait >= 1.0 for wait in sleeps)
+        after = telemetry.registry().counter("service.client.retries").value
+        assert after - before == 2
+
+    def test_exhausted_retries_raise_last_error(self, server):
+        calls = self._flaky(server, 99, OSError("still broken"))
+        sleeps: list[float] = []
+        client = ServiceClient(
+            port=server.port,
+            retry=RetryPolicy(attempts=3, base_delay=0.01, seed=1),
+            sleep=sleeps.append,
+        )
+        with client, pytest.raises(ServiceClientError) as excinfo:
+            client.documents()
+        assert excinfo.value.status == 503
+        assert excinfo.value.problem.get("resumable") is True
+        assert client.retries == 2  # attempts=3 -> two retries
+        assert calls["n"] == 3
+
+    def test_no_policy_means_single_attempt(self, server):
+        calls = self._flaky(server, 99, OSError("still broken"))
+        with ServiceClient(port=server.port) as client:
+            with pytest.raises(ServiceClientError):
+                client.documents()
+            assert client.retries == 0
+        assert calls["n"] == 1
+
+    def test_non_retryable_statuses_fail_fast(self, server):
+        sleeps: list[float] = []
+        client = ServiceClient(
+            port=server.port,
+            retry=RetryPolicy(attempts=4, base_delay=0.01, seed=3),
+            sleep=sleeps.append,
+        )
+        with client, pytest.raises(ServiceClientError) as excinfo:
+            client.document("no-such-doc")
+        assert excinfo.value.status == 404
+        assert client.retries == 0
+        assert sleeps == []
+
+
+def _write_committed_wal(path: str) -> None:
+    wal = WriteAheadLog(path)
+    wal.open()
+    txn = wal.begin([0], labels=["site", "person"], record_limit=64)
+    wal.log_image(txn, 0, b"after-image-bytes")
+    wal.commit(txn)
+    wal.close()
+
+
+class TestBootRecovery:
+    def test_sweep_trims_counts_and_quarantines(self, tmp_path):
+        journal_dir = tmp_path / "journals"
+        journal_dir.mkdir()
+        torn = journal_dir / "doc-1.wal"
+        _write_committed_wal(str(torn))
+        with open(torn, "ab") as handle:
+            handle.write(b"\x99\x00\x00")  # partial frame header
+        lying = journal_dir / "doc-2.wal"
+        # a full frame whose CRC fails, with more bytes following:
+        # interior corruption, must be quarantined not trusted
+        lying.write_bytes(
+            struct.pack("<II", 4, 0) + b"AAAA" + struct.pack("<II", 4, 0) + b"BBBB"
+        )
+        (journal_dir / "doc-3.journal").write_bytes(b"orphaned ingest journal")
+
+        registry = StoreRegistry(str(journal_dir))
+        summary = registry.boot_recovery()
+
+        assert summary["wal_logs"] == 2
+        assert summary["wal_committed_transactions"] == 1
+        assert summary["wal_torn_bytes_trimmed"] == 3
+        assert summary["wal_quarantined"] == 1
+        assert summary["orphan_journals"] == 1
+        assert registry.recovery is summary
+        assert not lying.exists()
+        assert (journal_dir / "doc-2.wal.corrupt").exists()
+        # the torn log is now a clean prefix: re-reading reports no tear
+        state = read_wal(str(torn))
+        assert state.torn_bytes == 0
+        assert len(state.committed) == 1
+
+    def test_missing_journal_dir_is_an_empty_sweep(self, tmp_path):
+        registry = StoreRegistry(str(tmp_path / "never-created"))
+        summary = registry.boot_recovery()
+        assert summary["wal_logs"] == 0
+        assert summary["orphan_journals"] == 0
+
+    def test_healthz_surfaces_boot_sweep(self, fresh_telemetry, tmp_path):
+        journal_dir = tmp_path / "journals"
+        journal_dir.mkdir()
+        wal_path = journal_dir / "doc-9.wal"
+        _write_committed_wal(str(wal_path))
+        with open(wal_path, "ab") as handle:
+            handle.write(b"\x01\x02")
+        (journal_dir / "doc-9.journal").write_bytes(b"leftover")
+
+        config = ServiceConfig(port=0, journal_dir=str(journal_dir))
+        with ServiceThread(config) as server:
+            with ServiceClient(port=server.port) as client:
+                health = client.healthz()
+        recovery = health["recovery"]
+        assert recovery["wal_logs"] == 1
+        assert recovery["wal_torn_bytes_trimmed"] == 2
+        assert recovery["wal_committed_transactions"] == 1
+        assert recovery["orphan_journals"] == 1
+        assert recovery["wal_quarantined"] == 0
+        assert health["status"] == "ok"  # a clean sweep is not degradation
+        assert os.path.exists(wal_path)

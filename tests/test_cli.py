@@ -134,3 +134,82 @@ class TestStatsCommand:
         capsys.readouterr()
         assert not telemetry.enabled()
         assert telemetry.registry().empty
+
+
+class TestRecoverCommand:
+    @staticmethod
+    def _committed_log(tmp_path) -> str:
+        from repro.recovery import WriteAheadLog
+
+        path = str(tmp_path / "store.wal")
+        with WriteAheadLog(path) as wal:
+            txn = wal.begin([0], labels=["site"], record_limit=32)
+            wal.log_image(txn, 0, b"blob")
+            wal.commit(txn)
+        return path
+
+    def test_clean_log_exits_zero(self, tmp_path, capsys):
+        path = self._committed_log(tmp_path)
+        assert main(["recover", path]) == 0
+        out = capsys.readouterr().out
+        assert "committed txn 1" in out
+        assert "clean" in out
+
+    def test_missing_log_reads_as_empty(self, tmp_path, capsys):
+        assert main(["recover", str(tmp_path / "never.wal")]) == 0
+        assert "snapshot: none" in capsys.readouterr().out
+
+    def test_torn_tail_exits_two_until_trimmed(self, tmp_path, capsys):
+        path = self._committed_log(tmp_path)
+        with open(path, "ab") as handle:
+            handle.write(b"\x01\x02\x03")
+
+        assert main(["recover", path]) == 2
+        assert "torn tail: 3B" in capsys.readouterr().out
+        assert main(["recover", path, "--trim"]) == 0
+        assert "trimmed 3B" in capsys.readouterr().out
+        assert main(["recover", path]) == 0
+
+    def test_open_transaction_is_residue(self, tmp_path, capsys):
+        from repro.recovery import WriteAheadLog
+
+        path = str(tmp_path / "store.wal")
+        wal = WriteAheadLog(path).open()
+        wal.begin([0], labels=["site"], record_limit=32)
+        wal.close()
+
+        assert main(["recover", path]) == 2
+        assert "uncommitted" in capsys.readouterr().out
+
+    def test_json_report(self, tmp_path, capsys):
+        import json as json_mod
+
+        path = self._committed_log(tmp_path)
+        assert main(["recover", path, "--json"]) == 0
+        payload = json_mod.loads(capsys.readouterr().out)
+        assert payload["clean"] is True
+        assert payload["frames"] == 3  # BEGIN + IMAGE + COMMIT
+        assert payload["committed_transactions"] == [
+            {"txn_id": 1, "dirty_records": [0], "images": 1}
+        ]
+        assert payload["labels"] == 1
+        assert payload["record_limit"] == 32
+        assert payload["torn_bytes"] == 0
+
+    def test_interior_corruption_exits_one(self, tmp_path, capsys):
+        import struct
+
+        path = str(tmp_path / "store.wal")
+        from repro.recovery import WriteAheadLog
+
+        with WriteAheadLog(path) as wal:
+            for _ in range(2):
+                txn = wal.begin([0], labels=["site"], record_limit=32)
+                wal.commit(txn)
+        data = bytearray(open(path, "rb").read())
+        data[struct.calcsize("<II") + 1] ^= 0x40
+        with open(path, "wb") as handle:
+            handle.write(bytes(data))
+
+        assert main(["recover", path]) == 1
+        assert "interior corruption" in capsys.readouterr().err
