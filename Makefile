@@ -51,6 +51,7 @@ bench:
 	$(PYTHON) benchmarks/harness.py --quick --check --output /dev/null
 	$(PYTHON) benchmarks/compare.py BENCH_PR4.json BENCH_PR5.json
 	$(PYTHON) benchmarks/bench_service.py --quick --check --output /dev/null
+	$(PYTHON) benchmarks/compare.py BENCH_PR7.json BENCH_PR9.json
 	$(PYTHON) benchmarks/bench_recovery.py --quick --check --output /dev/null
 
 faults-smoke:

@@ -55,6 +55,10 @@ TIME_THRESHOLDS = {
 TIME_FLOOR = 0.010
 #: hard ceiling for the disabled-telemetry wrapper overhead fraction
 OVERHEAD_BUDGET = 0.03
+#: hard ceiling on the sampled-tracing overhead fraction a full-run
+#: service baseline may report (quick fan-outs are seconds-scale noise,
+#: so they are not gated)
+TRACING_OVERHEAD_BUDGET = 0.03
 #: fastpath speedup floors a full-run candidate baseline must clear
 #: (mirrors harness.check_baseline; quick baselines are not gated)
 FASTPATH_DUP_FLOOR = 2.0
@@ -220,6 +224,12 @@ def compare_service(cmp: Comparison, old: dict, new: dict) -> None:
     """Diff the service load-generator scenario (deterministic + timing)."""
     for key in ("seed", "concurrency", "requests", "shared_documents", "mix"):
         cmp.exact(f"service.{key}", old.get(key), new.get(key))
+    if "tracing" in old:
+        cmp.exact(
+            "service.tracing.sample_rate",
+            old["tracing"].get("sample_rate"),
+            new.get("tracing", {}).get("sample_rate"),
+        )
     for key, value in old.get("query_reference", {}).items():
         cmp.exact(
             f"service.query_reference.{key}",
@@ -240,7 +250,11 @@ def check_service(cmp: Comparison, new: dict, quick: bool) -> None:
     The three load-generator invariants (zero failed requests, zero
     corrupt reads, lock-exact telemetry) must hold on *every* baseline;
     full-run baselines must additionally have sustained at least
-    ``SERVICE_REQUEST_FLOOR`` concurrent mixed requests.
+    ``SERVICE_REQUEST_FLOOR`` concurrent mixed requests. When the
+    baseline carries a ``tracing`` block (PR 9+), every sampled request
+    of the traced re-run must have resolved to a single joined span tree
+    with engine-level spans, and full-run baselines must keep the
+    sampled-on overhead under ``TRACING_OVERHEAD_BUDGET``.
     """
     cmp.exact("service.failed", 0, new.get("failed"))
     cmp.exact("service.corrupt_reads", 0, new.get("corrupt_reads"))
@@ -250,6 +264,25 @@ def check_service(cmp: Comparison, new: dict, quick: bool) -> None:
             f"service.requests: {new.get('requests')} < "
             f"{SERVICE_REQUEST_FLOOR} full-run floor"
         )
+    tracing = new.get("tracing")
+    if tracing is not None:
+        cmp.exact("service.tracing.unresolved", 0, tracing.get("unresolved"))
+        cmp.exact(
+            "service.tracing.joined_trees",
+            tracing.get("resolved"),
+            tracing.get("joined_trees"),
+        )
+        if not tracing.get("engine_spans"):
+            cmp.regressions.append(
+                "service.tracing.engine_spans: no engine spans joined "
+                "any sampled trace"
+            )
+        if not quick:
+            cmp.bound(
+                "service.tracing.overhead_fraction",
+                tracing.get("overhead_fraction", 1.0),
+                TRACING_OVERHEAD_BUDGET,
+            )
 
 
 def compare_recovery(cmp: Comparison, old: dict, new: dict) -> None:

@@ -12,6 +12,7 @@ PRT001  partitioner mutates the input tree
 PRT002  partitioner overrides ``partition`` instead of ``_partition``
 OBS001  manual wall-clock timing outside ``repro.telemetry``
 OBS002  span opened with a computed name or an empty attrs dict literal
+OBS003  live telemetry span opened inside an ``async def`` body
 RB001   broad exception handler that silently swallows outside test code
 RB002   blocking engine entry point called directly from an async body
 RB003   rename/close on a durability-critical path without a prior fsync
@@ -516,6 +517,89 @@ class SpanHygienePass(LintPass):
         if isinstance(func, ast.Name) and func.id in span_aliases:
             return func.id
         return None
+
+
+@register_lint_pass
+class AsyncSpanPass(LintPass):
+    """The telemetry span stack is **thread-local**: one asyncio loop
+    thread interleaves many requests, so a live ``telemetry.span(...)``
+    held across an ``await`` splices unrelated requests' engine spans
+    into its subtree — and since PR 9 it would also steal the *request
+    trace adoption* that belongs to the executor-side engine spans. The
+    sanctioned patterns are the ones the service already uses: measure
+    with :func:`repro.telemetry.clock` and record a synthetic
+    :class:`~repro.telemetry.SpanRecord` (what the middleware does), or
+    put the span inside the blocking callable that rides
+    ``run_blocking`` (a nested ``def`` / sync function — exempt here,
+    exactly mirroring RB002's frame rule)."""
+
+    code = "OBS003"
+    name = "async-span"
+    description = (
+        "live `telemetry.span(...)`/`Span(...)` opened inside an `async "
+        "def` body; the span stack is thread-local and the loop thread "
+        "interleaves requests — record a synthetic SpanRecord instead, "
+        "or move the span into the offloaded callable"
+    )
+
+    def run(self, ctx: LintContext) -> Iterator[Violation]:
+        for source in ctx.files:
+            filename = source.path.name
+            if filename.startswith("test_") or filename == "conftest.py":
+                continue
+            if source.module.startswith("repro.telemetry"):
+                continue
+            module_aliases, span_aliases = SpanHygienePass._span_bindings(
+                source.tree
+            )
+            if not module_aliases and not span_aliases:
+                continue
+            for node in ast.walk(source.tree):
+                if not isinstance(node, ast.AsyncFunctionDef):
+                    continue
+                for call, opener in self._inline_spans(
+                    node, module_aliases, span_aliases
+                ):
+                    yield Violation(
+                        path=str(source.path),
+                        lineno=call.lineno,
+                        code=self.code,
+                        message=(
+                            f"async `{node.name}` opens a live "
+                            f"`{opener}(...)` on the event loop; the "
+                            "thread-local span stack interleaves requests "
+                            "— record a synthetic `telemetry.SpanRecord` "
+                            "or open the span inside the offloaded "
+                            "callable"
+                        ),
+                    )
+
+    @staticmethod
+    def _inline_spans(
+        fn: ast.AsyncFunctionDef,
+        module_aliases: set[str],
+        span_aliases: dict[str, str],
+    ) -> Iterator[tuple[ast.Call, str]]:
+        """Span-opening call sites executing in ``fn``'s own async frame.
+
+        Explicit-stack walk that does not descend into nested
+        function/lambda scopes — their bodies run wherever they get
+        scheduled (typically on the executor, where a thread-local span
+        stack is exactly right), and the enclosing ``ast.walk`` visits
+        nested ``async def``s on its own.
+        """
+        stack: list[ast.AST] = list(fn.body)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            if isinstance(node, ast.Call):
+                opener = SpanHygienePass._span_call(
+                    node.func, module_aliases, span_aliases
+                )
+                if opener is not None:
+                    yield node, opener
+            stack.extend(ast.iter_child_nodes(node))
 
 
 @register_lint_pass

@@ -196,11 +196,27 @@ def _format_fastpath(comparison: dict) -> str:
 def cmd_stats(args: argparse.Namespace) -> int:
     """Run the whole pipeline under a fresh telemetry registry and dump
     everything that was measured."""
+    tracing = args.traces or args.slow is not None or args.heat
+    tracer = None
+    heat = None
+    trace_token = None
     with telemetry.capture() as reg:
+        if tracing:
+            # one request-style trace for the whole CLI pipeline: the
+            # engine spans below join it exactly like service requests do
+            tracer = telemetry.Tracer(slow_threshold=args.slow)
+            reg.add_sink(tracer)
+            ctx = tracer.begin("cli-stats", path="cli.stats")
+            trace_token = telemetry.set_trace(ctx)
+        if args.heat:
+            heat = telemetry.HeatAccumulator()
+        start = telemetry.clock()
         tree = parse_tree(args.document)
         partitioning = get_algorithm(args.algorithm).partition(tree, args.limit)
         store = DocumentStore.build(tree, partitioning)
         store.warm_up()
+        if heat is not None:
+            heat.attach(args.document, store)
         if args.query:
             run_query(store, args.query)
         if args.with_import:
@@ -208,6 +224,22 @@ def cmd_stats(args: argparse.Namespace) -> int:
 
             loader = BulkLoader(algorithm=args.algorithm, limit=args.limit)
             loader.load(tree_to_xml(tree))
+        elapsed = telemetry.clock() - start
+        if tracer is not None:
+            root = telemetry.SpanRecord(
+                name="cli.stats",
+                path="cli.stats",
+                seconds=elapsed,
+                depth=0,
+                start=start,
+                attrs={"document": args.document},
+                trace_id=ctx.trace_id,
+                span_id=ctx.span_id,
+            )
+            reg.record_span(root)
+            tracer.finish(ctx, root, query=args.query, doc=args.document)
+            telemetry.reset_trace(trace_token)
+        heat_profile = heat.profile() if heat is not None else None
         fastpath = None
         if args.fastpath:
             fastpath = _fastpath_comparison(tree, args.algorithm, args.limit)
@@ -220,6 +252,12 @@ def cmd_stats(args: argparse.Namespace) -> int:
             payload["environment"] = telemetry.environment_fingerprint()
             if fastpath is not None:
                 payload["fastpath"] = fastpath
+            if tracer is not None and args.traces:
+                payload["traces"] = [t.as_dict() for t in tracer.traces()]
+            if tracer is not None and args.slow is not None:
+                payload["slow"] = [e.as_dict() for e in tracer.slow()]
+            if heat_profile is not None:
+                payload["heat"] = heat_profile.as_dict(include_edges=True)
             json.dump(payload, sys.stdout, indent=2, sort_keys=True)
             print()
         else:
@@ -233,6 +271,38 @@ def cmd_stats(args: argparse.Namespace) -> int:
                 print()
                 print("profile (self-time per phase):")
                 print(format_profile(build_profile(reg.trace)))
+            if tracer is not None and args.traces:
+                print()
+                print("traces:")
+                for trace in tracer.traces():
+                    print(telemetry.format_trace(trace))
+            if tracer is not None and args.slow is not None:
+                print()
+                print(f"slow requests (>= {args.slow:g}s):")
+                entries = tracer.slow()
+                if not entries:
+                    print("  none")
+                for entry in entries:
+                    print(
+                        f"  {entry.trace_id}  {entry.seconds * 1000:.3f} ms  "
+                        f"doc={entry.doc}  query={entry.query}"
+                    )
+            if heat_profile is not None:
+                print()
+                print("access heat (hottest partitions):")
+                hottest = heat_profile.hottest()
+                if not hottest:
+                    print("  none (run a --query to generate traffic)")
+                for doc, pid, touches in hottest:
+                    print(f"  {doc}  partition {pid}  touches={touches}")
+                for doc, doc_heat in sorted(heat_profile.docs.items()):
+                    print(
+                        f"  {doc}: {doc_heat.steps} steps, "
+                        f"{doc_heat.cross_steps} cross, "
+                        f"{doc_heat.faults} faults, "
+                        f"{len(doc_heat.edges)} hot edges "
+                        f"(feed repro.partition.workload.heat_aware_lukes)"
+                    )
         if args.chrome_trace:
             from repro.obsv import export_chrome_trace
 
@@ -335,6 +405,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
         journal_dir=args.journal_dir,
         default_algorithm=args.algorithm,
         default_limit=args.limit,
+        tracing=not args.no_tracing,
+        trace_sample_rate=args.trace_sample_rate,
+        trace_buffer=args.trace_buffer,
+        slow_query_seconds=args.slow_query,
+        heat=not args.no_heat,
     )
     return run_service(config)
 
@@ -377,6 +452,27 @@ def _add_stats_arguments(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="also write the span trace as Chrome trace JSON "
         "(open in chrome://tracing or ui.perfetto.dev)",
+    )
+    parser.add_argument(
+        "--traces",
+        action="store_true",
+        help="trace the pipeline as one request-correlated span tree "
+        "and print it (same machinery as the service's /debug/traces)",
+    )
+    parser.add_argument(
+        "--slow",
+        type=float,
+        metavar="SECONDS",
+        default=None,
+        help="enable the slow-query log with this threshold and print "
+        "any entries (same machinery as /debug/slow)",
+    )
+    parser.add_argument(
+        "--heat",
+        action="store_true",
+        help="collect per-partition access heat for the run and print "
+        "the hottest partitions (same machinery as /debug/heat; the "
+        "edge counts feed repro.partition.workload.heat_aware_lukes)",
     )
 
 
@@ -457,6 +553,38 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     p.add_argument("--algorithm", default="ekm", help="default partitioning algorithm (default: ekm)")
     p.add_argument("--limit", type=int, default=256, help="default weight limit K (default: 256)")
+    p.add_argument(
+        "--no-tracing",
+        action="store_true",
+        help="disable request tracing (/debug/traces, /debug/slow)",
+    )
+    p.add_argument(
+        "--trace-sample-rate",
+        type=int,
+        default=1,
+        metavar="N",
+        help="keep 1-in-N traces, deterministic seeded head sampling "
+        "(default: 1 = every request; 0 = none)",
+    )
+    p.add_argument(
+        "--trace-buffer",
+        type=int,
+        default=256,
+        metavar="N",
+        help="completed traces retained for /debug/traces (default: 256)",
+    )
+    p.add_argument(
+        "--slow-query",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="slow-query log threshold for /debug/slow (default: 1.0)",
+    )
+    p.add_argument(
+        "--no-heat",
+        action="store_true",
+        help="disable per-partition access-heat accounting (/debug/heat)",
+    )
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(

@@ -89,3 +89,18 @@ def workload_aware_lukes(
     """
     counts = profile_workload(tree, queries)
     return lukes_partition(tree, limit, edge_weight=workload_edge_weight(counts, base))
+
+
+def heat_aware_lukes(
+    tree: Tree, limit: int, profile, doc: str, base: int = 1
+) -> tuple[int, Partitioning]:
+    """Run Lukes' DP with *observed* edge weights from live telemetry.
+
+    ``profile`` is a :class:`repro.telemetry.heat.HeatProfile` (as
+    returned by ``HeatAccumulator.profile()``, ``GET /debug/heat`` or
+    ``repro-stats --heat``); its oriented traversal counts for ``doc``
+    are consumed verbatim by :func:`workload_edge_weight`, closing the
+    telemetry→repartitioning loop for hot documents.
+    """
+    counts = profile.edge_counts(doc)
+    return lukes_partition(tree, limit, edge_weight=workload_edge_weight(counts, base))

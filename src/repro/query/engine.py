@@ -316,8 +316,9 @@ def run_query(
     the paper's protocol)."""
     config = config or store.config
     store.stats.reset()
-    with telemetry.span("query.run", xpath=xpath):
+    with telemetry.span("query.run", xpath=xpath) as sp:
         results = evaluate(store, xpath)
+        sp.attrs["results"] = len(results)
     stats = store.stats
     if telemetry.enabled():
         telemetry.count("query.runs")

@@ -23,6 +23,7 @@ setup) can start/stop one with a context manager.
 from __future__ import annotations
 
 import asyncio
+import contextvars
 import functools
 import os
 import shutil
@@ -95,6 +96,18 @@ class ServiceConfig:
     default_limit: int = 256
     #: turn the telemetry registry on at startup (metrics endpoints need it)
     enable_telemetry: bool = True
+    #: request-correlated tracing (needs telemetry; ``/debug/traces``)
+    tracing: bool = True
+    #: head-sampling: keep 1-in-N traces (1 = all, 0 = none)
+    trace_sample_rate: int = 1
+    #: completed traces retained in the ring buffer
+    trace_buffer: int = 256
+    #: seed for the deterministic sampling decision
+    trace_seed: int = 2006
+    #: requests slower than this land in ``/debug/slow`` (None = off)
+    slow_query_seconds: Optional[float] = 1.0
+    #: per-(document, partition) access-heat accounting (``/debug/heat``)
+    heat: bool = True
 
 
 class Router:
@@ -155,14 +168,27 @@ class DocumentService:
         else:
             journal_dir = tempfile.mkdtemp(prefix="repro-service-")
             self._owns_journal_dir = True
+        self.tracer: Optional[telemetry.Tracer] = None
+        if self.config.tracing and self.config.enable_telemetry:
+            self.tracer = telemetry.Tracer(
+                capacity=self.config.trace_buffer,
+                sample_rate=self.config.trace_sample_rate,
+                seed=self.config.trace_seed,
+                slow_threshold=self.config.slow_query_seconds,
+            )
+        self.heat: Optional[telemetry.HeatAccumulator] = (
+            telemetry.HeatAccumulator() if self.config.heat else None
+        )
         self.state = StoreRegistry(
             journal_dir,
             default_algorithm=self.config.default_algorithm,
             default_limit=self.config.default_limit,
+            heat=self.heat,
         )
         self.middleware = MiddlewareStack(
             max_concurrency=self.config.max_concurrency,
             request_timeout=self.config.request_timeout,
+            tracer=self.tracer,
         )
         self.router = Router()
         Handlers(self).install(self.router)
@@ -180,6 +206,11 @@ class DocumentService:
     async def start(self) -> "DocumentService":
         if self.config.enable_telemetry:
             telemetry.enable()
+        if self.tracer is not None:
+            # the tracer collects request-correlated spans as a registry
+            # sink; span records from executor threads reach it through
+            # the normal record_span fan-out
+            telemetry.registry().add_sink(self.tracer)
         self._executor = ThreadPoolExecutor(
             max_workers=self.config.workers, thread_name_prefix="repro-service"
         )
@@ -211,6 +242,11 @@ class DocumentService:
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
+        if self.tracer is not None:
+            try:
+                telemetry.registry().remove_sink(self.tracer)
+            except ValueError:
+                pass  # registry was swapped under us (capture/bench runs)
         if self._owns_journal_dir:
             shutil.rmtree(self.state.journal_dir, ignore_errors=True)
 
@@ -221,13 +257,17 @@ class DocumentService:
         requires: async handler bodies must route blocking engine entry
         points (parse / partition / ingest / query) through here so the
         event loop keeps serving sockets while the engine works.
+
+        The current :mod:`contextvars` context is copied onto the worker
+        thread, so the request's :class:`~repro.telemetry.TraceContext`
+        survives the executor hop and engine spans opened there join the
+        request's span tree instead of forming orphan per-thread traces.
         """
         loop = asyncio.get_running_loop()
-        if kwargs:
-            return await loop.run_in_executor(
-                self._executor, functools.partial(fn, *args, **kwargs)
-            )
-        return await loop.run_in_executor(self._executor, fn, *args)
+        ctx = contextvars.copy_context()
+        return await loop.run_in_executor(
+            self._executor, functools.partial(ctx.run, fn, *args, **kwargs)
+        )
 
     # -- connection handling ---------------------------------------------
 

@@ -282,3 +282,26 @@ class ServiceClient:
                 f"GET /metrics -> {status}", status=status
             )
         return data.decode("utf-8")
+
+    def debug_traces(self) -> dict[str, Any]:
+        return self.request_json("GET", "/debug/traces")
+
+    def debug_trace(self, trace_id: str, chrome: bool = False) -> dict[str, Any]:
+        """One sampled trace; ``chrome=True`` fetches the Chrome-trace
+        JSON payload (round-trips through
+        :func:`repro.obsv.chrometrace.load_chrome_trace`)."""
+        params = {"format": "chrome"} if chrome else None
+        return self.request_json(
+            "GET", f"/debug/traces/{trace_id}", params=params
+        )
+
+    def debug_slow(self) -> dict[str, Any]:
+        return self.request_json("GET", "/debug/slow")
+
+    def debug_heat(
+        self, top: Optional[int] = None, edges: bool = False
+    ) -> dict[str, Any]:
+        params: dict[str, Any] = {"top": top}
+        if edges:
+            params["edges"] = "1"
+        return self.request_json("GET", "/debug/heat", params=params)

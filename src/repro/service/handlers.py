@@ -6,19 +6,30 @@ Async methods here never touch the engine directly: every blocking call
 sockets and JSON. repro-lint rule RB002 enforces the discipline for the
 engine entry points.
 
-Exceptions are the two observability endpoints: ``/healthz`` and
-``/metrics`` read the telemetry registry (internally locked, microsecond
-critical sections) directly on the loop so they stay responsive even
-when the worker pool is saturated with ingests — exactly when you want a
-health probe to answer.
+Exceptions are the observability endpoints: ``/healthz``, ``/metrics``
+and the trace-reading ``/debug/*`` endpoints read the telemetry
+registry / tracer (all internally locked, microsecond critical
+sections) directly on the loop so they stay responsive even when the
+worker pool is saturated with ingests — exactly when you want a health
+probe or a trace lookup to answer. ``/debug/heat`` is the one debug
+route that *does* offload: orienting raw hop tallies onto tree edges is
+O(distinct hops), engine-grade work that belongs on the executor.
 """
 
 from __future__ import annotations
 
+import json
+
 from typing import TYPE_CHECKING
 
 from repro import telemetry
-from repro.service.middleware import Request, Response, ValidationError
+from repro.obsv.chrometrace import CHROME_SCHEMA, chrome_trace_events
+from repro.service.middleware import (
+    DocumentNotFoundError,
+    Request,
+    Response,
+    ValidationError,
+)
 
 if TYPE_CHECKING:  # import cycle: app builds Handlers
     from repro.service.app import DocumentService, Router
@@ -54,6 +65,12 @@ class Handlers:
         router.add("GET", "/documents/{doc_id}", self.document_info, "document")
         router.add("DELETE", "/documents/{doc_id}", self.delete_document, "delete")
         router.add("GET", "/documents/{doc_id}/query", self.query, "query")
+        router.add("GET", "/debug/traces", self.debug_traces, "debug_traces")
+        router.add(
+            "GET", "/debug/traces/{trace_id}", self.debug_trace, "debug_trace"
+        )
+        router.add("GET", "/debug/slow", self.debug_slow, "debug_slow")
+        router.add("GET", "/debug/heat", self.debug_heat, "debug_heat")
 
     # -- document lifecycle ----------------------------------------------
 
@@ -121,6 +138,10 @@ class Handlers:
                     "DELETE /documents/{doc_id}",
                     "GET /healthz",
                     "GET /metrics",
+                    "GET /debug/traces",
+                    "GET /debug/traces/{trace_id}",
+                    "GET /debug/slow",
+                    "GET /debug/heat",
                 ],
             }
         )
@@ -169,4 +190,89 @@ class Handlers:
         return Response.text(
             telemetry.prometheus_text(reg),
             content_type=telemetry.PROMETHEUS_CONTENT_TYPE,
+        )
+
+    # -- debug: tracing / slow queries / heat -----------------------------
+
+    def _tracer(self) -> "telemetry.Tracer":
+        tracer = self.service.tracer
+        if tracer is None:
+            raise ValidationError(
+                "tracing is disabled for this service instance "
+                "(ServiceConfig.tracing)"
+            )
+        return tracer
+
+    async def debug_traces(self, request: Request) -> Response:
+        """``GET /debug/traces`` — recent sampled traces, oldest first."""
+        tracer = self._tracer()
+        return Response.json(
+            {
+                "tracing": tracer.stats(),
+                "sample_rate": tracer.sample_rate,
+                "traces": [trace.summary() for trace in tracer.traces()],
+            }
+        )
+
+    async def debug_trace(self, request: Request) -> Response:
+        """``GET /debug/traces/{trace_id}[?format=chrome]`` — one span tree.
+
+        ``?format=chrome`` renders the trace through the PR 4
+        Chrome-trace exporter: the payload round-trips through
+        :func:`repro.obsv.chrometrace.load_chrome_trace` and opens in
+        ``chrome://tracing`` / Perfetto.
+        """
+        tracer = self._tracer()
+        trace_id = request.path_params["trace_id"]
+        trace = tracer.trace(trace_id)
+        if trace is None:
+            raise DocumentNotFoundError(
+                f"no sampled trace {trace_id!r} in the ring buffer "
+                f"(capacity {tracer.capacity})"
+            )
+        fmt = request.params.get("format")
+        if fmt in ("chrome", "perfetto"):
+            payload = {
+                "traceEvents": chrome_trace_events(trace.spans),
+                "displayTimeUnit": "ms",
+                "otherData": {
+                    "schema": CHROME_SCHEMA,
+                    "trace_id": trace.trace_id,
+                },
+            }
+            return Response.text(
+                json.dumps(payload, sort_keys=True) + "\n",
+                content_type="application/json",
+            )
+        if fmt is not None:
+            raise ValidationError(
+                f"unknown trace format {fmt!r} (use chrome)"
+            )
+        return Response.json(trace.as_dict())
+
+    async def debug_slow(self, request: Request) -> Response:
+        """``GET /debug/slow`` — requests over the slow-query threshold."""
+        tracer = self._tracer()
+        return Response.json(
+            {
+                "threshold_seconds": tracer.slow_threshold,
+                "slow": [entry.as_dict() for entry in tracer.slow()],
+            }
+        )
+
+    async def debug_heat(self, request: Request) -> Response:
+        """``GET /debug/heat[?top=N][&edges=1]`` — access heat per
+        (document, partition); ``edges=1`` includes the oriented edge
+        counts that feed ``repro.partition.workload``."""
+        heat = self.service.heat
+        if heat is None:
+            raise ValidationError(
+                "heat accounting is disabled for this service instance "
+                "(ServiceConfig.heat)"
+            )
+        top = request.param_int("top", default=10, minimum=1)
+        include_edges = request.param_flag("edges")
+        profile = await self.service.run_blocking(heat.profile)
+        return Response.json(
+            profile.as_dict(top=top, include_edges=include_edges)
         )

@@ -24,7 +24,17 @@ The :class:`MiddlewareStack` wraps every routed handler call with
   many requests), so the middleware measures with
   :func:`repro.telemetry.clock` and records a synthetic
   :class:`~repro.telemetry.SpanRecord` per request instead of nesting a
-  live ``Span`` across awaits.
+  live ``Span`` across awaits,
+* **request tracing** — when a :class:`~repro.telemetry.Tracer` is
+  attached, each request gets a
+  :class:`~repro.telemetry.TraceContext` minted from an inbound W3C
+  ``traceparent`` or ``X-Request-Id`` header (or the synthesized
+  request id) and installed in a ``contextvars`` variable for the
+  handler's duration. ``DocumentService.run_blocking`` copies that
+  context onto the executor, so engine spans join the request's span
+  tree; the middleware's synthetic root record carries the trace/span
+  ids and is handed to ``Tracer.finish`` together with the request's
+  query text and document id for the slow-query log.
 
 Middleware counters (``_next_request_id``, ``_inflight``) are plain
 ints: they are touched only from the single event-loop thread, never
@@ -289,11 +299,18 @@ class _Saturated(Exception):
 
 
 class MiddlewareStack:
-    """Per-request pipeline: id, admission, timeout, timing, error mapping."""
+    """Per-request pipeline: id, admission, timeout, timing, tracing,
+    error mapping."""
 
-    def __init__(self, max_concurrency: int = 64, request_timeout: float = 30.0):
+    def __init__(
+        self,
+        max_concurrency: int = 64,
+        request_timeout: float = 30.0,
+        tracer: Optional[telemetry.Tracer] = None,
+    ):
         self.max_concurrency = max_concurrency
         self.request_timeout = request_timeout
+        self.tracer = tracer
         self._semaphore = asyncio.Semaphore(max_concurrency)
         self._next_request_id = 0
         self._inflight = 0
@@ -303,6 +320,21 @@ class MiddlewareStack:
         """Requests currently admitted (loop-thread read)."""
         return self._inflight
 
+    def _begin_trace(self, request: Request) -> Optional[telemetry.TraceContext]:
+        """Mint the request's :class:`TraceContext` from inbound headers."""
+        trace_id = request.request_id
+        remote_parent: Optional[str] = None
+        parsed = telemetry.parse_traceparent(
+            request.headers.get("traceparent", "")
+        )
+        if parsed is not None:
+            trace_id, remote_parent, _sampled = parsed
+        return self.tracer.begin(
+            trace_id,
+            path=f"service.request/{request.route_name}",
+            remote_parent=remote_parent,
+        )
+
     async def run(self, request: Request, handler: Handler) -> Response:
         self._next_request_id += 1
         request.request_id = (
@@ -311,6 +343,11 @@ class MiddlewareStack:
         )
         telemetry.count("service.requests")
         telemetry.count(f"service.requests.{request.route_name}")
+        ctx: Optional[telemetry.TraceContext] = None
+        token = None
+        if self.tracer is not None and telemetry.enabled():
+            ctx = self._begin_trace(request)
+            token = telemetry.set_trace(ctx)
         start = telemetry.clock()
         error: Optional[str] = None
         try:
@@ -338,8 +375,11 @@ class MiddlewareStack:
         except Exception as exc:
             error = type(exc).__name__
             response = map_exception(exc, request.request_id)
+        finally:
+            if token is not None:
+                telemetry.reset_trace(token)
         elapsed = telemetry.clock() - start
-        self._finish(request, response, start, elapsed, error)
+        self._finish(request, response, start, elapsed, error, ctx)
         return response
 
     async def _admit_and_call(self, request: Request, handler: Handler) -> Response:
@@ -366,25 +406,37 @@ class MiddlewareStack:
         start: float,
         elapsed: float,
         error: Optional[str],
+        ctx: Optional[telemetry.TraceContext] = None,
     ) -> None:
         response.headers.setdefault("x-request-id", request.request_id)
         telemetry.count(f"service.responses.{response.status // 100}xx")
-        telemetry.observe("service.request.seconds", elapsed)
+        exemplar = ctx.trace_id if ctx is not None and ctx.sampled else None
+        telemetry.observe("service.request.seconds", elapsed, exemplar=exemplar)
         telemetry.observe(f"service.route.{request.route_name}.seconds", elapsed)
         if telemetry.enabled():
-            telemetry.registry().record_span(
-                telemetry.SpanRecord(
-                    name="service.request",
-                    path=f"service.request/{request.route_name}",
-                    seconds=elapsed,
-                    depth=0,
-                    start=start,
-                    error=error,
-                    attrs={
-                        "route": request.route_name,
-                        "method": request.method,
-                        "status": response.status,
-                        "request_id": request.request_id,
-                    },
-                )
+            attrs = {
+                "route": request.route_name,
+                "method": request.method,
+                "status": response.status,
+                "request_id": request.request_id,
+            }
+            doc = request.path_params.get("doc_id") or request.params.get("id")
+            xpath = request.params.get("xpath")
+            if doc:
+                attrs["doc"] = doc
+            if xpath:
+                attrs["xpath"] = xpath
+            root = telemetry.SpanRecord(
+                name="service.request",
+                path=f"service.request/{request.route_name}",
+                seconds=elapsed,
+                depth=0,
+                start=start,
+                error=error,
+                attrs=attrs,
+                trace_id=ctx.trace_id if ctx is not None else None,
+                span_id=ctx.span_id if ctx is not None else None,
             )
+            telemetry.registry().record_span(root)
+            if ctx is not None and self.tracer is not None:
+                self.tracer.finish(ctx, root, query=xpath, doc=doc)

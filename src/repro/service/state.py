@@ -164,10 +164,14 @@ class StoreRegistry:
         journal_dir: str,
         default_algorithm: str = "ekm",
         default_limit: int = 256,
+        heat: Optional[telemetry.HeatAccumulator] = None,
     ):
         self.journal_dir = journal_dir
         self.default_algorithm = default_algorithm
         self.default_limit = default_limit
+        #: optional live access-heat accounting; ready stores get a
+        #: ``heat_sink`` attached under their doc id
+        self.heat = heat
         self._lock = threading.Lock()
         self._entries: dict[str, DocumentEntry] = {}  # repro: guarded-by(_lock)
         self._seq = 0  # repro: guarded-by(_lock)
@@ -322,6 +326,8 @@ class StoreRegistry:
                 telemetry.count("service.documents.failed")
                 raise
             entry.apply_result(result, store)
+            if self.heat is not None:
+                self.heat.attach(entry.doc_id, store)
             if journal_path is not None and os.path.exists(journal_path):
                 os.remove(journal_path)  # load completed; nothing to resume
             entry.journal_path = None
@@ -403,6 +409,8 @@ class StoreRegistry:
                 self._entries.pop(doc_id, None)
             if entry.journal_path is not None and os.path.exists(entry.journal_path):
                 os.remove(entry.journal_path)
+            if self.heat is not None:
+                self.heat.detach(doc_id)
             entry.store = None
             entry.status = "deleted"
         telemetry.count("service.documents.deleted")

@@ -105,14 +105,20 @@ class RecordNavigator:
         return decoded.record.nodes[decoded.slot_of[node_id]]
 
     def _charge(self, source_id: int, target_id: int) -> None:
+        heat_sink = self.store.heat_sink
         if self._record_of(source_id) == self._record_of(target_id):
             self.stats.intra_steps += 1
+            if heat_sink is not None:
+                heat_sink(source_id, target_id, False)
             return
         self.stats.cross_steps += 1
         page_id = self.store.manager.page_of_record[self._record_of(target_id)]
-        if not self.store.buffer.is_cached(page_id):
+        fault = not self.store.buffer.is_cached(page_id)
+        if fault:
             self.stats.page_faults += 1
         self.store.buffer.fetch(page_id)
+        if heat_sink is not None:
+            heat_sink(source_id, target_id, fault)
 
     def _children_ids(self, node_id: int) -> list[int]:
         """All children (in-record + proxied), in sibling order."""

@@ -71,6 +71,11 @@ class DocumentStore:
         #: optional hook called with (source_id, target_id) on every
         #: navigation step — used by workload profiling
         self.edge_recorder = None
+        #: optional hook called with (source_id, target_id, fault) on
+        #: every navigation step — used by live access-heat accounting
+        #: (see :mod:`repro.telemetry.heat`); ``fault`` is True when the
+        #: step caused a page fault
+        self.heat_sink = None
         #: optional write-ahead log (see :meth:`attach_wal`); updates
         #: flushed through :class:`~repro.storage.updates.StoreUpdater`
         #: become crash-recoverable once one is attached
@@ -175,6 +180,7 @@ class DocumentStore:
         store.config = config
         store.stats = NavigationStats()
         store.edge_recorder = None
+        store.heat_sink = None
         store.wal = None
         store.labels = []
         store._label_ids = {}
@@ -243,6 +249,8 @@ class DocumentStore:
             self.edge_recorder(source_id, target_id)
         if self.record_of[source_id] == self.record_of[target_id]:
             self.stats.intra_steps += 1
+            if self.heat_sink is not None:
+                self.heat_sink(source_id, target_id, False)
             return
         self.stats.cross_steps += 1
         page_id = self.manager.page_of_record[self.record_of[target_id]]
@@ -250,6 +258,8 @@ class DocumentStore:
         self.buffer.fetch(page_id)
         if not cached:
             self.stats.page_faults += 1
+        if self.heat_sink is not None:
+            self.heat_sink(source_id, target_id, not cached)
 
     def simulated_cost(self) -> float:
         return self.stats.cost(self.config)

@@ -37,20 +37,26 @@ from repro.telemetry.core import (
     Sink,
     Span,
     SpanRecord,
+    TraceContext,
     capture,
     clock,
     count,
     current_span,
+    current_trace,
     disable,
     enable,
     enabled,
     enabled_scope,
     gauge_max,
     gauge_set,
+    next_span_id,
     observe,
     registry,
+    reset_trace,
     set_registry,
+    set_trace,
     span,
+    trace_scope,
 )
 from repro.telemetry.env import environment_fingerprint
 from repro.telemetry.export import (
@@ -62,22 +68,38 @@ from repro.telemetry.export import (
     prometheus_text,
     snapshot,
 )
+from repro.telemetry.heat import DocumentHeat, HeatAccumulator, HeatProfile
+from repro.telemetry.trace import (
+    SlowQuery,
+    Trace,
+    Tracer,
+    format_trace,
+    parse_traceparent,
+)
 
 __all__ = [
     "Counter",
+    "DocumentHeat",
     "Gauge",
+    "HeatAccumulator",
+    "HeatProfile",
     "Histogram",
     "JsonLinesSink",
     "MetricRegistry",
     "PROMETHEUS_CONTENT_TYPE",
     "SCHEMA",
     "Sink",
+    "SlowQuery",
     "Span",
     "SpanRecord",
+    "Trace",
+    "TraceContext",
+    "Tracer",
     "capture",
     "clock",
     "count",
     "current_span",
+    "current_trace",
     "disable",
     "enable",
     "enabled",
@@ -85,13 +107,19 @@ __all__ = [
     "environment_fingerprint",
     "export_jsonl",
     "format_metrics",
+    "format_trace",
     "gauge_max",
     "gauge_set",
     "load_jsonl",
+    "next_span_id",
     "observe",
+    "parse_traceparent",
     "prometheus_text",
     "registry",
+    "reset_trace",
     "set_registry",
+    "set_trace",
     "snapshot",
     "span",
+    "trace_scope",
 ]

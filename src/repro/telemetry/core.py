@@ -35,7 +35,8 @@ from __future__ import annotations
 import os
 import threading
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from contextvars import ContextVar, Token
+from dataclasses import dataclass, field, replace
 from time import perf_counter
 from typing import Any, Iterator, Optional, Protocol, TextIO
 
@@ -162,7 +163,7 @@ class Histogram:
 
     __slots__ = (
         "name", "count", "total", "min", "max", "last", "_samples", "_stride",
-        "_tick", "_lock",
+        "_tick", "_lock", "exemplar",
     )
 
     def __init__(self, name: str, lock: Optional[threading.RLock] = None):
@@ -176,12 +177,17 @@ class Histogram:
         self._samples: list[float] = []  # repro: guarded-by(_lock)
         self._stride = 1  # repro: guarded-by(_lock)
         self._tick = 0  # repro: guarded-by(_lock)
+        #: latest ``(trace_id, value)`` annotation, exemplar-style — ties
+        #: the aggregate back to one concrete sampled request
+        self.exemplar: Optional[tuple[str, float]] = None  # repro: guarded-by(_lock)
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: Optional[str] = None) -> None:
         with self._lock:
             self.count += 1
             self.total += value
             self.last = value
+            if exemplar is not None:
+                self.exemplar = (exemplar, value)
             if self.min is None or value < self.min:
                 self.min = value
             if self.max is None or value > self.max:
@@ -230,6 +236,89 @@ class Histogram:
 
 
 # ---------------------------------------------------------------------------
+# Trace context — request correlation across threads and the event loop
+# ---------------------------------------------------------------------------
+
+
+#: process-wide span-id mint; ids only need to be unique, not dense
+_span_id_lock = threading.Lock()
+_span_id_next = 0
+
+
+def next_span_id() -> int:
+    """A fresh process-unique span id (monotonic, thread-safe)."""
+    global _span_id_next
+    with _span_id_lock:
+        _span_id_next += 1
+        return _span_id_next
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The request-scoped identity a span tree hangs from.
+
+    Created once per request (by the service middleware, or by
+    :func:`trace_scope` in CLI sessions) and carried in a
+    :class:`~contextvars.ContextVar`, so it follows a logical request
+    across ``await`` points — unlike the thread-local span stack, which
+    is per-OS-thread. ``DocumentService.run_blocking`` copies the
+    current context onto the executor thread, so engine spans opened on
+    a worker thread still see the request's :class:`TraceContext` and
+    join its span tree instead of forming an orphan per-thread trace.
+
+    ``sampled`` is the head-sampling decision: linkage (trace/span ids
+    on records) happens for *every* traced request; only retention in
+    the :class:`~repro.telemetry.trace.Tracer` ring buffer is gated.
+    """
+
+    trace_id: str
+    #: span id of the request root (spans opened with no local parent
+    #: attach here)
+    span_id: int
+    #: root span path; child paths extend it slash-joined
+    path: str
+    depth: int = 0
+    sampled: bool = True
+    #: span id carried in an inbound ``traceparent`` header, if any
+    remote_parent: Optional[str] = None
+
+    def child_of(self, span_id: int, path: str, depth: int) -> "TraceContext":
+        """Rebase the context under an already-open span (executor hop)."""
+        return replace(self, span_id=span_id, path=path, depth=depth)
+
+
+_trace_var: ContextVar[Optional[TraceContext]] = ContextVar(
+    "repro_trace_context", default=None
+)
+
+
+def current_trace() -> Optional[TraceContext]:
+    """The :class:`TraceContext` of the logical request, if one is active."""
+    return _trace_var.get()
+
+
+def set_trace(ctx: Optional[TraceContext]) -> Token:
+    """Install ``ctx`` for the current logical context; returns the reset
+    token."""
+    return _trace_var.set(ctx)
+
+
+def reset_trace(token: Token) -> None:
+    """Undo a matching :func:`set_trace`."""
+    _trace_var.reset(token)
+
+
+@contextmanager
+def trace_scope(ctx: TraceContext) -> Iterator[TraceContext]:
+    """Run a block under ``ctx``; restores the previous context on exit."""
+    token = _trace_var.set(ctx)
+    try:
+        yield ctx
+    finally:
+        _trace_var.reset(token)
+
+
+# ---------------------------------------------------------------------------
 # Spans and sinks
 # ---------------------------------------------------------------------------
 
@@ -249,6 +338,11 @@ class SpanRecord:
     start: float = 0.0
     error: Optional[str] = None
     attrs: dict[str, Any] = field(default_factory=dict)
+    #: request correlation — set only when the span ran under an active
+    #: :class:`TraceContext`
+    trace_id: Optional[str] = None
+    span_id: Optional[int] = None
+    parent_id: Optional[int] = None
 
     def as_dict(self) -> dict[str, Any]:
         out: dict[str, Any] = {
@@ -262,6 +356,10 @@ class SpanRecord:
             out["error"] = self.error
         if self.attrs:
             out["attrs"] = self.attrs
+        if self.trace_id is not None:
+            out["trace_id"] = self.trace_id
+            out["span_id"] = self.span_id
+            out["parent_id"] = self.parent_id
         return out
 
 
@@ -424,11 +522,16 @@ def count(name: str, n: int = 1) -> None:
     _registry.counter(name).inc(n)
 
 
-def observe(name: str, value: float) -> None:
-    """Feed ``value`` into histogram ``name`` (no-op while disabled)."""
+def observe(name: str, value: float, exemplar: Optional[str] = None) -> None:
+    """Feed ``value`` into histogram ``name`` (no-op while disabled).
+
+    ``exemplar`` optionally annotates the histogram with the trace id of
+    the request that produced this observation (Prometheus
+    exemplar-style; surfaced by :func:`prometheus_text`).
+    """
     if not _enabled:
         return
-    _registry.histogram(name).observe(value)
+    _registry.histogram(name).observe(value, exemplar=exemplar)
 
 
 def gauge_set(name: str, value: float) -> None:
@@ -494,7 +597,10 @@ class Span:
     swallowed.
     """
 
-    __slots__ = ("name", "attrs", "path", "depth", "elapsed", "_recording", "_start")
+    __slots__ = (
+        "name", "attrs", "path", "depth", "elapsed", "_recording", "_start",
+        "trace_id", "span_id", "parent_id",
+    )
 
     def __init__(self, name: str, attrs: dict[str, Any]):
         self.name = name
@@ -504,6 +610,9 @@ class Span:
         self.elapsed: float = 0.0
         self._recording = False
         self._start: float = 0.0
+        self.trace_id: Optional[str] = None
+        self.span_id: Optional[int] = None
+        self.parent_id: Optional[int] = None
 
     def __enter__(self) -> "Span":
         self._recording = _enabled
@@ -513,6 +622,21 @@ class Span:
                 parent = stack[-1]
                 self.path = f"{parent.path}/{self.name}"
                 self.depth = len(stack)
+                if parent.trace_id is not None:
+                    self.trace_id = parent.trace_id
+                    self.parent_id = parent.span_id
+                    self.span_id = next_span_id()
+            else:
+                ctx = _trace_var.get()
+                if ctx is not None:
+                    # Root of a thread-local subtree under an active
+                    # request: hang it off the request's context so the
+                    # whole tree joins one trace.
+                    self.path = f"{ctx.path}/{self.name}"
+                    self.depth = ctx.depth + 1
+                    self.trace_id = ctx.trace_id
+                    self.parent_id = ctx.span_id
+                    self.span_id = next_span_id()
             stack.append(self)
         self._start = perf_counter()
         return self
@@ -536,6 +660,9 @@ class Span:
                     start=self._start,
                     error=exc_type.__name__ if exc_type is not None else None,
                     attrs=self.attrs,
+                    trace_id=self.trace_id,
+                    span_id=self.span_id,
+                    parent_id=self.parent_id,
                 )
             )
         return False  # never swallow exceptions

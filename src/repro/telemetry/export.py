@@ -170,6 +170,16 @@ def prometheus_text(reg: Optional[MetricRegistry] = None) -> str:
     * histograms → Prometheus *summaries*: ``{quantile="0.5|0.95|0.99"}``
       samples from the deterministic reservoir plus ``_sum``/``_count``.
 
+    A histogram carrying an exemplar (the trace id of the request behind
+    its latest annotated observation) additionally emits an
+    exemplar-style comment line — summaries cannot carry OpenMetrics
+    ``#``-exemplar syntax proper, and a comment keeps the exposition
+    parseable by every scraper while still surfacing the trace id::
+
+        # EXEMPLAR repro_service_request_seconds trace_id="req-0001" value=0.0123
+
+    Registries without exemplars render byte-identically to before.
+
     Registry names are sanitized via :func:`_prom_name` (dots become
     underscores, everything gains a ``repro_`` prefix).
     """
@@ -194,6 +204,13 @@ def prometheus_text(reg: Optional[MetricRegistry] = None) -> str:
                 lines.append(f'{metric}{{quantile="{label}"}} {_prom_value(value)}')
         lines.append(f"{metric}_sum {_prom_value(histogram.total)}")
         lines.append(f"{metric}_count {_prom_value(histogram.count)}")
+        exemplar = histogram.exemplar
+        if exemplar is not None:
+            trace_id, value = exemplar
+            lines.append(
+                f'# EXEMPLAR {metric} trace_id="{trace_id}" '
+                f"value={_prom_value(value)}"
+            )
     if not lines:
         return ""
     return "\n".join(lines) + "\n"

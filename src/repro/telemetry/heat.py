@@ -1,0 +1,247 @@
+"""Access-heat accounting per ``(document, partition)``.
+
+The ROADMAP's "close the loop from query telemetry to placement" item
+needs one missing ingredient: *observed* axis-traversal counts, per
+document, in the units of the paper's navigation cost model (intra
+steps, cross-record steps, page faults). This module collects them live:
+
+* :class:`HeatAccumulator` attaches a per-document hook to
+  ``DocumentStore.heat_sink`` (the same zero-cost pattern as the
+  existing ``edge_recorder``: a single ``is not None`` branch on the
+  navigation hot path when heat is off). The hook does the absolute
+  minimum per hop — one ``list.append`` of the raw ``(source_id,
+  target_id, fault)`` triple into a bounded buffer (appends are atomic
+  under the GIL, so the hot path takes **no lock**); a lock is only
+  touched every :data:`_FLUSH_AT` hops, when the buffer drains into the
+  ``Counter`` tallies.
+
+* :meth:`HeatAccumulator.profile` does everything expensive lazily, at
+  read time: hops are *oriented* onto parent→child tree edges (sibling
+  hops credit both endpoints' parent edges, exactly like
+  :func:`repro.partition.workload.profile_workload`) and aggregated per
+  partition via the store's record assignment.
+
+The resulting :class:`HeatProfile` is the bridge to repartitioning:
+:meth:`HeatProfile.edge_counts` returns a ``Counter`` keyed
+``(parent_id, child_id)`` — the exact shape
+:func:`repro.partition.workload.workload_edge_weight` consumes — so
+observed heat feeds Lukes' DP verbatim (see
+:func:`repro.partition.workload.heat_aware_lukes`).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+#: hops buffered per document before a locked drain into the tallies —
+#: bounds both the buffer memory and the amortized per-hop lock cost
+_FLUSH_AT = 8192
+
+
+class _DocHeat:
+    """Raw hop tallies for one attached document.
+
+    ``buffer`` is the only structure the navigation hot path touches:
+    executor threads ``append`` concurrently without the lock (list
+    appends are atomic under the GIL; the drain below only ever removes
+    a prefix it has already copied, so concurrent tail appends survive).
+    """
+
+    __slots__ = ("store", "lock", "buffer", "hops", "fault_hops")
+
+    def __init__(self, store):
+        self.store = store
+        self.lock = threading.Lock()
+        #: undrained (source_id, target_id, fault) hops, append-only
+        self.buffer: list = []
+        #: (source_id, target_id) -> hop count
+        self.hops: Counter = Counter()  # repro: guarded-by(lock)
+        #: (source_id, target_id) -> page-fault count
+        self.fault_hops: Counter = Counter()  # repro: guarded-by(lock)
+
+    def drain(self) -> None:
+        """Fold the buffered hops into the counters (locked, amortized)."""
+        with self.lock:
+            n = len(self.buffer)
+            if not n:
+                return
+            batch = self.buffer[:n]
+            del self.buffer[:n]
+            hops = self.hops
+            fault_hops = self.fault_hops
+            for source_id, target_id, fault in batch:
+                hops[(source_id, target_id)] += 1
+                if fault:
+                    fault_hops[(source_id, target_id)] += 1
+
+
+@dataclass(frozen=True)
+class DocumentHeat:
+    """Oriented, partition-aggregated heat for one document."""
+
+    doc: str
+    steps: int
+    cross_steps: int
+    faults: int
+    #: parent→child edge traversal counts, ``(parent_id, child_id)`` keyed
+    edges: Counter
+    #: partition (record) id -> {"touches", "cross", "faults"}
+    partitions: dict[int, dict[str, int]] = field(default_factory=dict)
+
+    def as_dict(self, include_edges: bool = False) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "doc": self.doc,
+            "steps": self.steps,
+            "cross_steps": self.cross_steps,
+            "faults": self.faults,
+            "partitions": {
+                str(pid): dict(stats)
+                for pid, stats in sorted(self.partitions.items())
+            },
+        }
+        if include_edges:
+            out["edges"] = [
+                {"parent": parent, "child": child, "count": count}
+                for (parent, child), count in sorted(
+                    self.edges.items(), key=lambda item: (-item[1], item[0])
+                )
+            ]
+        return out
+
+
+@dataclass(frozen=True)
+class HeatProfile:
+    """A point-in-time snapshot of observed access heat, per document."""
+
+    docs: dict[str, DocumentHeat]
+
+    def edge_counts(self, doc: str) -> Counter:
+        """Traversal counts for ``doc``, keyed ``(parent_id, child_id)`` —
+        the exact input shape of
+        :func:`repro.partition.workload.workload_edge_weight`."""
+        heat = self.docs.get(doc)
+        return Counter(heat.edges) if heat is not None else Counter()
+
+    def hottest(self, top: int = 10) -> list[tuple[str, int, int]]:
+        """The ``top`` hottest (doc, partition) pairs by touch count."""
+        pairs = [
+            (heat.doc, pid, stats["touches"])
+            for heat in self.docs.values()
+            for pid, stats in heat.partitions.items()
+        ]
+        pairs.sort(key=lambda item: (-item[2], item[0], item[1]))
+        return pairs[:top]
+
+    def as_dict(
+        self, top: Optional[int] = None, include_edges: bool = False
+    ) -> dict[str, Any]:
+        return {
+            "documents": {
+                doc: heat.as_dict(include_edges=include_edges)
+                for doc, heat in sorted(self.docs.items())
+            },
+            "hottest": [
+                {"doc": doc, "partition": pid, "touches": touches}
+                for doc, pid, touches in self.hottest(top if top else 10)
+            ],
+        }
+
+
+class HeatAccumulator:
+    """Live per-document access-heat collection over attached stores."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._docs: dict[str, _DocHeat] = {}  # repro: guarded-by(_lock)
+
+    def attach(self, doc: str, store) -> None:
+        """Start accounting navigation heat for ``store`` under ``doc``.
+
+        Re-attaching the same doc id (re-ingest) resets its tallies.
+        """
+        heat = _DocHeat(store)
+        buffer = heat.buffer
+        append = buffer.append
+        drain = heat.drain
+
+        def sink(source_id: int, target_id: int, fault: bool) -> None:
+            append((source_id, target_id, fault))
+            if len(buffer) >= _FLUSH_AT:
+                drain()
+
+        with self._lock:
+            self._docs[doc] = heat
+        store.heat_sink = sink
+
+    def detach(self, doc: str) -> None:
+        """Stop accounting for ``doc`` and drop its tallies."""
+        with self._lock:
+            heat = self._docs.pop(doc, None)
+        if heat is not None and heat.store.heat_sink is not None:
+            heat.store.heat_sink = None
+
+    def docs(self) -> list[str]:
+        with self._lock:
+            return sorted(self._docs)
+
+    def profile(self) -> HeatProfile:
+        """Orient and aggregate the raw tallies (the expensive part —
+        deliberately off the navigation hot path)."""
+        with self._lock:
+            entries = list(self._docs.items())
+        profiles: dict[str, DocumentHeat] = {}
+        for doc, heat in entries:
+            heat.drain()
+            with heat.lock:
+                hops = Counter(heat.hops)
+                fault_hops = Counter(heat.fault_hops)
+            steps = sum(hops.values())
+            faults = sum(fault_hops.values())
+            store = heat.store
+            nodes = store.tree.nodes
+            record_of = store.record_of
+            size = len(nodes)
+            edges: Counter = Counter()
+            partitions: dict[int, dict[str, int]] = {}
+            cross_steps = 0
+            for (source_id, target_id), count in hops.items():
+                if source_id >= size or target_id >= size:
+                    continue  # structural update raced the snapshot
+                source, target = nodes[source_id], nodes[target_id]
+                if target.parent is source:
+                    edges[(source_id, target_id)] += count
+                elif source.parent is target:
+                    edges[(target_id, source_id)] += count
+                else:
+                    # sibling hop: benefits both endpoints' parent edges
+                    for node in (source, target):
+                        if node.parent is not None:
+                            edges[(node.parent.node_id, node.node_id)] += count
+                target_record = record_of[target_id]
+                stats = partitions.setdefault(
+                    target_record, {"touches": 0, "cross": 0, "faults": 0}
+                )
+                stats["touches"] += count
+                if record_of[source_id] != target_record:
+                    stats["cross"] += count
+                    cross_steps += count
+            for (source_id, target_id), count in fault_hops.items():
+                if target_id >= size:
+                    continue
+                stats = partitions.setdefault(
+                    record_of[target_id], {"touches": 0, "cross": 0, "faults": 0}
+                )
+                stats["faults"] += count
+            profiles[doc] = DocumentHeat(
+                doc=doc,
+                steps=steps,
+                cross_steps=cross_steps,
+                faults=faults,
+                edges=edges,
+                partitions=partitions,
+            )
+        return HeatProfile(docs=profiles)

@@ -1,0 +1,79 @@
+"""Seeded OBS003 violations: live spans opened inside async bodies.
+
+Not importable as part of the real package — this fixture only feeds the
+analyzer tests (see README.md in this directory). The filename must not
+look like test code (``test_*`` / ``conftest``): OBS003 exempts those by
+name, and these seeds must stay visible. Span names are all literals so
+none of these seeds double as OBS002 offences.
+"""
+
+from repro import telemetry
+from repro.telemetry import span
+from repro.telemetry.core import Span as TraceSpan
+
+
+async def handler_with_module_span(request, engine):
+    with telemetry.span("service.handler"):  # seed:OBS003-module
+        return engine.describe(request)
+
+
+async def handler_with_bare_span(request):
+    with span("service.decode"):  # seed:OBS003-bare
+        return request.body.decode("utf-8")
+
+
+async def handler_with_span_class(request):
+    with TraceSpan("service.render"):  # seed:OBS003-class
+        return request.params
+
+
+async def handler_spanning_an_await(request, backend):
+    # holding the span across the await is exactly the interleaving bug
+    with telemetry.span("service.backend"):  # seed:OBS003-await
+        return await backend.fetch(request)
+
+
+async def nested_async_is_its_own_frame(request):
+    async def inner():
+        with telemetry.span("service.inner"):  # seed:OBS003-nested
+            return request
+
+    return await inner()
+
+
+async def offloaded_span_is_fine(service, store, xpath):
+    # the sanctioned pattern: the span lives inside the blocking
+    # callable, which runs on the executor's thread
+    def measured_query():
+        with telemetry.span("query.offloaded"):
+            return store.query(xpath)
+
+    return await service.run_blocking(measured_query)
+
+
+async def synthetic_record_is_fine(request, registry):
+    # the middleware pattern: measure with the clock, record a
+    # synthetic SpanRecord — no live span on the loop thread
+    start = telemetry.clock()
+    payload = request.params
+    registry.record_span(
+        telemetry.SpanRecord(
+            name="service.request",
+            path="service.request",
+            seconds=telemetry.clock() - start,
+            depth=0,
+            start=start,
+        )
+    )
+    return payload
+
+
+async def sanctioned_inline(request):
+    with telemetry.span("service.sanctioned"):  # repro-lint: skip=OBS003
+        return request
+
+
+def sync_span_is_fine(store, xpath):
+    # OBS003 is about async frames only; sync code owns its thread
+    with telemetry.span("query.sync"):
+        return store.query(xpath)

@@ -172,6 +172,67 @@ class TestSeededViolations:
         result = run_lint([package / "helpers.py"], select=["OBS002"])
         assert result.clean
 
+    def test_async_span_reported_in_all_shapes(self, fixture_result):
+        tags = seed_lines(FIXTURES / "seeded_async_spans.py")
+        hits = found(fixture_result, "OBS003", "seeded_async_spans.py")
+        assert {v.lineno for v in hits} == {
+            tags["OBS003-module"],
+            tags["OBS003-bare"],
+            tags["OBS003-class"],
+            tags["OBS003-await"],
+            tags["OBS003-nested"],
+        }
+        assert all("thread-local" in v.message for v in hits)
+
+    def test_async_span_sanctioned_shapes_not_flagged(self, fixture_result):
+        hits = found(fixture_result, "OBS003", "seeded_async_spans.py")
+        source = (FIXTURES / "seeded_async_spans.py").read_text().splitlines()
+        flagged = {source[v.lineno - 1] for v in hits}
+        for line in flagged:
+            assert "skip=OBS003" not in line
+            assert "is_fine" not in line
+        # the literal-name seeds must not double as OBS002 offences
+        assert not found(fixture_result, "OBS002", "seeded_async_spans.py")
+
+    def test_async_span_test_files_and_telemetry_are_exempt(self, tmp_path):
+        snippet = textwrap.dedent(
+            """
+            from repro import telemetry
+
+            async def handler(request):
+                with telemetry.span("service.handler"):
+                    return request
+            """
+        )
+        for name, expected in [
+            ("test_handlers.py", 0),
+            ("conftest.py", 0),
+            ("handlers.py", 1),
+        ]:
+            target = tmp_path / name
+            target.write_text(snippet)
+            result = run_lint([target], select=["OBS003"])
+            assert len(result.violations) == expected, name
+
+    def test_async_span_offloaded_callable_is_exempt(self, tmp_path):
+        target = tmp_path / "handlers.py"
+        target.write_text(
+            textwrap.dedent(
+                """
+                from repro import telemetry
+
+                async def handler(service, store, xpath):
+                    def job():
+                        with telemetry.span("query.offloaded"):
+                            return store.query(xpath)
+
+                    return await service.run_blocking(job)
+                """
+            )
+        )
+        result = run_lint([target], select=["OBS003"])
+        assert result.clean
+
     def test_exception_swallows_reported_in_all_shapes(self, fixture_result):
         tags = seed_lines(FIXTURES / "seeded_swallow.py")
         hits = found(fixture_result, "RB001", "seeded_swallow.py")

@@ -3,10 +3,12 @@
 from repro.partition import evaluate_partitioning, get_algorithm
 from repro.partition.lukes import lukes_partition
 from repro.partition.workload import (
+    heat_aware_lukes,
     profile_workload,
     workload_aware_lukes,
     workload_edge_weight,
 )
+from repro.telemetry import HeatAccumulator
 from repro.xmlio import parse_tree
 
 DOC = (
@@ -87,3 +89,77 @@ class TestWorkloadAwareLukes:
             return total
 
         assert crossings(aware) <= crossings(unit)
+
+
+class TestHeatAwareLukes:
+    """Observed heat (telemetry) feeding the DP verbatim — the
+    telemetry→repartitioning loop, end to end."""
+
+    @staticmethod
+    def _observe(tree, partitioning, queries, doc="d1"):
+        """Serve ``queries`` from a store under live heat accounting."""
+        from repro.query.engine import evaluate
+        from repro.storage.store import DocumentStore
+
+        store = DocumentStore.build(tree, partitioning)
+        heat = HeatAccumulator()
+        heat.attach(doc, store)
+        for query in queries:
+            evaluate(store, query)
+        return heat.profile()
+
+    def test_profile_edges_are_real_tree_edges(self):
+        tree = parse_tree(DOC)
+        _, unit = lukes_partition(tree, 5)
+        profile = self._observe(tree, unit, ["/lib/hot/a/x"])
+        counts = profile.edge_counts("d1")
+        assert counts
+        for parent_id, child_id in counts:
+            assert tree.nodes[child_id].parent is tree.nodes[parent_id]
+
+    def test_heat_profile_accepted_verbatim_by_edge_weights(self):
+        tree = parse_tree(DOC)
+        _, unit = lukes_partition(tree, 5)
+        profile = self._observe(tree, unit, ["/lib/hot/a"])
+        weight = workload_edge_weight(profile.edge_counts("d1"), base=1)
+        hot = tree.root.children[0]
+        cold = tree.root.children[1]
+        assert weight(tree.root, hot) > weight(tree.root, cold)
+
+    def test_repartition_is_feasible(self):
+        tree = parse_tree(DOC)
+        _, unit = lukes_partition(tree, 5)
+        profile = self._observe(tree, unit, ["//x"])
+        _, repartitioned = heat_aware_lukes(tree, 5, profile, "d1")
+        report = evaluate_partitioning(tree, repartitioned, 5)
+        assert report.feasible
+
+    def test_unknown_doc_degrades_to_unit_lukes(self):
+        tree = parse_tree(DOC)
+        _, unit = lukes_partition(tree, 5)
+        profile = self._observe(tree, unit, ["//x"])
+        value, layout = heat_aware_lukes(tree, 5, profile, "other-doc")
+        unit_value, unit_layout = lukes_partition(tree, 5)
+        assert value == unit_value
+        assert list(layout) == list(unit_layout)
+
+    def test_observed_workload_reruns_cheaper_after_repartition(self, tiny_xmark):
+        """Serve a skewed workload, repartition from the observed heat,
+        re-serve the identical workload: measured cross-record steps must
+        not get worse."""
+        from repro.query.engine import run_query
+        from repro.storage.store import DocumentStore
+
+        queries = ["/site/regions/namerica/item", "/site/regions/namerica/item"]
+        limit = 256
+        _, unit = lukes_partition(tiny_xmark, limit)
+        profile = self._observe(tiny_xmark, unit, queries, doc="xmark")
+        _, reheated = heat_aware_lukes(tiny_xmark, limit, profile, "xmark")
+
+        def served_cross_steps(partitioning):
+            store = DocumentStore.build(tiny_xmark, partitioning)
+            return sum(
+                run_query(store, query).cross_steps for query in queries
+            )
+
+        assert served_cross_steps(reheated) <= served_cross_steps(unit)
