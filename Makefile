@@ -53,6 +53,7 @@ bench:
 	$(PYTHON) benchmarks/bench_service.py --quick --check --output /dev/null
 	$(PYTHON) benchmarks/compare.py BENCH_PR7.json BENCH_PR9.json
 	$(PYTHON) benchmarks/bench_recovery.py --quick --check --output /dev/null
+	$(PYTHON) benchmarks/bench_index.py --quick --check --output /dev/null
 
 faults-smoke:
 	$(PYTHON) -m repro.faults.cli --scale 0.002 --crash-points 2 --flip-pages 2

@@ -4,13 +4,21 @@ One benchmark per (query, layout) pair times the navigational evaluation
 against the warmed store; ``extra_info`` carries the simulated cost and
 the paper's measured seconds. ``bench_table3_shape`` asserts the paper's
 two headline observations.
+
+The ``bench_query_window`` group re-times every query through the
+structural index (:mod:`repro.index`): windows answer the descendant/
+ancestor spines from sorted pre/post columns instead of navigating, so
+``window_steps`` replaces most navigation charges and the record-window
+overlap prunes partitions. ``bench_window_shape`` asserts the two
+invariants the index must keep: bit-identical results and a simulated
+cost never above navigation's.
 """
 
 import pytest
 
 from repro.datasets.xmark import xmark_document
 from repro.partition import get_algorithm
-from repro.query import XPATHMARK_QUERIES, run_query
+from repro.query import XPATHMARK_QUERIES, evaluate, run_query
 from repro.storage import DocumentStore
 
 LIMIT = 256
@@ -63,4 +71,50 @@ def bench_table3_shape(benchmark, stores):
     )
     benchmark.extra_info["speedups"] = {
         qid: round(km / ekm, 2) for qid, (km, ekm) in costs.items()
+    }
+
+
+@pytest.fixture(scope="module")
+def indexed_store(stores):
+    """The EKM store with its structural index built (windows active)."""
+    store = stores["ekm"]
+    store.build_index()
+    yield store
+    store.structural_index = None
+
+
+@pytest.mark.parametrize("query", XPATHMARK_QUERIES, ids=lambda q: q.qid)
+def bench_query_window(benchmark, indexed_store, query):
+    run = benchmark(run_query, indexed_store, query.xpath)
+    benchmark.extra_info["cost_units"] = run.cost
+    benchmark.extra_info["results"] = run.result_count
+    benchmark.extra_info["window_steps"] = run.window_steps
+    benchmark.extra_info["partitions_pruned"] = run.partitions_pruned
+
+
+def bench_window_shape(benchmark, stores, indexed_store):
+    """Windows return navigation's exact ids at no higher simulated cost."""
+
+    def run():
+        out = {}
+        for q in XPATHMARK_QUERIES:
+            indexed_store.structural_index = None
+            nav_ids = [n.node_id for n in evaluate(indexed_store, q.xpath)]
+            nav_cost = run_query(indexed_store, q.xpath).cost
+            indexed_store.build_index()
+            win_ids = [n.node_id for n in evaluate(indexed_store, q.xpath)]
+            win = run_query(indexed_store, q.xpath)
+            out[q.qid] = (nav_ids, nav_cost, win_ids, win.cost, win.window_steps)
+        return out
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    windowed = 0
+    for qid, (nav_ids, nav_cost, win_ids, win_cost, window_steps) in rows.items():
+        assert win_ids == nav_ids, qid
+        assert win_cost <= nav_cost, qid
+        windowed += window_steps
+    assert windowed > 0  # at least one query actually took the window path
+    benchmark.extra_info["cost_ratios"] = {
+        qid: round(win / nav, 3) if nav else 0.0
+        for qid, (_ids, nav, _wids, win, _steps) in rows.items()
     }

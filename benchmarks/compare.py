@@ -48,6 +48,7 @@ TIME_THRESHOLDS = {
     "bulkload": 0.60,
     "service": 0.60,
     "recovery": 0.60,
+    "index": 0.60,
 }
 #: absolute seconds floor below which timing diffs are ignored entirely
 #: (a ~10ms heuristic cell can double under scheduler jitter alone; real
@@ -70,6 +71,14 @@ SERVICE_REQUEST_FLOOR = 1000
 #: recovery baseline may report (quick runs flush batches too small for
 #: the per-commit fsync floor to amortize, so they are not gated)
 WAL_OVERHEAD_BUDGET = 0.10
+#: minimum window-over-navigation speedup a full-run index baseline must
+#: report on every descendant-axis query (quick corpora answer in
+#: microseconds either way, so they are not gated)
+INDEX_DESCENDANT_FLOOR = 3.0
+#: hard ceiling on the batched heat-accounting overhead fraction a
+#: full-run index baseline may report on a navigation-bound workload
+#: (the per-hop callback this replaced cost ~50%)
+HEAT_OVERHEAD_BUDGET = 0.10
 
 
 class Comparison:
@@ -344,6 +353,78 @@ def check_recovery(cmp: Comparison, new: dict, quick: bool) -> None:
         )
 
 
+def compare_index(cmp: Comparison, old: dict, new: dict) -> None:
+    """Diff the structural-index scenario (deterministic + timing)."""
+    for key in ("seed", "scale", "limit", "nodes", "records"):
+        cmp.exact(f"index.{key}", old.get(key), new.get(key))
+    for qid, row in old.get("queries", {}).items():
+        nrow = new.get("queries", {}).get(qid)
+        if nrow is None:
+            cmp.regressions.append(f"index[{qid}]: query disappeared")
+            continue
+        prefix = f"index[{qid}]"
+        for key in ("xpath", "results", "window_steps", "partitions_pruned"):
+            cmp.exact(f"{prefix}.{key}", row.get(key), nrow.get(key))
+        for key in ("navigation_seconds", "window_seconds"):
+            cmp.seconds(
+                f"{prefix}.{key}",
+                row[key],
+                nrow[key],
+                TIME_THRESHOLDS["index"],
+            )
+
+
+def check_index(cmp: Comparison, new: dict, quick: bool) -> None:
+    """Absolute gate on the candidate's index scenario.
+
+    Window/navigation identity, partition pruning, and observed heat
+    steps must hold on *every* baseline; full-run baselines must
+    additionally clear the descendant-axis speedup floor and keep the
+    batched heat accounting under ``HEAT_OVERHEAD_BUDGET``.
+    """
+    for qid, row in new.get("queries", {}).items():
+        cmp.exact(f"index[{qid}].identical", True, row.get("identical"))
+    if new.get("partitions_pruned_total", 0) <= 0:
+        cmp.regressions.append(
+            "index.partitions_pruned_total: no partitions pruned on the "
+            "multi-partition scenario"
+        )
+    heat = new.get("heat", {})
+    cmp.exact("index.heat.observed", True, heat.get("observed"))
+    if not quick:
+        floor = new.get("descendant_speedup_min", 0.0)
+        if floor < INDEX_DESCENDANT_FLOOR:
+            cmp.regressions.append(
+                f"index.descendant_speedup_min: {floor:.2f}x < "
+                f"{INDEX_DESCENDANT_FLOOR}x floor"
+            )
+        cmp.bound(
+            "index.heat.overhead_fraction",
+            heat.get("overhead_fraction", 1.0),
+            HEAT_OVERHEAD_BUDGET,
+        )
+
+
+def check_index_baseline(path: Path) -> int:
+    """Validate a committed index baseline (the bench CI smoke gate)."""
+    try:
+        data = _load(path)
+    except NotComparable as exc:
+        print(f"[compare] index baseline: {exc}", file=sys.stderr)
+        return 1
+    scenario = data.get("scenarios", {}).get("index")
+    if scenario is None:
+        print(f"[compare] {path.name}: scenario 'index' missing", file=sys.stderr)
+        return 1
+    cmp = Comparison()
+    check_index(cmp, scenario, bool(data.get("quick")))
+    for line in cmp.regressions:
+        print(f"[compare] index baseline: {line}", file=sys.stderr)
+    if not cmp.regressions:
+        print(f"[compare] index baseline {path.name} OK ({SCHEMA})", file=sys.stderr)
+    return 1 if cmp.regressions else 0
+
+
 def check_recovery_baseline(path: Path) -> int:
     """Validate a committed recovery baseline (the bench CI smoke gate)."""
     try:
@@ -396,6 +477,7 @@ def compare_baselines(old: dict, new: dict) -> Comparison:
         "overhead": compare_overhead,
         "service": compare_service,
         "recovery": compare_recovery,
+        "index": compare_index,
     }
     for scenario, comparer in comparers.items():
         if scenario in old["scenarios"]:
@@ -406,6 +488,8 @@ def compare_baselines(old: dict, new: dict) -> Comparison:
         check_service(cmp, new["scenarios"]["service"], bool(new.get("quick")))
     if "recovery" in new.get("scenarios", {}):
         check_recovery(cmp, new["scenarios"]["recovery"], bool(new.get("quick")))
+    if "index" in new.get("scenarios", {}):
+        check_index(cmp, new["scenarios"]["index"], bool(new.get("quick")))
     return cmp
 
 

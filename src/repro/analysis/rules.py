@@ -17,6 +17,7 @@ RB001   broad exception handler that silently swallows outside test code
 RB002   blocking engine entry point called directly from an async body
 RB003   rename/close on a durability-critical path without a prior fsync
 PERF001 loop-invariant O(n) subtree-weight walk recomputed per iteration
+PERF002 Python observer callback invoked per element on a hot loop path
 ======  ================================================================
 
 The partitioner passes identify "partitioner modules" syntactically — a
@@ -1081,3 +1082,81 @@ class RepeatedWeightWalkPass(LintPass):
                 if isinstance(node, ast.Name):
                     names.add(node.id)
         return names
+
+
+@register_lint_pass
+class PerHopCallbackPass(LintPass):
+    """A Python callback invoked once per navigation hop roughly doubles
+    the hot loop's cost: the frame push/pop for the observer outweighs
+    the step accounting it observes (measured in
+    ``benchmarks/bench_index.py``, heat scenario). The batch pattern the
+    engine uses instead — append to a plain list, drain under a lock
+    every few thousand entries — keeps the per-hop cost to one
+    ``list.append``. The pass flags calls through callback-named
+    bindings (``*_sink``, ``*_hook``, ``*_callback``, ``*_recorder``,
+    ``*_cb``) inside ``for``/``while`` bodies, and anywhere inside the
+    per-step charge helpers themselves (functions named ``_charge*`` /
+    ``_hop*``), where every statement is per-hop by construction."""
+
+    code = "PERF002"
+    name = "per-hop-callback"
+    description = (
+        "Python callback invoked on a per-element hot path; buffer into "
+        "a plain list and drain at a threshold instead"
+    )
+
+    #: binding-name suffixes that mark an observer callback
+    _SUFFIXES = ("_sink", "_hook", "_callback", "_recorder", "_cb")
+    #: bare names that mark one even without a prefix
+    _BARE = frozenset({"sink", "hook", "callback", "recorder"})
+    #: function-name prefixes whose whole body is per-hop work
+    _HOT_FUNC_PREFIXES = ("_charge", "_hop")
+
+    def run(self, ctx: LintContext) -> Iterator[Violation]:
+        for source in ctx.files:
+            seen: set[tuple[int, int]] = set()
+            for scope, call in self._hot_calls(source.tree):
+                name = self._callback_name(call.func)
+                if name is None:
+                    continue
+                key = (call.lineno, call.col_offset)
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield Violation(
+                    path=str(source.path),
+                    lineno=call.lineno,
+                    code=self.code,
+                    message=(
+                        f"`{name}(...)` runs once per element on this "
+                        f"{scope}; append to a plain list buffer and "
+                        "drain it at a threshold instead"
+                    ),
+                )
+
+    def _hot_calls(self, tree: ast.AST) -> Iterator[tuple[str, ast.Call]]:
+        """Yield ``(scope, call)`` for every call on a per-element path:
+        inside a loop body anywhere, or anywhere inside a charge/hop
+        helper (loop or not — its caller is the loop)."""
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.For, ast.AsyncFor, ast.While)):
+                for inner in ast.walk(node):
+                    if isinstance(inner, ast.Call):
+                        yield "hot loop", inner
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if not node.name.startswith(self._HOT_FUNC_PREFIXES):
+                    continue
+                for inner in ast.walk(node):
+                    if isinstance(inner, ast.Call):
+                        yield f"per-hop path (`{node.name}`)", inner
+
+    def _callback_name(self, func: ast.expr) -> Optional[str]:
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        else:
+            return None
+        if name in self._BARE or name.endswith(self._SUFFIXES):
+            return name
+        return None

@@ -179,6 +179,54 @@ def _fastpath_comparison(tree, algorithm: str, limit: int) -> dict:
     }
 
 
+def _index_comparison(store: DocumentStore, query: str) -> dict:
+    """Time window evaluation against pure navigation for one query.
+
+    Runs the query twice — once with no structural index (the engine
+    navigates record by record) and once after ``build_index`` (window
+    evaluation with partition pruning) — and checks the node-id lists
+    match bit for bit.
+    """
+    from repro.query import evaluate
+
+    store.structural_index = None
+    with telemetry.span("stats.index.navigation") as sp_nav:
+        nav = run_query(store, query)
+    nav_ids = [node.node_id for node in evaluate(store, query)]
+    index = store.build_index()
+    with telemetry.span("stats.index.window") as sp_win:
+        win = run_query(store, query)
+    win_ids = [node.node_id for node in evaluate(store, query)]
+    return {
+        "query": query,
+        "navigation_seconds": sp_nav.elapsed,
+        "window_seconds": sp_win.elapsed,
+        "speedup": sp_nav.elapsed / sp_win.elapsed if sp_win.elapsed else 0.0,
+        "identical": nav_ids == win_ids,
+        "results": win.result_count,
+        "window_steps": win.window_steps,
+        "partitions_pruned": win.partitions_pruned,
+        "navigation_cost": nav.cost,
+        "window_cost": win.cost,
+        "index": index.describe(),
+    }
+
+
+def _format_index(comparison: dict) -> str:
+    desc = comparison["index"]
+    lines = [
+        "index ({query}): navigation {navigation_seconds:.3f}s, "
+        "window {window_seconds:.3f}s ({speedup:.1f}x), identical "
+        "output: {identical}".format(**comparison),
+        "index: {results} results via {window_steps} window step(s), "
+        "{partitions_pruned} partition(s) pruned; cost "
+        "{window_cost:.0f} vs {navigation_cost:.0f} units".format(**comparison),
+        f"index: {desc['nodes']} nodes, {desc['records']} records, "
+        f"{desc['labels']} labels, valid={desc['valid']}",
+    ]
+    return "\n".join(lines)
+
+
 def _format_fastpath(comparison: dict) -> str:
     cache = comparison["cache"]
     lines = [
@@ -243,6 +291,13 @@ def cmd_stats(args: argparse.Namespace) -> int:
         fastpath = None
         if args.fastpath:
             fastpath = _fastpath_comparison(tree, args.algorithm, args.limit)
+        index_report = None
+        if args.index:
+            if not args.query:
+                raise ReproError(
+                    "--index times a query two ways; add --query '//label'"
+                )
+            index_report = _index_comparison(store, args.query)
         if args.jsonl:
             telemetry.export_jsonl(sys.stdout, reg)
         elif args.prom:
@@ -252,6 +307,8 @@ def cmd_stats(args: argparse.Namespace) -> int:
             payload["environment"] = telemetry.environment_fingerprint()
             if fastpath is not None:
                 payload["fastpath"] = fastpath
+            if index_report is not None:
+                payload["index"] = index_report
             if tracer is not None and args.traces:
                 payload["traces"] = [t.as_dict() for t in tracer.traces()]
             if tracer is not None and args.slow is not None:
@@ -265,6 +322,9 @@ def cmd_stats(args: argparse.Namespace) -> int:
             if fastpath is not None:
                 print()
                 print(_format_fastpath(fastpath))
+            if index_report is not None:
+                print()
+                print(_format_index(index_report))
             if args.profile:
                 from repro.obsv import build_profile, format_profile
 
@@ -410,6 +470,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         trace_buffer=args.trace_buffer,
         slow_query_seconds=args.slow_query,
         heat=not args.no_heat,
+        index=not args.no_index,
+        query_cache=args.query_cache,
     )
     return run_service(config)
 
@@ -473,6 +535,13 @@ def _add_stats_arguments(parser: argparse.ArgumentParser) -> None:
         help="collect per-partition access heat for the run and print "
         "the hottest partitions (same machinery as /debug/heat; the "
         "edge counts feed repro.partition.workload.heat_aware_lukes)",
+    )
+    parser.add_argument(
+        "--index",
+        action="store_true",
+        help="build the structural index and time the --query through "
+        "window evaluation vs pure navigation, reporting pruning "
+        "counters (docs/PERFORMANCE.md)",
     )
 
 
@@ -584,6 +653,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--no-heat",
         action="store_true",
         help="disable per-partition access-heat accounting (/debug/heat)",
+    )
+    p.add_argument(
+        "--no-index",
+        action="store_true",
+        help="skip building per-document structural indexes at ingest "
+        "(queries fall back to pure navigation)",
+    )
+    p.add_argument(
+        "--query-cache",
+        type=int,
+        default=0,
+        metavar="N",
+        help="cache up to N (document, xpath) query payloads, "
+        "invalidated on ingest/delete (default: 0 = off)",
     )
     p.set_defaults(func=cmd_serve)
 

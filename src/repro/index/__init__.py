@@ -1,0 +1,40 @@
+"""repro.index — per-document structural indexes for the XPath engine.
+
+The XPath-accelerator observation (Grust; also the DMR-XPath exemplar in
+SNIPPETS.md): once every node carries its **preorder rank**, **postorder
+rank** and **level**, the recursive axes become interval predicates —
+
+* ``descendant(v)``   = nodes with ``pre(v) < pre  ≤ pre(v)+size(v)-1``
+  (a *contiguous preorder window*, because preorder visits a subtree as
+  one run),
+* ``ancestor(v)``     = nodes with ``pre < pre(v)`` and ``post > post(v)``
+  (equivalently: the ``parent`` chain, which the index stores directly).
+
+:class:`~repro.index.structural.StructuralIndex` materializes those
+columns as typed ``array('q')`` vectors in one DFS over the document,
+plus two things the paper's storage model adds on top:
+
+* **per-label preorder postings** — ``//keyword`` inside any subtree is
+  one ``bisect`` window over the sorted preorder ranks of ``keyword``
+  elements, instead of an O(subtree) navigation walk;
+* a **record-aware partition map** — min/max pre/post windows per
+  record (partition), so a window axis only *decodes* the partitions
+  whose windows overlap the query window. This is what makes the
+  partitioner's cost model observable in query latency: partitions the
+  sibling partitioning kept out of a subtree are pruned without a page
+  touch, and the savings are charged against the same
+  :class:`~repro.storage.store.NavigationStats` cost model navigation
+  uses.
+
+``repro.query.engine`` dispatches every axis step through the index
+when ``store.structural_index`` is present and valid, and falls back to
+hop-by-hop navigation otherwise (counted as ``index.fallbacks``); an
+equivalence suite pins both paths to bit-identical node-id results.
+Structural updates and record moves invalidate the index
+(:meth:`DocumentStore.invalidate_index`); crash recovery adopts stores
+without one, so recovered documents navigate until re-indexed.
+"""
+
+from repro.index.structural import StructuralIndex
+
+__all__ = ["StructuralIndex"]

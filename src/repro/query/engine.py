@@ -96,7 +96,205 @@ def _axis_nodes(context: StoredNode, axis: Axis):
 
 
 # ---------------------------------------------------------------------------
-# Trampolined evaluation core.
+# Window-based axis evaluation over the structural index.
+#
+# When a store carries a valid repro.index.StructuralIndex, every axis
+# step is answered from typed pre/post/level columns instead of
+# navigation: descendant axes become one preorder window (a bisect over
+# per-label postings when the test names an element), ancestor axes a
+# parent-column chase, child/sibling/attribute axes CSR slices. Cost
+# accounting switches units accordingly — a window step charges one
+# buffer fetch per partition whose pre/post window overlaps the query
+# window (everything else is *pruned*, counted in
+# NavigationStats.partitions_pruned) rather than per-hop intra/cross
+# steps. Results are bit-identical to navigation by construction (the
+# per-context orders below mirror _axis_nodes exactly — the equivalence
+# suite in tests/index pins this); any context the index cannot serve
+# (absent or invalidated index) falls back to _axis_nodes, counted as
+# index.fallbacks.
+# ---------------------------------------------------------------------------
+
+_KIND_ELEMENT = int(NodeKind.ELEMENT)
+_KIND_TEXT = int(NodeKind.TEXT)
+_KIND_ATTRIBUTE = int(NodeKind.ATTRIBUTE)
+
+
+def _usable_index(store):
+    """The store's structural index, if present and valid (else None —
+    with the invalid case counted as a fallback)."""
+    index = getattr(store, "structural_index", None)
+    if index is None:
+        return None
+    if not index.valid:
+        if telemetry.enabled():
+            telemetry.count("index.fallbacks")
+        return None
+    return index
+
+
+def _filter_ids(index, ids, test: NodeTest) -> list[int]:
+    """Column-wise node-test filter: mirrors `_matches` over the index's
+    kind/label columns without materializing handles."""
+    if test.kind is NodeTestKind.ANY:
+        return list(ids)
+    kind_of = index.kind_of
+    if test.kind is NodeTestKind.TEXT:
+        return [i for i in ids if kind_of[i] == _KIND_TEXT]
+    if test.kind is NodeTestKind.ATTRIBUTE:
+        if test.name == STAR:
+            return [i for i in ids if kind_of[i] == _KIND_ATTRIBUTE]
+        lid = index.label_id(test.name)
+        if lid is None:
+            return []
+        label_of = index.label_id_of
+        return [
+            i
+            for i in ids
+            if kind_of[i] == _KIND_ATTRIBUTE and label_of[i] == lid
+        ]
+    if test.name == STAR:
+        return [i for i in ids if kind_of[i] == _KIND_ELEMENT]
+    lid = index.label_id(test.name)
+    if lid is None:
+        return []
+    label_of = index.label_id_of
+    return [i for i in ids if kind_of[i] == _KIND_ELEMENT and label_of[i] == lid]
+
+
+def _window_test_ids(index, window: tuple[int, int], test: NodeTest) -> list[int]:
+    """Matching ids inside a preorder window, document order. A named
+    element test bisects the label's sorted postings (the accelerator
+    fast path); other tests scan the window's node_at slice."""
+    lo, hi = window
+    if hi <= lo:
+        return []
+    if test.kind is NodeTestKind.ELEMENT and test.name != STAR:
+        lid = index.label_id(test.name)
+        if lid is None:
+            return []
+        return index.label_ids_in_window(lid, lo, hi)
+    return _filter_ids(index, index.ids_in_window(lo, hi), test)
+
+
+def _handle_factory(proto):
+    """Builds node handles of the same flavour as ``proto`` (tree-backed
+    StoredNode or record-backed RecordNode) from bare node ids."""
+    nav = getattr(proto, "navigator", None)
+    cls = type(proto)
+    if nav is not None:
+        return lambda nid: cls(nav, nid)
+    store = proto.store
+    nodes = store.tree.nodes
+    return lambda nid: cls(store, nodes[nid])
+
+
+def _charge_window(context, store, index, window, ancestor_key, ids) -> None:
+    """Charge one window-evaluated step to the navigation cost model:
+    a buffer fetch per partition the step must decode (window-overlap
+    set for range axes, the result partitions for point axes); skipped
+    partitions count as pruned."""
+    nav = getattr(context, "navigator", None)
+    stats = nav.stats if nav is not None else store.stats
+    stats.window_steps += 1
+    stats.node_visits += len(ids)
+    if window is not None:
+        lo, hi = window
+        rids = index.records_overlapping(lo, hi - 1)
+        stats.partitions_pruned += index.record_count - len(rids)
+    elif ancestor_key is not None:
+        pre, post, or_self = ancestor_key
+        rids = index.records_for_ancestors(pre, post, or_self)
+        stats.partitions_pruned += index.record_count - len(rids)
+    elif ids:
+        record_of = store.record_of
+        rids = {record_of[i] for i in ids}
+    else:
+        return
+    page_of_record = store.manager.page_of_record
+    buffer = store.buffer
+    faults = 0
+    pages = {page_of_record[rid] for rid in rids if rid in page_of_record}
+    for page_id in pages:
+        if not buffer.is_cached(page_id):
+            faults += 1
+        buffer.fetch(page_id)
+    stats.page_faults += faults
+
+
+def _window_step(context, step: Step):
+    """Answer one (context, step) from the structural index; None means
+    "no usable index here — navigate"."""
+    if isinstance(context, _VirtualRoot):
+        return _window_step_virtual(context, step)
+    store = getattr(context, "store", None)
+    if store is None:
+        return None
+    index = _usable_index(store)
+    if index is None:
+        return None
+    axis = step.axis
+    test = step.node_test
+    nid = context.node_id
+    window = None
+    ancestor_key = None
+    if axis is Axis.CHILD:
+        ids = _filter_ids(index, index.children_of(nid), test)
+    elif axis is Axis.ATTRIBUTE:
+        ids = _filter_ids(index, index.attributes_of(nid), test)
+    elif axis is Axis.SELF:
+        ids = _filter_ids(index, (nid,), test)
+    elif axis is Axis.DESCENDANT or axis is Axis.DESCENDANT_OR_SELF:
+        window = index.descendant_window(nid, axis is Axis.DESCENDANT_OR_SELF)
+        ids = _window_test_ids(index, window, test)
+    elif axis is Axis.PARENT:
+        pid = index.parent_id(nid)
+        ids = _filter_ids(index, (pid,), test) if pid >= 0 else []
+    elif axis is Axis.ANCESTOR or axis is Axis.ANCESTOR_OR_SELF:
+        or_self = axis is Axis.ANCESTOR_OR_SELF
+        ancestor_key = (index.pre_of[nid], index.post_of[nid], or_self)
+        ids = _filter_ids(index, index.ancestor_ids(nid, or_self), test)
+    elif axis is Axis.FOLLOWING_SIBLING:
+        ids = _filter_ids(index, index.following_siblings(nid), test)
+    elif axis is Axis.PRECEDING_SIBLING:
+        ids = _filter_ids(index, index.preceding_siblings(nid), test)
+    else:  # pragma: no cover - exhaustive enum
+        return None
+    _charge_window(context, store, index, window, ancestor_key, ids)
+    if not ids:
+        return []
+    make = _handle_factory(context)
+    return [make(i) for i in ids]
+
+
+def _window_step_virtual(context: "_VirtualRoot", step: Step):
+    """Window evaluation from the XPath virtual root. Mirrors
+    _VirtualRoot's navigation behaviour exactly, including yielding the
+    virtual-root object itself where descendants-or-self / self /
+    ancestor-or-self would (it stands in for the document element in
+    dedup, so both paths must agree)."""
+    store = context.store
+    index = _usable_index(store)
+    if index is None:
+        return None
+    axis = step.axis
+    test = step.node_test
+    doc_root = context._doc_root
+    if axis is Axis.CHILD:
+        # children() yields the document element without a charged hop
+        return [doc_root] if _filter_ids(index, (doc_root.node_id,), test) else []
+    if axis is Axis.SELF or axis is Axis.ANCESTOR_OR_SELF:
+        return [context] if _matches(context, test) else []
+    if axis is Axis.DESCENDANT or axis is Axis.DESCENDANT_OR_SELF:
+        window = (0, index.node_count)
+        ids = _window_test_ids(index, window, test)
+        _charge_window(context, store, index, window, None, ids)
+        make = _handle_factory(doc_root)
+        out = [make(i) for i in ids]
+        if axis is Axis.DESCENDANT_OR_SELF and _matches(context, test):
+            out.insert(0, context)
+        return out
+    # attribute/parent/ancestor/sibling axes of the root are empty
+    return []
 #
 # Location paths and predicate expressions nest mutually: a step's
 # predicate may contain a comparison whose operand is another path, whose
@@ -139,11 +337,15 @@ def _apply_step_task(contexts: list[StoredNode], step: Step):
         p.expr for p in step.predicates if isinstance(p.expr, Position)
     ]
     for context in contexts:
-        matched = [
-            node
-            for node in _axis_nodes(context, step.axis)
-            if _matches(node, step.node_test)
-        ]
+        # window evaluation when the store carries a valid structural
+        # index; hop-by-hop navigation otherwise (bit-identical results)
+        matched = _window_step(context, step)
+        if matched is None:
+            matched = [
+                node
+                for node in _axis_nodes(context, step.axis)
+                if _matches(node, step.node_test)
+            ]
         # positional predicates filter within this context's axis result
         for position in position_preds:
             index = position.index if position.index != -1 else len(matched)
@@ -286,6 +488,10 @@ class QueryRun:
     cross_steps: int
     page_faults: int
     cost: float
+    #: axis steps the structural index answered by window lookup
+    window_steps: int = 0
+    #: partitions those window steps skipped (window non-overlap)
+    partitions_pruned: int = 0
 
     @property
     def total_steps(self) -> int:
@@ -320,6 +526,9 @@ def run_query(
         results = evaluate(store, xpath)
         sp.attrs["results"] = len(results)
     stats = store.stats
+    drain = store.heat_drain
+    if drain is not None:
+        drain()  # fold this query's buffered hops into the heat tallies
     if telemetry.enabled():
         telemetry.count("query.runs")
         telemetry.count("query.results", len(results))
@@ -327,6 +536,12 @@ def run_query(
         telemetry.count("query.steps.intra", stats.intra_steps)
         telemetry.count("query.steps.cross", stats.cross_steps)
         telemetry.count("query.page_faults", stats.page_faults)
+        if stats.window_steps:
+            telemetry.count("index.window_hits", stats.window_steps)
+            if stats.partitions_pruned:
+                telemetry.count(
+                    "index.partitions_pruned", stats.partitions_pruned
+                )
     return QueryRun(
         xpath=xpath,
         result_count=len(results),
@@ -334,4 +549,6 @@ def run_query(
         cross_steps=stats.cross_steps,
         page_faults=stats.page_faults,
         cost=stats.cost(config),
+        window_steps=stats.window_steps,
+        partitions_pruned=stats.partitions_pruned,
     )

@@ -108,6 +108,13 @@ class ServiceConfig:
     slow_query_seconds: Optional[float] = 1.0
     #: per-(document, partition) access-heat accounting (``/debug/heat``)
     heat: bool = True
+    #: build a structural index per document at ingest (window-based
+    #: axis evaluation; dropped on delete, rebuilt on re-ingest)
+    index: bool = True
+    #: (document, xpath) response-cache capacity; 0 disables. Off by
+    #: default: a cache hit skips the engine entirely, which changes the
+    #: one-`query.run`-span-per-request shape traced benches assert
+    query_cache: int = 0
 
 
 class Router:
@@ -184,6 +191,8 @@ class DocumentService:
             default_algorithm=self.config.default_algorithm,
             default_limit=self.config.default_limit,
             heat=self.heat,
+            index=self.config.index,
+            query_cache=self.config.query_cache,
         )
         self.middleware = MiddlewareStack(
             max_concurrency=self.config.max_concurrency,

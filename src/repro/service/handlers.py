@@ -166,6 +166,8 @@ class Handlers:
             "degradation": degradation,
             # what boot_recovery swept out of the journal dir at startup
             "recovery": self.state.recovery,
+            # structural-index coverage (and cache occupancy if enabled)
+            "index": self.state.index_status(),
         }
         return Response.json(payload)
 

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import os
 import threading
+from collections import OrderedDict
 from contextlib import contextmanager
 from typing import Any, Iterator, Optional
 
@@ -93,6 +94,58 @@ class ReadWriteLock:
             with self._cond:
                 self._writer = False
                 self._cond.notify_all()
+
+
+class QueryCache:
+    """LRU cache of finished query payloads, keyed ``(doc_id, xpath,
+    show)``.
+
+    Staleness discipline rides the per-document ``ReadWriteLock``:
+    lookups and inserts happen while the caller holds the document's
+    *read* lock, and every writer (ingest, re-ingest, delete)
+    invalidates the document's keys while still holding the *write*
+    lock — before any blocked reader can resume. A payload therefore
+    never outlives the store state it was computed from.
+    """
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[tuple, dict[str, Any]] = (
+            OrderedDict()
+        )  # repro: guarded-by(_lock)
+
+    def get(self, key: tuple) -> Optional[dict[str, Any]]:
+        with self._lock:
+            payload = self._entries.get(key)
+            if payload is None:
+                telemetry.count("service.cache.misses")
+                return None
+            self._entries.move_to_end(key)
+        telemetry.count("service.cache.hits")
+        return dict(payload)
+
+    def put(self, key: tuple, payload: dict[str, Any]) -> None:
+        with self._lock:
+            self._entries[key] = dict(payload)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def invalidate_document(self, doc_id: str) -> int:
+        """Drop every cached payload for ``doc_id`` (writer holds the
+        document's write lock)."""
+        with self._lock:
+            stale = [key for key in self._entries if key[0] == doc_id]
+            for key in stale:
+                del self._entries[key]
+        if stale:
+            telemetry.count("service.cache.invalidations", len(stale))
+        return len(stale)
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {"entries": len(self._entries), "capacity": self.capacity}
 
 
 class DocumentEntry:
@@ -165,13 +218,21 @@ class StoreRegistry:
         default_algorithm: str = "ekm",
         default_limit: int = 256,
         heat: Optional[telemetry.HeatAccumulator] = None,
+        index: bool = True,
+        query_cache: int = 0,
     ):
         self.journal_dir = journal_dir
         self.default_algorithm = default_algorithm
         self.default_limit = default_limit
         #: optional live access-heat accounting; ready stores get a
-        #: ``heat_sink`` attached under their doc id
+        #: hop buffer attached under their doc id
         self.heat = heat
+        #: build a structural index for each ingested document
+        self.index = index
+        #: optional (doc, xpath) response cache (see :class:`QueryCache`)
+        self.cache: Optional[QueryCache] = (
+            QueryCache(query_cache) if query_cache > 0 else None
+        )
         self._lock = threading.Lock()
         self._entries: dict[str, DocumentEntry] = {}  # repro: guarded-by(_lock)
         self._seq = 0  # repro: guarded-by(_lock)
@@ -273,6 +334,36 @@ class StoreRegistry:
             counts[entry.status] = counts.get(entry.status, 0) + 1
         return counts
 
+    def index_status(self) -> dict[str, Any]:
+        """Structural-index health (for ``/healthz``); dict-scan only.
+
+        Reads each ready store's ``structural_index`` without the entry
+        lock — ``valid`` is a single attribute read, and a torn snapshot
+        here only mis-counts a document mid-ingest for one poll.
+        """
+        out: dict[str, Any] = {
+            "enabled": self.index,
+            "indexed": 0,
+            "invalid": 0,
+            "missing": 0,
+        }
+        with self._lock:
+            entries = list(self._entries.values())
+        for entry in entries:
+            store = entry.store
+            if store is None or entry.status != "ready":
+                continue
+            idx = getattr(store, "structural_index", None)
+            if idx is None:
+                out["missing"] += 1
+            elif idx.valid:
+                out["indexed"] += 1
+            else:
+                out["invalid"] += 1
+        if self.cache is not None:
+            out["cache"] = self.cache.stats()
+        return out
+
     # -- blocking operations (executor threads only) ---------------------
 
     def ingest_document(
@@ -317,6 +408,8 @@ class StoreRegistry:
                 ):
                     result = self._load(entry, body, parallel, journal_path, resume)
                     store = DocumentStore.build(result.tree, result.partitioning)
+                    if self.index:
+                        store.build_index()
                     store.warm_up()
             except Exception as exc:
                 entry.status = "failed"
@@ -326,6 +419,10 @@ class StoreRegistry:
                 telemetry.count("service.documents.failed")
                 raise
             entry.apply_result(result, store)
+            if self.cache is not None:
+                # a re-ingest (resume) replaces the store; stale payloads
+                # must go before the write lock releases
+                self.cache.invalidate_document(entry.doc_id)
             if self.heat is not None:
                 self.heat.attach(entry.doc_id, store)
             if journal_path is not None and os.path.exists(journal_path):
@@ -363,11 +460,20 @@ class StoreRegistry:
     def query_document(self, doc_id: str, xpath: str, show: int = 0) -> dict[str, Any]:
         """Run one XPath query; returns measured costs (+ values if asked)."""
         entry = self._get(doc_id)
+        cache = self.cache
+        key = (doc_id, xpath, show)
         with entry.lock.read_locked():
             if entry.status != "ready":
                 raise DocumentConflictError(
                     f"document {doc_id!r} is {entry.status}, not ready"
                 )
+            if cache is not None:
+                cached = cache.get(key)
+                if cached is not None:
+                    with entry._stats_latch:
+                        entry.queries += 1
+                    telemetry.count("service.queries")
+                    return cached
             store = entry.store
             assert store is not None  # implied by status == ready
             with entry._stats_latch:
@@ -378,19 +484,26 @@ class StoreRegistry:
                         nodes = evaluate(store, xpath)
                         values = [string_value(node) for node in nodes[:show]]
                 entry.queries += 1
+            payload: dict[str, Any] = {
+                "document": doc_id,
+                "xpath": xpath,
+                "results": run.result_count,
+                "intra_steps": run.intra_steps,
+                "cross_steps": run.cross_steps,
+                "cross_ratio": run.cross_ratio,
+                "page_faults": run.page_faults,
+                "cost": run.cost,
+                "window_steps": run.window_steps,
+                "partitions_pruned": run.partitions_pruned,
+            }
+            if values is not None:
+                payload["values"] = values
+            if cache is not None:
+                # still under the read lock: a writer can't start until
+                # we release, and it invalidates before any later reader
+                # resumes — no stale payload survives
+                cache.put(key, payload)
         telemetry.count("service.queries")
-        payload: dict[str, Any] = {
-            "document": doc_id,
-            "xpath": xpath,
-            "results": run.result_count,
-            "intra_steps": run.intra_steps,
-            "cross_steps": run.cross_steps,
-            "cross_ratio": run.cross_ratio,
-            "page_faults": run.page_faults,
-            "cost": run.cost,
-        }
-        if values is not None:
-            payload["values"] = values
         return payload
 
     def document_info(self, doc_id: str) -> dict[str, Any]:
@@ -409,6 +522,8 @@ class StoreRegistry:
                 self._entries.pop(doc_id, None)
             if entry.journal_path is not None and os.path.exists(entry.journal_path):
                 os.remove(entry.journal_path)
+            if self.cache is not None:
+                self.cache.invalidate_document(doc_id)
             if self.heat is not None:
                 self.heat.detach(doc_id)
             entry.store = None

@@ -105,20 +105,31 @@ class RecordNavigator:
         return decoded.record.nodes[decoded.slot_of[node_id]]
 
     def _charge(self, source_id: int, target_id: int) -> None:
-        heat_sink = self.store.heat_sink
+        # heat accounting is one pre-bound buffered append (drained at
+        # end of query + every store.heat_flush_at hops on the cross
+        # branch) — a per-hop Python callback here cost ~50% on
+        # navigation-bound queries (PERF002 guards this path)
+        store = self.store
+        heat_append = store.heat_append
         if self._record_of(source_id) == self._record_of(target_id):
             self.stats.intra_steps += 1
-            if heat_sink is not None:
-                heat_sink(source_id, target_id, False)
+            if heat_append is not None:
+                # packed int, not a tuple: untracked by gc and folded at
+                # machine-word speed (see telemetry.heat.pack_hop)
+                heat_append(source_id << 32 | target_id)
             return
         self.stats.cross_steps += 1
-        page_id = self.store.manager.page_of_record[self._record_of(target_id)]
-        fault = not self.store.buffer.is_cached(page_id)
+        page_id = store.manager.page_of_record[self._record_of(target_id)]
+        fault = not store.buffer.is_cached(page_id)
         if fault:
             self.stats.page_faults += 1
-        self.store.buffer.fetch(page_id)
-        if heat_sink is not None:
-            heat_sink(source_id, target_id, fault)
+        store.buffer.fetch(page_id)
+        if heat_append is not None:
+            heat_append(source_id << 32 | target_id)
+            if fault:
+                store.heat_fault_append(source_id << 32 | target_id)
+            if len(store.heat_buffer) >= store.heat_flush_at:
+                store.heat_drain()
 
     def _children_ids(self, node_id: int) -> list[int]:
         """All children (in-record + proxied), in sibling order."""

@@ -40,6 +40,12 @@ class NavigationStats:
     cross_steps: int = 0
     page_faults: int = 0
     node_visits: int = 0
+    #: axis steps answered by the structural index (window evaluation);
+    #: these replace hop charges with per-partition page touches
+    window_steps: int = 0
+    #: partitions a window step skipped because their pre/post window
+    #: did not overlap the query window (the partition map's savings)
+    partitions_pruned: int = 0
 
     def cost(self, config: StorageConfig) -> float:
         return (
@@ -53,6 +59,8 @@ class NavigationStats:
         self.cross_steps = 0
         self.page_faults = 0
         self.node_visits = 0
+        self.window_steps = 0
+        self.partitions_pruned = 0
 
 
 class DocumentStore:
@@ -68,14 +76,30 @@ class DocumentStore:
         self.partitioning = partitioning
         self.config = config
         self.stats = NavigationStats()
-        #: optional hook called with (source_id, target_id) on every
-        #: navigation step — used by workload profiling
-        self.edge_recorder = None
-        #: optional hook called with (source_id, target_id, fault) on
-        #: every navigation step — used by live access-heat accounting
-        #: (see :mod:`repro.telemetry.heat`); ``fault`` is True when the
-        #: step caused a page fault
-        self.heat_sink = None
+        #: optional list collecting raw (source_id, target_id) hops —
+        #: used by workload profiling; a bare ``list.append`` on the hot
+        #: path instead of a per-hop Python callback (PERF002)
+        self.edge_buffer = None
+        #: pre-bound ``list.append`` of the live heat buffer (see
+        #: :mod:`repro.telemetry.heat`) collecting raw (source_id,
+        #: target_id) hops — the *only* heat work on the intra-record
+        #: hot path; appends are atomic under the GIL
+        self.heat_append = None
+        #: pre-bound append of the page-fault hop buffer (cross-record
+        #: path only — faults can only happen there)
+        self.heat_fault_append = None
+        #: the raw hop list behind :attr:`heat_append` (drain/detach
+        #: bookkeeping; the hot path never touches it by name)
+        self.heat_buffer = None
+        #: locked drain callable installed alongside :attr:`heat_append`;
+        #: the engine calls it at end of query, the cross-record path
+        #: every :attr:`heat_flush_at` buffered hops
+        self.heat_drain = None
+        self.heat_flush_at = 8192
+        #: optional :class:`repro.index.StructuralIndex`; when present
+        #: and valid the query engine answers axis steps by window
+        #: lookups instead of navigation (see :meth:`build_index`)
+        self.structural_index = None
         #: optional write-ahead log (see :meth:`attach_wal`); updates
         #: flushed through :class:`~repro.storage.updates.StoreUpdater`
         #: become crash-recoverable once one is attached
@@ -179,8 +203,13 @@ class DocumentStore:
         store = cls.__new__(cls)
         store.config = config
         store.stats = NavigationStats()
-        store.edge_recorder = None
-        store.heat_sink = None
+        store.edge_buffer = None
+        store.heat_append = None
+        store.heat_fault_append = None
+        store.heat_buffer = None
+        store.heat_drain = None
+        store.heat_flush_at = 8192
+        store.structural_index = None
         store.wal = None
         store.labels = []
         store._label_ids = {}
@@ -215,6 +244,8 @@ class DocumentStore:
             self.record_weights[self.record_of[node.node_id]] += node.weight
         self.buffer = BufferPool(self.manager.pages, self.config.buffer_pages)
         self._order_ranks = None
+        # recovered state never trusts a pre-crash index; rebuild on demand
+        self.structural_index = None
         self.stats.reset()
 
     def attach_wal(self, wal) -> None:
@@ -244,13 +275,26 @@ class DocumentStore:
         self.stats.reset()
         self.buffer.stats.reset()
 
-    def _charge_step(self, source_id: int, target_id: int) -> None:
-        if self.edge_recorder is not None:
-            self.edge_recorder(source_id, target_id)
+    def _charge_step(self, source: TreeNode, target: TreeNode) -> None:
+        # hook accounting is batched: one pre-bound list.append per hop
+        # (no Python call frame, no per-hop threshold bookkeeping on the
+        # dominant intra branch); heat drains at end of query and every
+        # heat_flush_at hops on the cross branch, edge buffers at the
+        # profiler's leisure (PERF002 forbids per-element callbacks here)
+        source_id = source.node_id
+        target_id = target.node_id
+        edges = self.edge_buffer
+        if edges is not None:
+            edges.append((source_id, target_id))
+        heat_append = self.heat_append
         if self.record_of[source_id] == self.record_of[target_id]:
             self.stats.intra_steps += 1
-            if self.heat_sink is not None:
-                self.heat_sink(source_id, target_id, False)
+            if heat_append is not None:
+                # packed int, not a tuple: untracked by gc and folded at
+                # machine-word speed; ORs into the node's precomputed
+                # packed_id so the hop pays no shift (see
+                # telemetry.heat.pack_hop)
+                heat_append(source.packed_id | target_id)
             return
         self.stats.cross_steps += 1
         page_id = self.manager.page_of_record[self.record_of[target_id]]
@@ -258,8 +302,12 @@ class DocumentStore:
         self.buffer.fetch(page_id)
         if not cached:
             self.stats.page_faults += 1
-        if self.heat_sink is not None:
-            self.heat_sink(source_id, target_id, not cached)
+        if heat_append is not None:
+            heat_append(source.packed_id | target_id)
+            if not cached:
+                self.heat_fault_append(source.packed_id | target_id)
+            if len(self.heat_buffer) >= self.heat_flush_at:
+                self.heat_drain()
 
     def simulated_cost(self) -> float:
         return self.stats.cost(self.config)
@@ -301,6 +349,25 @@ class DocumentStore:
     def invalidate_order(self) -> None:
         """Called by the updater after structural changes."""
         self._order_ranks = None
+        self.invalidate_index()
+
+    # -- structural index --------------------------------------------------
+
+    def build_index(self):
+        """(Re)build the :class:`~repro.index.StructuralIndex` for the
+        current tree + record assignment; the engine uses it for window
+        axis evaluation until the next structural change."""
+        from repro.index import StructuralIndex
+
+        self.structural_index = StructuralIndex.build(self)
+        return self.structural_index
+
+    def invalidate_index(self) -> None:
+        """Mark the structural index stale (structural insert or record
+        move); queries fall back to navigation until a rebuild."""
+        index = self.structural_index
+        if index is not None:
+            index.invalidate()
 
     def rebuild_record(self, record_id: int) -> Record:
         """Re-materialize one record from the current tree + assignment
@@ -386,7 +453,7 @@ class StoredNode:
     def _hop(self, target: Optional[TreeNode]) -> Optional["StoredNode"]:
         if target is None:
             return None
-        self.store._charge_step(self._node.node_id, target.node_id)
+        self.store._charge_step(self._node, target)
         self.store.stats.node_visits += 1
         return StoredNode(self.store, target)
 

@@ -282,3 +282,6 @@ class StoreUpdater:
             store.record_weights[source] -= node.weight
             store.record_weights[target] += node.weight
             stack.extend(node.children)
+        # the partition windows in any structural index describe the old
+        # assignment now (content-only updates that never split keep it)
+        store.invalidate_index()

@@ -1,0 +1,57 @@
+"""Seeded PERF002 violations: per-element Python callbacks on hot paths.
+
+Not importable as part of the real package — this fixture only feeds the
+analyzer tests (see README.md in this directory).
+"""
+
+
+def navigate_with_observer(store, hops):
+    for source, target in hops:
+        store.heat_sink(source, target, False)  # seed:PERF002-for
+    return len(hops)
+
+
+def drain_queue_with_hook(queue, event_hook):
+    while queue:
+        event_hook(queue.pop())  # seed:PERF002-while
+    return queue
+
+
+def walk_with_recorder(nodes, edge_recorder):
+    for node in nodes:
+        edge_recorder((node, node))  # seed:PERF002-recorder
+    return nodes
+
+
+def _charge_step(store, source_id, target_id):
+    # no loop here, but every call of this helper is one hop
+    callback = store.heat_sink
+    if callback is not None:
+        callback(source_id, target_id, False)  # seed:PERF002-charge
+    return store
+
+
+def _hop_account(stats, on_hop_cb, source, target):
+    stats.steps += 1
+    on_hop_cb(source, target)  # seed:PERF002-hop
+    return stats
+
+
+def batched_accounting_is_fine(store, hops):
+    buffer = store.heat_buffer
+    for source, target in hops:
+        buffer.append((source, target, False))  # plain append: clean
+        if len(buffer) >= store.heat_flush_at:
+            store.heat_drain()  # threshold drain, not per-hop: clean
+    return len(hops)
+
+
+def callback_outside_hot_path_is_fine(registry, tracer):
+    registry.add_sink(tracer)  # setup code, straight-line: clean
+    return registry
+
+
+def skipped_callback_is_fine(store, hops):
+    for source, target in hops:
+        store.heat_sink(source, target, False)  # repro-lint: skip=PERF002
+    return len(hops)

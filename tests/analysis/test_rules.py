@@ -413,6 +413,38 @@ class TestSeededViolations:
         result = run_lint([target], select=["PERF001"])
         assert result.clean
 
+    def test_per_hop_callback_reported_in_all_shapes(self, fixture_result):
+        tags = seed_lines(FIXTURES / "seeded_perf002.py")
+        hits = found(fixture_result, "PERF002", "seeded_perf002.py")
+        assert {v.lineno for v in hits} == {
+            tags["PERF002-for"],
+            tags["PERF002-while"],
+            tags["PERF002-recorder"],
+            tags["PERF002-charge"],
+            tags["PERF002-hop"],
+        }
+
+    def test_per_hop_buffer_pattern_not_flagged(self, fixture_result):
+        source = (FIXTURES / "seeded_perf002.py").read_text().splitlines()
+        clean_lines = {
+            lineno
+            for lineno, line in enumerate(source, start=1)
+            if "clean" in line
+        }
+        hits = found(fixture_result, "PERF002", "seeded_perf002.py")
+        assert not clean_lines & {v.lineno for v in hits}
+
+    def test_per_hop_callback_skip_pragma(self, fixture_result):
+        source = (FIXTURES / "seeded_perf002.py").read_text().splitlines()
+        skipped = {
+            lineno
+            for lineno, line in enumerate(source, start=1)
+            if "skip=PERF002" in line
+        }
+        assert skipped
+        hits = found(fixture_result, "PERF002", "seeded_perf002.py")
+        assert not skipped & {v.lineno for v in hits}
+
     def test_render_is_file_line_code_message(self, fixture_result):
         for violation in fixture_result.violations:
             rendered = violation.render()

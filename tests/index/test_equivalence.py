@@ -1,0 +1,176 @@
+"""The window/navigation equivalence suite.
+
+The structural index is only allowed to change *how* an axis step is
+answered, never *what* it returns: every XPathMark query (paper Q1–Q7
+plus the extended set) must produce bit-identical node-id lists through
+window evaluation and through pure navigation — on both layouts, through
+both navigator flavours, after structural updates (invalid index →
+fallback → rebuild) and after crash recovery (index dropped → rebuild).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import telemetry
+from repro.partition import get_algorithm
+from repro.query import XPATHMARK_QUERIES, evaluate, run_query
+from repro.query.xpathmark import EXTENDED_QUERIES
+from repro.recovery import WriteAheadLog, recover_store
+from repro.storage import DocumentStore, StorageConfig, StoreUpdater
+from repro.storage.navigator import RecordNavigator
+from tests.recovery.conftest import LIMIT, apply_ops, build_store, surviving_pages
+
+ALL_QUERIES = tuple(
+    (q.qid, q.xpath) for q in XPATHMARK_QUERIES
+) + EXTENDED_QUERIES
+
+QUERY_IDS = [qid for qid, _ in ALL_QUERIES]
+QUERY_XPATHS = [xpath for _, xpath in ALL_QUERIES]
+
+
+@pytest.fixture(scope="module")
+def stores():
+    from repro.datasets import xmark_document
+
+    tree = xmark_document(scale=0.004, seed=7)
+    out = {}
+    for name in ("km", "ekm"):
+        partitioning = get_algorithm(name).partition(tree, 256)
+        store = DocumentStore.build(tree, partitioning)
+        store.warm_up()
+        out[name] = store
+    return out
+
+
+def _ids(source, xpath: str) -> list[int]:
+    return [node.node_id for node in evaluate(source, xpath)]
+
+
+def _both_ways(store, xpath: str) -> tuple[list[int], list[int]]:
+    """(navigation ids, window ids) for one query on one store."""
+    saved = store.structural_index
+    store.structural_index = None
+    try:
+        nav = _ids(store, xpath)
+    finally:
+        store.structural_index = saved
+    if store.structural_index is None or not store.structural_index.valid:
+        store.build_index()
+    return nav, _ids(store, xpath)
+
+
+class TestEveryQueryBothLayouts:
+    @pytest.mark.parametrize(
+        "xpath", QUERY_XPATHS, ids=QUERY_IDS
+    )
+    @pytest.mark.parametrize("layout", ["km", "ekm"])
+    def test_window_equals_navigation(self, stores, layout, xpath):
+        nav, win = _both_ways(stores[layout], xpath)
+        assert nav, "query found nothing — generator drift?"
+        assert win == nav
+
+    @pytest.mark.parametrize(
+        "xpath", QUERY_XPATHS, ids=QUERY_IDS
+    )
+    def test_record_navigator_agrees(self, stores, xpath):
+        """The record-backed navigator's handles take the same window
+        path; its results must match the tree-backed store handles."""
+        store = stores["ekm"]
+        if store.structural_index is None or not store.structural_index.valid:
+            store.build_index()
+        nav = RecordNavigator(store)
+        assert _ids(nav, xpath) == _ids(store, xpath)
+
+
+class TestCounters:
+    def test_descendant_query_uses_windows_and_cheaper_cost(self, stores):
+        store = stores["ekm"]
+        store.structural_index = None
+        navigation = run_query(store, "//keyword")
+        store.build_index()
+        window = run_query(store, "//keyword")
+        assert window.result_count == navigation.result_count
+        assert window.window_steps >= 1
+        assert window.intra_steps == 0 and window.cross_steps == 0
+        # the cost model the navigator charges can only shrink: window
+        # steps replace per-edge hops with per-partition page touches
+        assert window.cost <= navigation.cost
+
+    def test_inner_window_prunes_partitions(self, stores):
+        store = stores["ekm"]
+        if store.structural_index is None or not store.structural_index.valid:
+            store.build_index()
+        run = run_query(store, "//item/description//keyword")
+        assert run.window_steps >= 1
+        assert run.partitions_pruned > 0
+
+    def test_fallback_counter_fires_on_invalid_index(self, stores):
+        store = stores["ekm"]
+        store.build_index()
+        store.invalidate_index()
+        with telemetry.capture() as reg:
+            run_query(store, "//keyword")
+            counters = {name: c.value for name, c in reg.counters.items()}
+        assert counters.get("index.fallbacks", 0) >= 1
+        assert "index.window_hits" not in counters
+        store.build_index()
+
+
+class TestPostUpdate:
+    def test_structural_insert_invalidates_then_rebuild_matches(self):
+        store = build_store()
+        index = store.build_index()
+        updater = StoreUpdater(store)
+        apply_ops(updater)
+        updater.flush()
+        assert not index.valid  # insert_node invalidated the order+index
+
+        # invalid index → navigation fallback, no window steps
+        fallback = run_query(store, "//name")
+        assert fallback.window_steps == 0
+
+        nav, win = _both_ways(store, "//name")
+        assert win == nav
+        assert store.structural_index.valid
+
+    def test_content_only_update_keeps_index_valid(self):
+        store = build_store()
+        index = store.build_index()
+        updater = StoreUpdater(store)
+        text = next(
+            node.node_id
+            for node in store.tree
+            if node.label == "#text" or node.content is not None
+        )
+        updater.update_content(text, "renamed")
+        updater.flush()
+        assert index.valid
+        nav, win = _both_ways(store, "//person")
+        assert win == nav
+
+
+class TestPostRecovery:
+    def test_recovered_store_rebuilds_and_matches(self, tmp_path):
+        store = build_store()
+        wal = WriteAheadLog(str(tmp_path / "eq.wal")).open()
+        store.attach_wal(wal)
+        store.build_index()
+        updater = StoreUpdater(store)
+        apply_ops(updater)
+        updater.flush()
+        wal.close()
+
+        recovered, _report = recover_store(
+            surviving_pages(store),
+            str(tmp_path / "eq.wal"),
+            StorageConfig(record_limit=LIMIT),
+        )
+        # recovery adopts pages + log only; it must never trust a
+        # pre-crash index
+        assert recovered.structural_index is None
+        nav, win = _both_ways(recovered, "//name")
+        assert nav and win == nav
+        for xpath in ("//person", "/site/person/age", "//name/parent::person"):
+            nav, win = _both_ways(recovered, xpath)
+            assert win == nav

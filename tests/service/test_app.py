@@ -131,7 +131,10 @@ class TestEndpoints:
         result = client.query("d1", "//keyword", show=2)
         assert result["results"] == 30
         assert len(result["values"]) == 2
-        assert result["cost"] > 0
+        # the default service builds a structural index at ingest, so the
+        # descendant step is answered by one window lookup (no hop costs)
+        assert result["window_steps"] >= 1
+        assert result["cost"] >= 0
 
     def test_document_listing_info_and_delete(self, client):
         client.ingest(SAMPLE_XML, doc_id="a")

@@ -1,0 +1,177 @@
+"""Query-response cache + structural-index lifecycle tests.
+
+The cache's staleness discipline rides the per-document writer-
+preferring lock: lookups/inserts under the read side, invalidation
+inside every writer's critical section. The hammer test here drives a
+writer replacing a document with strictly growing versions while
+readers query it — a reader must never observe the version number go
+backwards (a stale cached payload is exactly such a regression).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterator
+
+import pytest
+
+from repro.service.app import ServiceConfig, ServiceThread
+from repro.service.client import ServiceClient, ServiceClientError
+
+from tests.service.conftest import SAMPLE_XML
+
+
+def _versioned_xml(keywords: int) -> str:
+    """A document whose ``//keyword`` count encodes its version."""
+    return (
+        "<site><interest>"
+        + "".join(f"<keyword>k{i}</keyword>" for i in range(keywords))
+        + "</interest></site>"
+    )
+
+
+@pytest.fixture
+def cached_server(fresh_telemetry, tmp_path) -> Iterator[ServiceThread]:
+    config = ServiceConfig(
+        port=0,
+        max_concurrency=16,
+        request_timeout=30.0,
+        journal_dir=str(tmp_path / "journals"),
+        query_cache=64,
+    )
+    with ServiceThread(config) as thread:
+        yield thread
+
+
+@pytest.fixture
+def cached_client(cached_server) -> Iterator[ServiceClient]:
+    with ServiceClient(port=cached_server.port) as conn:
+        yield conn
+
+
+class TestCacheCounters:
+    def test_repeat_query_hits_and_counts(self, cached_client):
+        cached_client.ingest(SAMPLE_XML, doc_id="d1")
+        first = cached_client.query("d1", "//keyword")
+        second = cached_client.query("d1", "//keyword")
+        assert second == first
+        counters = cached_client.metrics_json()["counters"]
+        assert counters["service.cache.misses"] == 1
+        assert counters["service.cache.hits"] == 1
+        # a hit answers from the payload copy without running the engine
+        assert counters["query.runs"] == 1
+        assert counters["service.queries"] == 2
+
+    def test_distinct_queries_and_show_are_distinct_keys(self, cached_client):
+        cached_client.ingest(SAMPLE_XML, doc_id="d1")
+        cached_client.query("d1", "//keyword")
+        cached_client.query("d1", "//person")
+        cached_client.query("d1", "//keyword", show=3)
+        counters = cached_client.metrics_json()["counters"]
+        assert counters["service.cache.misses"] == 3
+        assert "service.cache.hits" not in counters
+
+    def test_healthz_reports_cache_occupancy(self, cached_client):
+        cached_client.ingest(SAMPLE_XML, doc_id="d1")
+        cached_client.query("d1", "//keyword")
+        block = cached_client.healthz()["index"]
+        assert block["cache"] == {"entries": 1, "capacity": 64}
+
+
+class TestCacheInvalidation:
+    def test_delete_and_reingest_serve_fresh_results(self, cached_client):
+        cached_client.ingest(_versioned_xml(2), doc_id="hot")
+        assert cached_client.query("hot", "//keyword")["results"] == 2
+        cached_client.delete("hot")
+        cached_client.ingest(_versioned_xml(5), doc_id="hot")
+        assert cached_client.query("hot", "//keyword")["results"] == 5
+        counters = cached_client.metrics_json()["counters"]
+        assert counters["service.cache.invalidations"] >= 1
+
+    def test_resume_style_reingest_invalidates(self, cached_client):
+        # a failed-then-resumed ingest replaces the store under the same
+        # id; the cache entry from before the replacement must not
+        # survive it (invalidate runs in ingest's write section)
+        cached_client.ingest(_versioned_xml(3), doc_id="doc")
+        assert cached_client.query("doc", "//keyword")["results"] == 3
+        cached_client.delete("doc")
+        cached_client.ingest(_versioned_xml(4), doc_id="doc", journal=True)
+        assert cached_client.query("doc", "//keyword")["results"] == 4
+
+    def test_no_stale_reads_under_writer_churn(self, cached_server):
+        """Version numbers a reader observes must be non-decreasing."""
+        versions = list(range(1, 7))
+        with ServiceClient(port=cached_server.port) as setup:
+            setup.ingest(_versioned_xml(versions[0]), doc_id="hot")
+
+        stop = threading.Event()
+        regressions: list[tuple[int, int]] = []
+        errors: list[str] = []
+
+        def reader() -> None:
+            last = 0
+            with ServiceClient(port=cached_server.port) as conn:
+                while not stop.is_set():
+                    try:
+                        seen = conn.query("hot", "//keyword")["results"]
+                    except ServiceClientError as exc:
+                        if exc.status in (404, 409):
+                            continue  # mid delete/re-ingest window
+                        errors.append(str(exc))
+                        return
+                    if seen < last:
+                        regressions.append((last, seen))
+                        return
+                    last = seen
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        try:
+            with ServiceClient(port=cached_server.port) as writer:
+                for version in versions[1:]:
+                    writer.delete("hot")
+                    writer.ingest(_versioned_xml(version), doc_id="hot")
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=30)
+        assert not errors
+        assert not regressions, f"stale cached reads: {regressions}"
+        with ServiceClient(port=cached_server.port) as check:
+            assert check.query("hot", "//keyword")["results"] == versions[-1]
+
+
+class TestIndexLifecycle:
+    def test_healthz_counts_indexed_documents(self, client):
+        client.ingest(SAMPLE_XML, doc_id="a")
+        client.ingest(SAMPLE_XML, doc_id="b")
+        block = client.healthz()["index"]
+        assert block["enabled"] is True
+        assert block["indexed"] == 2
+        assert block["invalid"] == 0 and block["missing"] == 0
+        assert "cache" not in block  # cache off by default
+
+        client.delete("a")
+        assert client.healthz()["index"]["indexed"] == 1
+
+    def test_metrics_export_index_counters(self, client):
+        client.ingest(SAMPLE_XML, doc_id="d1")
+        client.query("d1", "//keyword")
+        counters = client.metrics_json()["counters"]
+        assert counters["index.builds"] == 1
+        assert counters["index.window_hits"] >= 1
+
+    def test_no_index_server_navigates(self, fresh_telemetry, tmp_path):
+        config = ServiceConfig(
+            port=0, index=False, journal_dir=str(tmp_path / "journals")
+        )
+        with ServiceThread(config) as thread:
+            with ServiceClient(port=thread.port) as conn:
+                conn.ingest(SAMPLE_XML, doc_id="d1")
+                run = conn.query("d1", "//keyword")
+                block = conn.healthz()["index"]
+        assert run["window_steps"] == 0
+        assert run["cost"] > 0  # navigation hops are charged again
+        assert block["enabled"] is False
+        assert block["missing"] == 1 and block["indexed"] == 0

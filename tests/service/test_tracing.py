@@ -166,10 +166,19 @@ class TestDebugEndpoints:
             )
         assert excinfo.value.status == 400
 
-    def test_heat_endpoint_reflects_query_navigation(self, client):
-        client.ingest(SAMPLE_XML, doc_id="d1")
-        client.query("d1", "//keyword")
-        heat = client.debug_heat(edges=True)
+    def test_heat_endpoint_reflects_query_navigation(
+        self, fresh_telemetry, tmp_path
+    ):
+        # heat tallies navigation hops, so this server skips the
+        # structural index — window evaluation takes no hops to count
+        config = ServiceConfig(
+            port=0, index=False, journal_dir=str(tmp_path / "nav-journals")
+        )
+        with ServiceThread(config) as thread:
+            with ServiceClient(port=thread.port) as conn:
+                conn.ingest(SAMPLE_XML, doc_id="d1")
+                conn.query("d1", "//keyword")
+                heat = conn.debug_heat(edges=True)
         doc = heat["documents"]["d1"]
         assert doc["steps"] > 0
         assert doc["partitions"]

@@ -11,6 +11,7 @@ import functools
 import pytest
 
 from repro import telemetry
+from repro.telemetry.heat import pack_hop
 from repro.telemetry import (
     HeatAccumulator,
     MetricRegistry,
@@ -380,7 +381,7 @@ class TestHeatAccumulator:
         heat.attach("d1", store)
         hot = tree.root.children[0].children[0]
         x, y = hot.children
-        store.heat_sink(x.node_id, y.node_id, False)
+        store.heat_append(pack_hop(x.node_id, y.node_id))
         counts = heat.profile().edge_counts("d1")
         assert counts[(hot.node_id, x.node_id)] == 1
         assert counts[(hot.node_id, y.node_id)] == 1
@@ -390,7 +391,9 @@ class TestHeatAccumulator:
         heat = HeatAccumulator()
         heat.attach("d1", store)
         cold = tree.root.children[1]
-        store.heat_sink(tree.root.node_id, cold.node_id, True)
+        # a fault hop lands in both buffers (it is still a hop)
+        store.heat_append(pack_hop(tree.root.node_id, cold.node_id))
+        store.heat_fault_append(pack_hop(tree.root.node_id, cold.node_id))
         doc = heat.profile().docs["d1"]
         assert doc.faults == 1
         target_record = store.record_of[cold.node_id]
@@ -402,14 +405,17 @@ class TestHeatAccumulator:
         heat = HeatAccumulator()
         heat.attach("d1", store)
         heat.detach("d1")
-        assert store.heat_sink is None
+        assert store.heat_append is None
+        assert store.heat_fault_append is None
+        assert store.heat_buffer is None
+        assert store.heat_drain is None
         assert heat.profile().docs == {}
 
     def test_reattach_resets_tallies(self):
         tree, store = self._store()
         heat = HeatAccumulator()
         heat.attach("d1", store)
-        store.heat_sink(0, 1, False)
+        store.heat_append(pack_hop(0, 1))
         heat.attach("d1", store)
         assert heat.profile().docs["d1"].steps == 0
 
@@ -421,7 +427,7 @@ class TestHeatAccumulator:
         tree, store = self._store()
         heat = HeatAccumulator()
         heat.attach("d1", store)
-        store.heat_sink(0, 1, False)
+        store.heat_append(pack_hop(0, 1))
         payload = heat.profile().as_dict(top=1, include_edges=True)
         assert len(payload["hottest"]) == 1
         assert payload["documents"]["d1"]["edges"]
